@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the paper's numbers next to the measured ones.  Absolute values are not
+expected to match (the substrate is a simulator, not the authors'
+Celeron/P-III testbed); the *shape* — who wins, by what factor, where
+crossovers fall — is the reproduction target, and each benchmark asserts
+it.
+"""
+
+import pytest
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,124 @@
+"""Ablation A9 — why multi-resource accounting matters (§2, §3.5).
+
+The paper dismisses user-level schedulers because they "cannot have an
+accurate system resource usage information".  This ablation quantifies
+that: the same WRR queueing runs twice, once metering *measured resource
+usage* (Gage) and once metering *request counts* (the count-fair
+baseline).  Two subscribers pay for equal shares; one requests 1 KB
+pages, the other 16 KB pages (16x the network, ~1.6x the CPU).
+
+Under count-fairness the heavy-page subscriber receives equal *counts* —
+i.e. several times its paid-for resources — and the cluster's spare
+evaporates into its oversized responses.  Under Gage both receive equal
+*resources*: the heavy subscriber gets proportionally fewer requests.
+"""
+
+import pytest
+
+from repro.baselines.countfair import CountFairDispatcher
+from repro.cluster import Machine, WebServer
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.resources import ResourceVector
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+from .conftest import print_banner
+
+LIGHT_BYTES = 1024
+HEAVY_BYTES = 16 * 1024
+OFFERED = 160.0  # per subscriber, well past what one RPN serves
+DURATION = 10.0
+WINDOW = (2.0, 10.0)
+
+
+def make_workloads():
+    light = SyntheticWorkload(rates={"light": OFFERED}, duration_s=DURATION,
+                              file_bytes=LIGHT_BYTES, seed=1)
+    heavy = SyntheticWorkload(rates={"heavy": OFFERED}, duration_s=DURATION,
+                              file_bytes=HEAVY_BYTES, seed=2)
+    records = light.generate() + heavy.generate()
+    records.sort(key=lambda r: r.at_s)
+    site_files = {"light": light.site_files("light"), "heavy": heavy.site_files("heavy")}
+    return records, site_files
+
+
+def usage_rate(completions, sizes, start, end):
+    """Network bytes per second delivered to each host."""
+    rates = {}
+    for host, size in sizes.items():
+        count = sum(1 for at, h in completions if h == host and start <= at < end)
+        rates[host] = count * size / (end - start)
+    return rates
+
+
+def run_gage():
+    env = Environment()
+    records, site_files = make_workloads()
+    # Equal paid shares: 40 GRPS each on a ~100-GRPS single-node cluster.
+    subs = [
+        Subscriber("light", 40.0, queue_capacity=512),
+        Subscriber("heavy", 40.0, queue_capacity=512),
+    ]
+    cluster = GageCluster(env, subs, site_files, num_rpns=1, fidelity="flow")
+    cluster.prewarm_caches()
+    cluster.load_trace(records)
+    cluster.run(DURATION)
+    return {
+        r.subscriber: r.served_rate for r in cluster.all_reports(*WINDOW)
+    }
+
+
+def run_count_fair():
+    env = Environment()
+    records, site_files = make_workloads()
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine)
+    for host, files in site_files.items():
+        server.host_site(host, files=files)
+    for path, size in machine.fs.walk():
+        machine.cache.insert(path, size)
+    dispatcher = CountFairDispatcher(env, [server])
+    dispatcher.add_subscriber("light", 40.0, queue_capacity=512)
+    dispatcher.add_subscriber("heavy", 40.0, queue_capacity=512)
+    dispatcher.load_trace(records)
+    env.run(until=DURATION)
+    return {
+        host: dispatcher.completed_rate(host, *WINDOW)
+        for host in ("light", "heavy")
+    }
+
+
+def test_count_fairness_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {"gage": run_gage(), "count_fair": run_count_fair()},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Ablation A9: resource accounting vs request counting")
+    print("  equal paid shares; light=1KB pages, heavy=16KB pages")
+    print()
+    print("  {:<12} {:>11} {:>11} {:>22}".format(
+        "scheduler", "light r/s", "heavy r/s", "heavy net advantage"))
+    for name, served in results.items():
+        advantage = (served["heavy"] * HEAVY_BYTES) / max(
+            served["light"] * LIGHT_BYTES, 1.0
+        )
+        print("  {:<12} {:>11.1f} {:>11.1f} {:>21.1f}x".format(
+            name, served["light"], served["heavy"], advantage))
+
+    gage = results["gage"]
+    count = results["count_fair"]
+    # Count-fairness lets the heavy subscriber absorb many times the
+    # network bytes of its equal-paying peer (the back-end's own CPU
+    # time-sharing trims the count gap a little, but the resource gap
+    # stays near the 16x page-size ratio).
+    count_advantage = (count["heavy"] * HEAVY_BYTES) / (count["light"] * LIGHT_BYTES)
+    assert count_advantage > 8.0
+    # Gage meters measured usage: the heavy subscriber is granted
+    # proportionally fewer requests, cutting the resource imbalance by
+    # more than half.
+    gage_advantage = (gage["heavy"] * HEAVY_BYTES) / (gage["light"] * LIGHT_BYTES)
+    assert gage_advantage < 0.5 * count_advantage
+    # Under count metering the heavy subscriber completes several times
+    # more requests than its measured usage entitles it to under Gage.
+    assert count["heavy"] > 2.0 * gage["heavy"]

@@ -1,0 +1,63 @@
+"""Ablation A6 — transport fidelity cross-validation.
+
+DESIGN.md's central modeling decision is that the long QoS experiments
+may run on the flow transport because the Gage core's behaviour is
+transport-independent.  This benchmark validates that: the same
+two-subscriber scenario (one inside its reservation, one overloaded) runs
+under both fidelities, and the served rates must agree within 10%.
+"""
+
+import pytest
+
+from repro.core import GageCluster, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+from .conftest import print_banner
+
+RATES = {"good": 60.0, "greedy": 200.0}
+RESERVATIONS = {"good": 60.0, "greedy": 25.0}
+DURATION = 6.0
+
+
+def run(fidelity):
+    env = Environment()
+    subs = [
+        Subscriber(name, grps, queue_capacity=128)
+        for name, grps in RESERVATIONS.items()
+    ]
+    workload = SyntheticWorkload(rates=RATES, duration_s=DURATION, file_bytes=2000)
+    cluster = GageCluster(
+        env,
+        subs,
+        {name: workload.site_files(name) for name in RATES},
+        num_rpns=2,
+        fidelity=fidelity,
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(DURATION + 2.0)
+    return {
+        report.subscriber: report.served_rate
+        for report in cluster.all_reports(2.0, DURATION)
+    }
+
+
+def test_fidelity_cross_validation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {fidelity: run(fidelity) for fidelity in ("flow", "packet")},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Ablation A6: flow vs packet transport, same scenario")
+    print("  {:<10} {:>12} {:>12}".format("fidelity", "good (r/s)", "greedy (r/s)"))
+    for fidelity, served in results.items():
+        print("  {:<10} {:>12.1f} {:>12.1f}".format(
+            fidelity, served["good"], served["greedy"]
+        ))
+    flow, packet = results["flow"], results["packet"]
+    for name in RATES:
+        assert packet[name] == pytest.approx(flow[name], rel=0.10), name
+    # And the QoS shape holds under both.
+    for served in results.values():
+        assert served["good"] == pytest.approx(60.0, rel=0.1)
+        assert served["greedy"] < 200.0 * 0.8

@@ -1,0 +1,79 @@
+"""Ablation A4 — asymmetric RDN cluster: secondary handshake offload.
+
+§3.2: the front end "may become the system bottleneck ... One possible
+solution is to use an asymmetric RDN cluster", where secondary RDNs
+perform "the time-consuming task in front-end processing such as TCP
+three-way hand-shaking".
+
+This ablation runs the packet-mode cluster with 0, 1, and 2 secondaries,
+verifies service is unaffected, and accounts the handshake CPU that
+leaves the primary: with offload the primary spends a delegation forward
+(≈2 x 7.0 us of Table 3's forwarding cost) instead of a full handshake
+emulation (29.3 us) per connection.
+"""
+
+from repro.core import GageCluster, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+from .conftest import print_banner
+
+RDN_SETUP_US = 29.3
+FORWARD_US = 7.0
+
+
+def run(num_secondaries, duration=4.0):
+    env = Environment()
+    subs = [Subscriber("site1", 100)]
+    workload = SyntheticWorkload(
+        rates={"site1": 40.0}, duration_s=duration, file_bytes=2000
+    )
+    cluster = GageCluster(
+        env,
+        subs,
+        {"site1": workload.site_files("site1")},
+        num_rpns=2,
+        fidelity="packet",
+        num_secondaries=num_secondaries,
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(duration + 2.0)
+    stats = cluster.fleet.stats
+    offloaded = sum(s.handshakes_completed for s in cluster.secondaries)
+    local = stats.issued - offloaded
+    primary_handshake_us = local * RDN_SETUP_US + offloaded * 2 * FORWARD_US
+    return {
+        "issued": stats.issued,
+        "completed": stats.completed,
+        "offloaded": offloaded,
+        "primary_handshake_us": primary_handshake_us,
+        "mean_latency_ms": 1000 * stats.mean_latency_s,
+    }
+
+
+def test_secondary_rdn_offload(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: run(n) for n in (0, 1, 2)}, rounds=1, iterations=1
+    )
+    print_banner("Ablation A4: secondary-RDN handshake offload")
+    print("  {:>11} {:>8} {:>9} {:>10} {:>18} {:>10}".format(
+        "secondaries", "issued", "complete", "offloaded", "primary hs (us)", "lat (ms)"
+    ))
+    for n, r in results.items():
+        print("  {:>11} {:>8} {:>9} {:>10} {:>18.0f} {:>10.1f}".format(
+            n, r["issued"], r["completed"], r["offloaded"],
+            r["primary_handshake_us"], r["mean_latency_ms"],
+        ))
+
+    # Service is unaffected by offloading.
+    for r in results.values():
+        assert r["completed"] == r["issued"]
+    # Without secondaries nothing is offloaded; with them, everything is.
+    assert results[0]["offloaded"] == 0
+    assert results[1]["offloaded"] == results[1]["issued"]
+    assert results[2]["offloaded"] == results[2]["issued"]
+    # The primary's handshake CPU budget shrinks by roughly the ratio of
+    # a delegation forward to a full emulation (14/29.3 ≈ 0.48).
+    assert results[1]["primary_handshake_us"] < 0.55 * results[0]["primary_handshake_us"]
+    # Latency stays in the same regime (one extra switch hop).
+    assert results[2]["mean_latency_ms"] < 3 * results[0]["mean_latency_ms"]

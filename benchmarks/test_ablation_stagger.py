@@ -1,0 +1,63 @@
+"""Ablation A5 — accounting-message phase alignment.
+
+Figure 3's worst case (deviation >100% at a 2 s cycle / 1 s interval)
+exists because every RPN's usage report lands in the same instant: the
+RDN observes usage "either 0 or around twice the reservation".  If the
+agents instead tick out of phase (staggered across the cycle), the same
+total information arrives smeared over time and the observed deviation
+collapses — an implementation detail the paper leaves implicit, surfaced
+here as an ablation.
+"""
+
+from repro.core import GageConfig, GageCluster, Subscriber
+from repro.core.metrics import deviation_from_reservation_vectors
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+from .conftest import print_banner
+
+
+def run(stagger, duration=30.0):
+    env = Environment()
+    names = ["site1", "site2", "site3", "site4"]
+    reservation = 150.0
+    subs = [Subscriber(n, reservation, queue_capacity=2048) for n in names]
+    config = GageConfig(accounting_cycle_s=2.0, spare_policy="none")
+    workload = SyntheticWorkload(
+        rates={n: reservation / 3.07 * 1.5 for n in names},
+        duration_s=duration,
+        file_bytes=6 * 1024,
+    )
+    cluster = GageCluster(
+        env,
+        subs,
+        {n: workload.site_files(n) for n in names},
+        num_rpns=8,
+        config=config,
+        fidelity="flow",
+        stagger_accounting=stagger,
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(duration)
+    events = {n: [] for n in names}
+    for at, name, usage in cluster.rdn.accounting.usage_log:
+        events[name].append((at, usage))
+    return deviation_from_reservation_vectors(
+        events, {n: reservation for n in names}, 2.0, duration, 1.0
+    )
+
+
+def test_stagger_ablation(benchmark):
+    deviations = benchmark.pedantic(
+        lambda: {"synchronized": run(False), "staggered": run(True)},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Ablation A5: accounting phase (2s cycle, 1s interval)")
+    for mode, deviation in deviations.items():
+        print("  {:<13} {:7.1f}%".format(mode, deviation))
+    # Synchronized reporting reproduces the paper's >100% blow-up...
+    assert deviations["synchronized"] > 80.0
+    # ...staggering the same messages collapses the observed deviation.
+    assert deviations["staggered"] < 0.5 * deviations["synchronized"]

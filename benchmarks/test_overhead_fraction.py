@@ -1,0 +1,148 @@
+"""§4.2 — the total QoS overhead as a fraction of one RPN's CPU.
+
+Paper: "It takes 56.7 us for connection setup and address-sequence number
+remapping, assuming each request consists of 5 data-ACK packet pairs.
+Under a load of 540 GRPS that one RPN can sustain, the total overhead
+imposed on a RPN is less than 56.7 x 540 = 30,618 us, or only under
+3.06% of a RPN's CPU capacity."
+
+This benchmark recomputes the same arithmetic twice: once from the
+paper's Table 3 constants (reproducing 3.06% exactly) and once from this
+implementation's microbenchmarked costs normalized to the paper's RPN
+setup cost (so the Python/C constant-factor cancels and the *structural*
+fraction is comparable).
+"""
+
+from repro.core import GageCluster, Subscriber
+from repro.core.control import DispatchOrder
+from repro.net import IPAddress, MACAddress
+from repro.net.conn import Quadruple
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+from .conftest import print_banner
+
+PAPER_RPN_SETUP_US = 27.2
+PAPER_REMAP_IN_US = 1.3
+PAPER_REMAP_OUT_US = 4.6
+DATA_ACK_PAIRS = 5
+RPN_SUSTAINED_GRPS = 540
+
+
+def paper_overhead_fraction():
+    per_request_us = PAPER_RPN_SETUP_US + DATA_ACK_PAIRS * (
+        PAPER_REMAP_IN_US + PAPER_REMAP_OUT_US
+    )
+    return per_request_us, per_request_us * RPN_SUSTAINED_GRPS / 1e6
+
+
+def test_overhead_fraction(benchmark):
+    per_request_us, fraction = benchmark.pedantic(
+        paper_overhead_fraction, rounds=1, iterations=1
+    )
+    print_banner("§4.2: QoS overhead as a fraction of one RPN's CPU")
+    print("per-request overhead: {:.1f} us (paper: 56.7 us)".format(per_request_us))
+    print(
+        "fraction at {} GRPS: {:.2f}% (paper: 3.06%)".format(
+            RPN_SUSTAINED_GRPS, 100 * fraction
+        )
+    )
+    assert per_request_us == 27.2 + 5 * (1.3 + 4.6)  # = 56.7
+    assert abs(100 * fraction - 3.06) < 0.01
+    benchmark.extra_info["overhead_percent"] = round(100 * fraction, 2)
+
+
+def test_measured_structural_fraction(benchmark):
+    """The same ratio from this implementation's own measured costs.
+
+    Python's constant factor is normalized out by scaling every measured
+    cost by (paper RPN setup / measured RPN setup); what remains checks
+    that the remap:setup cost *structure* keeps total overhead in the
+    low single-digit percent range.
+    """
+    import itertools
+    import time
+
+    env = Environment()
+    cluster = GageCluster(
+        env,
+        [Subscriber("site1", 100)],
+        {"site1": {"index.html": 2000}},
+        num_rpns=1,
+        fidelity="packet",
+    )
+    env.run(until=0.001)
+    lsm = cluster.lsms[0]
+    ports = itertools.count(2000)
+
+    def one_setup():
+        port = next(ports) % 60000 + 1024
+        lsm._start_second_leg(
+            DispatchOrder(
+                subscriber="site1",
+                request=WebRequest("site1", "/index.html", 2000),
+                request_bytes=200,
+                quad=Quadruple(
+                    IPAddress("10.0.0.1"), port, IPAddress("10.0.0.100"), 80
+                ),
+                client_isn=1000,
+                rdn_isn=90000,
+                client_mac=MACAddress("02:00:00:00:00:01"),
+            )
+        )
+
+    def measure(fn, n=2000):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e6
+
+    setup_us = measure(one_setup)
+    rule = next(iter(lsm._rules_in.values()))
+    from repro.net import Packet, TCPFlags
+
+    inbound = Packet(
+        src_mac=rule.client_mac,
+        dst_mac=MACAddress("02:00:00:00:00:64"),
+        src_ip=rule.client_quad.src_ip,
+        dst_ip=rule.client_quad.dst_ip,
+        src_port=rule.client_quad.src_port,
+        dst_port=80,
+        seq=1200,
+        ack=95000,
+        flags=TCPFlags.ACK,
+    )
+    outbound = Packet(
+        src_mac=rule.rpn_mac,
+        dst_mac=rule.client_mac,
+        src_ip=rule.rpn_ip,
+        dst_ip=rule.client_quad.src_ip,
+        src_port=80,
+        dst_port=rule.client_quad.src_port,
+        seq=5000,
+        ack=1200,
+        flags=TCPFlags.ACK,
+        payload_len=1460,
+    )
+    remap_in_us = measure(lambda: rule.remap_incoming(inbound))
+    remap_out_us = measure(lambda: rule.remap_outgoing(outbound))
+
+    scale = PAPER_RPN_SETUP_US / setup_us
+    scaled_per_request = PAPER_RPN_SETUP_US + DATA_ACK_PAIRS * scale * (
+        remap_in_us + remap_out_us
+    )
+    fraction = scaled_per_request * RPN_SUSTAINED_GRPS / 1e6
+
+    def report():
+        return fraction
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    print_banner("§4.2: structural overhead fraction from our measured costs")
+    print("measured: setup {:.1f} us, remap in {:.2f} us, out {:.2f} us".format(
+        setup_us, remap_in_us, remap_out_us
+    ))
+    print("normalized per-request overhead: {:.1f} us -> {:.2f}% of RPN CPU "
+          "(paper: 56.7 us -> 3.06%)".format(scaled_per_request, 100 * fraction))
+    # Shape: total overhead stays in the low single digits.
+    assert 100 * fraction < 10.0
+    benchmark.extra_info["normalized_percent"] = round(100 * fraction, 2)

@@ -1,0 +1,74 @@
+"""§4.3 — RDN CPU utilization vs throughput, and the capacity projection.
+
+Paper: "the CPU utilization on the RDN increases close to linearly as
+the throughput grows from around 500 requests/sec to 4400 requests/sec
+and then increases exponentially as the throughput advances to around
+4800 requests/sec.  The utilization leap is due to the overloaded
+network subsystem ... With such intelligent interfaces in place,
+conservatively with one PIII 450MHz RDN the throughput Gage can support
+is around 14,000 to 15,000 requests/sec; alternatively it can support up
+to 24 RPNs without being a performance bottleneck."
+"""
+
+from repro.harness import RDNCostModel
+
+from .conftest import print_banner
+
+RATES = [500, 1000, 2000, 3000, 4000, 4400, 4600, 4800]
+
+
+def test_rdn_cpu_utilization_curve(benchmark):
+    model = RDNCostModel()
+    curve = benchmark.pedantic(
+        lambda: model.curve([float(r) for r in RATES]), rounds=1, iterations=1
+    )
+    print_banner("§4.3: RDN CPU utilization vs throughput")
+    print("{:>10} {:>12}".format("req/s", "utilization"))
+    for rate, utilization in curve:
+        print("{:>10.0f} {:>11.1f}%".format(rate, 100 * utilization))
+    from repro.harness import line_chart
+
+    print()
+    print(line_chart(
+        {
+            "with interrupts": curve,
+            "intelligent NIC": model.curve([float(r) for r in RATES], intelligent_nic=True),
+        },
+        title="RDN CPU utilization (measured model)",
+        x_label="req/s",
+        y_label="utilization",
+        height=12,
+    ))
+
+    util = dict(curve)
+    # Linear regime: utilization at 4000 is ~8x utilization at 500.
+    linear_ratio = util[4000] / util[500]
+    assert 7.0 < linear_ratio < 9.0
+    # The exponential leap: the marginal cost per extra request beyond
+    # 4400 is much larger than in the linear regime.
+    linear_slope = (util[4000] - util[500]) / 3500
+    tail_slope = (util[4800] - util[4400]) / 400
+    print("\nslope x{:.1f} beyond 4400 req/s (interrupt livelock)".format(
+        tail_slope / linear_slope
+    ))
+    assert tail_slope > 3.0 * linear_slope
+    # The RDN saturates somewhere near the paper's ~4800 req/s regime.
+    saturation = model.saturation_rate_rps()
+    assert 4300 < saturation < 5300
+    benchmark.extra_info["saturation_rps"] = round(saturation)
+
+
+def test_rdn_intelligent_nic_projection(benchmark):
+    model = RDNCostModel()
+    saturation = benchmark.pedantic(
+        lambda: model.saturation_rate_rps(intelligent_nic=True), rounds=1, iterations=1
+    )
+    per_rpn = 540.0
+    max_rpns = saturation / per_rpn
+    print_banner("§4.3: projection with an intelligent NIC")
+    print("saturation: {:.0f} req/s (paper: 14,000-15,000)".format(saturation))
+    print("supported RPNs at 540 r/s each: {:.1f} (paper: ~24)".format(max_rpns))
+    assert 13_000 < saturation < 16_000
+    assert 22 < max_rpns < 28
+    benchmark.extra_info["saturation_rps"] = round(saturation)
+    benchmark.extra_info["max_rpns"] = round(max_rpns, 1)

@@ -1,0 +1,43 @@
+"""§4.3 — throughput scalability with the number of RPNs.
+
+Paper: "The throughput grows linearly from about 540 requests/sec to
+around 4800 requests/sec with the number of RPNs increased from 1 to 8.
+We also measured the throughput each RPN can support without Gage.  It
+was 550.5 requests/sec, compared to 540 requests/sec when Gage is in
+place ... the throughput penalty because of Gage's QoS guarantee
+mechanism is about 1.8%."
+"""
+
+from repro.harness import run_scalability
+
+from .conftest import print_banner
+
+
+def test_scalability_with_rpn_count(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_scalability(duration_s=6.0), rounds=1, iterations=1
+    )
+    print_banner("§4.3: throughput vs number of RPNs")
+    print("{:>5} {:>12} {:>14} {:>10}".format("RPNs", "Gage (r/s)", "no-Gage (r/s)", "penalty"))
+    for p in points:
+        print("{:>5} {:>12.0f} {:>14.0f} {:>9.1f}%".format(
+            p.num_rpns, p.with_gage_rps, p.without_gage_rps, p.penalty_percent
+        ))
+
+    by_count = {p.num_rpns: p for p in points}
+    one = by_count[1]
+    eight = by_count[8]
+    # Single-RPN throughput lands in the paper's regime (~540 r/s).
+    assert 450 < one.with_gage_rps < 650
+    # Linear scaling: 8 RPNs deliver ~8x one RPN (within 10%).
+    assert eight.with_gage_rps > 7.2 * one.with_gage_rps
+    assert eight.with_gage_rps < 8.8 * one.with_gage_rps
+    # Monotone growth across every cluster size.
+    rates = [p.with_gage_rps for p in points]
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+    # The Gage penalty is small (paper: 1.8% throughput, 3.06% CPU).
+    for p in points:
+        assert -1.0 < p.penalty_percent < 6.0
+    benchmark.extra_info["one_rpn_rps"] = round(one.with_gage_rps)
+    benchmark.extra_info["eight_rpn_rps"] = round(eight.with_gage_rps)
+    benchmark.extra_info["penalty_percent"] = round(eight.penalty_percent, 2)

@@ -1,0 +1,56 @@
+"""Table 1 — QoS guarantee under excessive input loads.
+
+Paper (ICDCS'03, Table 1):
+
+    Subscriber  Reservation  Input   Served  Dropped
+    site1       250          259.4   259.4   0.0
+    site2       150          161.1   161.1   0.0
+    site3       50           390.3   365.4   24.9
+
+site1 and site2 are offered roughly their reservations and must be fully
+served; site3 is offered ~8x its reservation, absorbs the cluster's spare
+capacity, and drops the remainder.
+"""
+
+from repro.harness import format_table, run_isolation
+
+from .conftest import print_banner
+
+PAPER_ROWS = [
+    ("site1", 250, 259.4, 259.4, 0.0),
+    ("site2", 150, 161.1, 161.1, 0.0),
+    ("site3", 50, 390.3, 365.4, 24.9),
+]
+
+
+def test_table1_isolation(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_isolation(duration_s=12.0), rounds=1, iterations=1
+    )
+    print_banner("Table 1: performance isolation under excessive input load")
+    print(format_table(
+        ["Subscriber", "Reservation", "Input", "Served", "Dropped"],
+        PAPER_ROWS,
+        "Paper:",
+    ))
+    print()
+    print(format_table(
+        ["Subscriber", "Reservation", "Input", "Served", "Dropped"],
+        [r.row() for r in reports],
+        "Measured:",
+    ))
+
+    by_name = {r.subscriber: r for r in reports}
+    # Shape assertions: reserved sites are fully served...
+    assert by_name["site1"].served_rate > 0.97 * by_name["site1"].input_rate
+    assert by_name["site2"].served_rate > 0.97 * by_name["site2"].input_rate
+    assert by_name["site1"].dropped_rate < 1.0
+    assert by_name["site2"].dropped_rate < 1.0
+    # ...site3 is served far beyond its reservation (it gets the spare)...
+    assert by_name["site3"].served_rate > 4 * 50.0
+    # ...but not everything: the excess is dropped.
+    assert by_name["site3"].dropped_rate > 5.0
+    assert by_name["site3"].served_rate < by_name["site3"].input_rate
+
+    benchmark.extra_info["site3_served_rps"] = round(by_name["site3"].served_rate, 1)
+    benchmark.extra_info["site3_dropped_rps"] = round(by_name["site3"].dropped_rate, 1)

@@ -1,0 +1,49 @@
+"""The Gage architecture on real sockets: asyncio front end + back ends.
+
+Starts two back-end HTTP servers and the Gage proxy on localhost, then
+drives two subscribers — one inside its reservation, one flooding — and
+prints per-subscriber outcomes.  The scheduler, queues, and accounting
+are the *same code* the simulator runs (repro.core); only the transport
+differs.
+
+Run:  python examples/asyncio_proxy_demo.py
+"""
+
+import asyncio
+
+from repro.proxy.demo import run_demo
+
+RESERVATIONS = {"gold.example.com": 120.0, "flood.example.com": 25.0}
+RATES = {"gold.example.com": 60.0, "flood.example.com": 150.0}
+DURATION = 4.0
+
+
+async def main():
+    print("starting 2 backends + Gage proxy on 127.0.0.1 ...")
+    result = await run_demo(
+        reservations=RESERVATIONS,
+        rates=RATES,
+        duration_s=DURATION,
+        num_backends=2,
+        time_scale=0.25,  # shrink modeled service times 4x for the demo
+        queue_capacity=64,
+    )
+    print()
+    print("{:<22} {:>11} {:>8} {:>9} {:>9} {:>10}".format(
+        "subscriber", "reservation", "offered", "completed", "refused", "mean lat"))
+    for site, grps in RESERVATIONS.items():
+        print("{:<22} {:>11.0f} {:>8.0f} {:>9} {:>9} {:>8.1f}ms".format(
+            site,
+            grps,
+            RATES[site],
+            result.completed.get(site, 0),
+            result.refused.get(site, 0) + result.errors.get(site, 0),
+            1000 * result.mean_latency_s(site),
+        ))
+    print()
+    print("gold (inside its reservation) sails through; flood queues behind")
+    print("its credit and sees higher latency / refusals - on real sockets.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,107 @@
+"""The paper's §5 future work, built with the same framework: a
+virtualizing *database* cluster guaranteeing each tenant a number of
+"generic SQL transactions" per second.
+
+§3.6 argues Gage's service-specific surface is tiny: a different
+classification key, a different generic-request definition, a different
+cost profile.  This example exercises exactly those three knobs:
+
+- the **generic SQL transaction** is defined as 15 ms CPU + 25 ms disk
+  channel + 500 bytes of network (result sets are small; I/O dominates);
+- "queries" are CGI-style dynamic requests whose CPU demand models query
+  execution and whose result size models the rows returned;
+- tenants (databases) get distinct TPS reservations on a shared cluster.
+
+Run:  python examples/database_cluster.py
+"""
+
+from repro import Environment, GageCluster, GageConfig, ResourceVector, Subscriber
+from repro.workload import CostModel
+from repro.workload.request import RequestRecord
+
+#: One generic SQL transaction (the §5 analogue of the §3.1 definition).
+GENERIC_SQL_TXN = ResourceVector(cpu_s=0.015, disk_s=0.025, net_bytes=500.0)
+
+#: Tenant databases with their TPS reservations.
+TENANTS = {
+    "orders-db": 20.0,
+    "analytics-db": 8.0,
+    "sessions-db": 12.0,
+}
+
+#: Offered load: analytics floods the cluster with heavy queries.
+OFFERED_TPS = {"orders-db": 18.0, "analytics-db": 60.0, "sessions-db": 11.0}
+
+DURATION = 20.0
+NUM_NODES = 1  # one node ≈ 66 TPS of CPU; the flood must be throttled
+
+
+def query_trace():
+    """Constant-rate query streams; each query is a dynamic (CGI) request
+    costing ~one generic SQL transaction."""
+    records = []
+    for tenant, tps in OFFERED_TPS.items():
+        period = 1.0 / tps
+        at = period
+        index = 0
+        while at < DURATION:
+            records.append(
+                RequestRecord(
+                    at_s=at,
+                    host=tenant,
+                    path="/cgi/query{:03d}".format(index % 40),
+                    size_bytes=500,          # result set
+                    cpu_extra_s=0.012,       # query execution CPU
+                )
+            )
+            at += period
+            index += 1
+    records.sort(key=lambda record: record.at_s)
+    return records
+
+
+def main():
+    env = Environment()
+    subscribers = [
+        Subscriber(name, tps, queue_capacity=256) for name, tps in TENANTS.items()
+    ]
+    config = GageConfig(generic_request=GENERIC_SQL_TXN)
+    # Query cost model: small base cost; disk time per transaction is
+    # modeled by the storage engine's page reads (here: uncached results
+    # would add seek time; with cpu_extra carrying execution cost, the
+    # base model stays light).
+    cost_model = CostModel(base_cpu_s=0.003, per_kb_cpu_s=0.0001)
+    cluster = GageCluster(
+        env,
+        subscribers,
+        site_files={name: {} for name in TENANTS},  # all content is dynamic
+        num_rpns=NUM_NODES,
+        config=config,
+        cost_model=cost_model,
+        workers_per_site=8,
+    )
+    cluster.load_trace(query_trace())
+    cluster.run(DURATION)
+
+    print("virtual database cluster: {} nodes, {} tenants".format(
+        NUM_NODES, len(TENANTS)))
+    print("generic SQL txn = 15ms CPU + 25ms disk + 500B network\n")
+    print("{:<14} {:>12} {:>12} {:>12} {:>10}".format(
+        "tenant", "reserved TPS", "offered TPS", "served TPS", "dropped/s"))
+    for report in cluster.all_reports(4.0, DURATION):
+        print("{:<14} {:>12.0f} {:>12.1f} {:>12.1f} {:>10.1f}".format(
+            report.subscriber,
+            report.reservation_grps,
+            report.input_rate,
+            report.served_rate,
+            report.dropped_rate,
+        ))
+    print()
+    print("orders-db and sessions-db run inside their reservations and are")
+    print("untouched by analytics-db's 7.5x overload - the same guarantee,")
+    print("a different Internet service (the paper's §5 plan, via §3.6's")
+    print("three service-specific knobs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure without pytest.
+
+Runs the same harness the benchmarks wrap and prints a compact report —
+useful for a quick look or for embedding in EXPERIMENTS.md.
+
+Usage::
+
+    python scripts/run_all_experiments.py [--fast]
+
+``--fast`` shortens every run (quick smoke; numbers are noisier).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    RDNCostModel,
+    format_table,
+    line_chart,
+    run_deviation_experiment,
+    run_isolation,
+    run_scalability,
+    run_spare_allocation,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="short runs")
+    args = parser.parse_args(argv)
+    duration = 6.0 if args.fast else 12.0
+    fig3_duration = 22.0 if args.fast else 42.0
+    started = time.time()
+
+    banner("Table 1: QoS under excessive input loads")
+    reports = run_isolation(duration_s=duration)
+    print(format_table(
+        ["Subscriber", "Reservation", "Input", "Served", "Dropped"],
+        [r.row() for r in reports],
+    ))
+
+    banner("Table 2: spare resource allocation")
+    reports = run_spare_allocation(duration_s=duration)
+    print(format_table(
+        ["Subscriber", "Reservation", "Input", "Served", "Spare"],
+        [
+            (r.subscriber, r.reservation_grps, r.input_rate, r.served_rate, r.spare_rate)
+            for r in reports
+        ],
+    ))
+    print("spare ratio: {:.3f} (reservation ratio 1.25)".format(
+        reports[0].spare_rate / reports[1].spare_rate
+    ))
+
+    banner("Figure 3: deviation from ideal reservation")
+    cycles = [0.05, 0.5, 2.0] if args.fast else [0.05, 0.1, 0.5, 2.0]
+    curves = {
+        cycle: run_deviation_experiment(cycle, duration_s=fig3_duration)
+        for cycle in cycles
+    }
+    print(line_chart(
+        {"{:.0f}ms".format(c * 1000): curves[c].series() for c in cycles},
+        x_label="averaging interval (s)",
+        y_label="deviation (%)",
+        height=12,
+    ))
+
+    banner("§4.3: scalability (Gage vs no-Gage)")
+    counts = [1, 2, 4, 8] if args.fast else [1, 2, 3, 4, 5, 6, 7, 8]
+    points = run_scalability(rpn_counts=counts, duration_s=4.0 if args.fast else 6.0)
+    print(format_table(
+        ["RPNs", "Gage r/s", "no-Gage r/s", "penalty %"],
+        [
+            (p.num_rpns, p.with_gage_rps, p.without_gage_rps, p.penalty_percent)
+            for p in points
+        ],
+    ))
+
+    banner("§4.3: RDN CPU model")
+    model = RDNCostModel()
+    rates = [500.0 * i for i in range(1, 10)]
+    print(line_chart(
+        {
+            "with interrupts": model.curve(rates),
+            "intelligent NIC": model.curve(rates, intelligent_nic=True),
+        },
+        x_label="req/s",
+        y_label="utilization",
+        height=12,
+    ))
+    print("saturation: {:.0f} r/s; with intelligent NIC: {:.0f} r/s".format(
+        model.saturation_rate_rps(), model.saturation_rate_rps(intelligent_nic=True)
+    ))
+
+    print()
+    print("done in {:.0f}s".format(time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

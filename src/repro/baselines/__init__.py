@@ -1,0 +1,21 @@
+"""Comparison systems.
+
+- :class:`BestEffortDispatcher` — the "without Gage" configuration of
+  §4.3: no queues, no reservations, no accounting; every request goes
+  straight to the least-loaded back-end.
+- :class:`PriorityDispatcher` — the related-work strawman (§2): strict
+  priority classes give *qualitative* differentiation but no quantitative
+  guarantee, so a flood of high-priority traffic starves everyone else.
+"""
+
+from repro.baselines.besteffort import BestEffortDispatcher
+from repro.baselines.countfair import CountFairDispatcher, CountFairQueue
+from repro.baselines.priority import PriorityClass, PriorityDispatcher
+
+__all__ = [
+    "BestEffortDispatcher",
+    "CountFairDispatcher",
+    "CountFairQueue",
+    "PriorityClass",
+    "PriorityDispatcher",
+]

@@ -1,0 +1,29 @@
+"""Simulated cluster-node substrate.
+
+Models one back-end machine of the paper's testbed: a time-sliced CPU
+scheduler with per-thread accounting, a seek+transfer disk model with an
+LRU buffer cache, a simulated file system, a process table with
+parent-child relationships (the structure Gage's resource accounting
+traverses, §3.5), and a web-server application with dedicated worker
+processes per hosted site.
+"""
+
+from repro.cluster.cache import LRUCache
+from repro.cluster.cpu import CPU
+from repro.cluster.disk import Disk
+from repro.cluster.filesystem import FileSystem
+from repro.cluster.machine import Machine
+from repro.cluster.procs import ProcessTable, SimProcess
+from repro.cluster.webserver import Site, WebServer
+
+__all__ = [
+    "CPU",
+    "Disk",
+    "FileSystem",
+    "LRUCache",
+    "Machine",
+    "ProcessTable",
+    "SimProcess",
+    "Site",
+    "WebServer",
+]

@@ -1,0 +1,81 @@
+"""A byte-budgeted LRU buffer cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class LRUCache:
+    """Least-recently-used cache keyed by path, bounded in total bytes."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "<LRUCache {}/{}B entries={} hit-rate={:.2f}>".format(
+            self._used, self.capacity_bytes, len(self._entries), self.hit_rate
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups since creation (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def lookup(self, path: str) -> bool:
+        """True (and refresh recency) if ``path`` is cached."""
+        if path in self._entries:
+            self._entries.move_to_end(path)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, path: str) -> bool:
+        """Presence check without recency or statistics side effects."""
+        return path in self._entries
+
+    def insert(self, path: str, size_bytes: int) -> None:
+        """Cache ``path``; evicts LRU entries to fit, if possible.
+
+        Objects larger than the whole cache are not cached at all
+        (streaming them through would only evict everything useful).
+        """
+        if size_bytes < 0:
+            raise ValueError("negative object size")
+        if size_bytes > self.capacity_bytes:
+            return
+        if path in self._entries:
+            self._used -= self._entries.pop(path)
+        while self._used + size_bytes > self.capacity_bytes and self._entries:
+            _evicted, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+        self._entries[path] = size_bytes
+        self._used += size_bytes
+
+    def evict(self, path: str) -> Optional[int]:
+        """Remove one entry; returns its size or None if absent."""
+        size = self._entries.pop(path, None)
+        if size is not None:
+            self._used -= size
+        return size
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,75 @@
+"""A disk-channel model with per-I/O accounting.
+
+"To collect the disk usage time of each thread, the disk driver records
+the amount of time that each physical disk I/O takes and charges it to the
+thread that issues the disk I/O request" (§3.5).  The channel services one
+I/O at a time (FIFO); each I/O costs a positioning overhead plus a
+size-proportional transfer time.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.procs import SimProcess
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+
+
+class Disk:
+    """One disk channel.
+
+    Parameters
+    ----------
+    seek_s:
+        Positioning overhead (seek + rotational latency) per I/O.
+    transfer_bps:
+        Sustained transfer rate in bytes/second.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        seek_s: float = 0.0097,
+        transfer_bps: float = 20e6,
+    ) -> None:
+        if seek_s < 0:
+            raise ValueError("seek time must be non-negative")
+        if transfer_bps <= 0:
+            raise ValueError("transfer rate must be positive")
+        self.env = env
+        self.seek_s = float(seek_s)
+        self.transfer_bps = float(transfer_bps)
+        self._channel = Resource(env, capacity=1)
+        self.busy_s = 0.0
+        self.io_count = 0
+
+    def __repr__(self) -> str:
+        return "<Disk ios={} busy={:.3f}s>".format(self.io_count, self.busy_s)
+
+    def io_time(self, nbytes: int) -> float:
+        """Channel time one I/O of ``nbytes`` occupies."""
+        return self.seek_s + nbytes / self.transfer_bps
+
+    @property
+    def queue_length(self) -> int:
+        """I/Os waiting for the channel."""
+        return self._channel.queue_length
+
+    def read(self, proc: SimProcess, nbytes: int) -> Event:
+        """Issue a read of ``nbytes`` charged to ``proc``.
+
+        Returns the event of a process performing the I/O; wait on it with
+        ``yield disk.read(...)``.
+        """
+        if nbytes < 0:
+            raise ValueError("negative read size")
+        return self.env.process(self._io(proc, nbytes))
+
+    def _io(self, proc: SimProcess, nbytes: int):
+        with self._channel.request() as slot:
+            yield slot
+            duration = self.io_time(nbytes)
+            yield self.env.timeout(duration)
+            proc.charge_disk(duration)
+            self.busy_s += duration
+            self.io_count += 1

@@ -1,0 +1,67 @@
+"""A simulated cluster node: CPU + disk + buffer cache + NICs + processes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.cache import LRUCache
+from repro.cluster.cpu import CPU
+from repro.cluster.disk import Disk
+from repro.cluster.filesystem import FileSystem
+from repro.cluster.procs import ProcessTable
+from repro.net.addresses import MACAddress
+from repro.net.nic import NIC
+from repro.sim.engine import Environment
+
+
+class Machine:
+    """One physical node of the cluster.
+
+    The defaults approximate the paper's back-end boxes (600 MHz Celeron,
+    64 MB RAM, 10 GB IDE disk, Fast Ethernet): CPU speed is expressed as a
+    relative factor, and the buffer cache gets the memory not used by the
+    OS and server processes.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpu_speed: float = 1.0,
+        cpu_quantum_s: float = 0.001,
+        disk_seek_s: float = 0.0097,
+        disk_transfer_bps: float = 20e6,
+        cache_bytes: int = 32 * 1024 * 1024,
+        fs: Optional[FileSystem] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.cpu = CPU(env, speed=cpu_speed, quantum_s=cpu_quantum_s)
+        self.disk = Disk(env, seek_s=disk_seek_s, transfer_bps=disk_transfer_bps)
+        self.cache = LRUCache(cache_bytes)
+        self.fs = fs if fs is not None else FileSystem()
+        self.procs = ProcessTable()
+        self.nics: List[NIC] = []
+
+    def __repr__(self) -> str:
+        return "<Machine {} nics={} procs={}>".format(
+            self.name, len(self.nics), len(self.procs)
+        )
+
+    def add_nic(self, mac: MACAddress, **nic_kwargs: object) -> NIC:
+        """Attach a NIC to this machine."""
+        nic = NIC(
+            self.env,
+            mac,
+            name="{}.eth{}".format(self.name, len(self.nics)),
+            **nic_kwargs,
+        )
+        self.nics.append(nic)
+        return nic
+
+    @property
+    def nic(self) -> NIC:
+        """The primary NIC (first attached)."""
+        if not self.nics:
+            raise RuntimeError("machine {} has no NIC".format(self.name))
+        return self.nics[0]

@@ -1,0 +1,204 @@
+"""The back-end web-server application.
+
+Each hosted site gets a dedicated master process and a pool of worker
+processes — Gage's charging-entity model (§3.5): every slice of CPU, every
+disk I/O, and every transmitted byte lands on a process in the site's
+subtree, so the periodic accounting walk attributes usage precisely.
+
+The same servicing path runs under both transports: in packet mode
+requests arrive over spliced TCP connections; in flow mode
+:meth:`WebServer.service_request` is invoked directly with the request
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.procs import SimProcess
+from repro.resources import ResourceVector
+from repro.net.tcp import Connection
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.workload.request import CostModel, WebRequest, WebResponse
+
+#: Callback invoked as (site_host, request, usage, completed_at).
+CompletionHook = Callable[[str, WebRequest, ResourceVector, float], None]
+
+
+@dataclass
+class Site:
+    """One hosted web site on one back-end node."""
+
+    host: str
+    docroot: str
+    master: SimProcess
+    workers: Resource
+    worker_procs: List[SimProcess]
+    completed: int = 0
+    errors: int = 0
+    busy: int = 0
+    _rr: int = field(default=0, repr=False)
+
+    def next_worker(self) -> SimProcess:
+        """Round-robin pick of the worker process to charge."""
+        proc = self.worker_procs[self._rr % len(self.worker_procs)]
+        self._rr += 1
+        return proc
+
+
+class WebServer:
+    """The web-server application running on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        cost_model: Optional[CostModel] = None,
+        workers_per_site: int = 4,
+        error_response_bytes: int = 512,
+        overhead_cpu_s: float = 0.0,
+    ) -> None:
+        if workers_per_site < 1:
+            raise ValueError("need at least one worker per site")
+        if overhead_cpu_s < 0:
+            raise ValueError("negative overhead")
+        self.env = machine.env
+        self.machine = machine
+        self.cost_model = cost_model or CostModel()
+        self.workers_per_site = workers_per_site
+        self.error_response_bytes = error_response_bytes
+        #: Extra CPU per request charged by the hosting layer — Gage's
+        #: per-request RPN overhead (§4.2: 56.7 µs for second-leg setup
+        #: plus address/sequence remapping).  Zero for baselines.
+        self.overhead_cpu_s = overhead_cpu_s
+        self.sites: Dict[str, Site] = {}
+        self.on_complete: List[CompletionHook] = []
+
+    def __repr__(self) -> str:
+        return "<WebServer {} sites={}>".format(self.machine.name, len(self.sites))
+
+    # -- site management ---------------------------------------------------
+
+    def host_site(
+        self,
+        host: str,
+        files: Optional[Dict[str, int]] = None,
+        workers: Optional[int] = None,
+    ) -> Site:
+        """Install a subscriber's site: document tree + worker processes."""
+        if host in self.sites:
+            raise RuntimeError("site {!r} already hosted".format(host))
+        docroot = "/sites/{}".format(host)
+        if files:
+            self.machine.fs.add_tree(docroot, files)
+        worker_count = workers or self.workers_per_site
+        master = self.machine.procs.spawn("httpd[{}]".format(host))
+        worker_procs = [
+            self.machine.procs.spawn("httpd-w{}[{}]".format(i, host), parent=master)
+            for i in range(worker_count)
+        ]
+        site = Site(
+            host=host,
+            docroot=docroot,
+            master=master,
+            workers=Resource(self.env, capacity=worker_count),
+            worker_procs=worker_procs,
+        )
+        self.sites[host] = site
+        return site
+
+    # -- packet-mode entry point --------------------------------------------
+
+    def acceptor(self, conn: Connection) -> None:
+        """``HostStack.listen`` acceptor: handle one spliced connection."""
+        self.env.process(self._handle_connection(conn))
+
+    def _handle_connection(self, conn: Connection):
+        request: Optional[WebRequest] = None
+        while request is None:
+            try:
+                payload, _length = yield conn.receive()
+            except Exception:
+                return  # connection reset mid-request
+            if payload is Connection.EOF:
+                return
+            if isinstance(payload, WebRequest):
+                request = payload
+        yield self.env.process(self.service_request(request, conn))
+        conn.close()
+
+    # -- the servicing path (both transports) --------------------------------
+
+    #: Paths under this prefix are executed as CGI programs: the worker
+    #: forks a dedicated child process whose CPU time lands in the site's
+    #: subtree automatically — §3.5: "Gage's resource accounting model
+    #: automatically works for CGI programs without any additional
+    #: mechanisms."
+    CGI_PREFIX = "/cgi/"
+
+    def service_request(self, request: WebRequest, conn: Optional[Connection] = None):
+        """Service one request; a generator to run as a simulation process.
+
+        Returns (via StopIteration value) the :class:`WebResponse`.
+        """
+        site = self.sites.get(request.host)
+        if site is None:
+            return (yield from self._respond_error(request, conn, status=404))
+        dynamic = request.path.startswith(self.CGI_PREFIX)
+        if dynamic:
+            # Generated content: the response size comes from the request
+            # model, and there is no file to read.
+            size: Optional[int] = request.size_bytes
+        else:
+            path = "{}{}".format(site.docroot, request.path)
+            size = self.machine.fs.size_of(path)
+            if size is None:
+                site.errors += 1
+                return (yield from self._respond_error(request, conn, status=404))
+
+        site.busy += 1
+        disk_s = 0.0
+        cgi_s = 0.0
+        with site.workers.request() as slot:
+            yield slot
+            worker = site.next_worker()
+            cpu_total = self.cost_model.cpu_seconds(request) + self.overhead_cpu_s
+            if dynamic:
+                # The base server cost runs in the worker; the program's
+                # own CPU demand runs in a forked child.
+                cpu_total -= request.cpu_extra_s
+                cgi_s = max(request.cpu_extra_s, 0.0)
+            # Parse + prepare phase (most of the CPU), then the read, then
+            # the transmit phase.
+            yield self.machine.cpu.execute(worker, cpu_total * 0.6)
+            if dynamic:
+                cgi_proc = self.machine.procs.spawn(
+                    "cgi[{}]".format(request.path), parent=worker
+                )
+                yield self.machine.cpu.execute(cgi_proc, cgi_s)
+                self.machine.procs.kill(cgi_proc)
+            elif not self.machine.cache.lookup(path):
+                disk_s = self.machine.disk.io_time(size)
+                yield self.machine.disk.read(worker, size)
+                self.machine.cache.insert(path, size)
+            yield self.machine.cpu.execute(worker, cpu_total * 0.4)
+            response = WebResponse(request, size_bytes=size)
+            if conn is not None:
+                yield conn.send(size, payload=response)
+            worker.charge_net(size)
+        site.busy -= 1
+        site.completed += 1
+        usage = ResourceVector(
+            cpu_s=cpu_total + cgi_s, disk_s=disk_s, net_bytes=size
+        )
+        for hook in self.on_complete:
+            hook(site.host, request, usage, self.env.now)
+        return response
+
+    def _respond_error(self, request: WebRequest, conn: Optional[Connection], status: int):
+        response = WebResponse(request, size_bytes=self.error_response_bytes, status=status)
+        if conn is not None:
+            yield conn.send(self.error_response_bytes, payload=response)
+        return response

@@ -1,0 +1,166 @@
+"""RDN-side balances and estimated-usage bookkeeping (§3.5).
+
+For each subscriber the RDN maintains:
+
+- the current **balance** — credits accumulate each scheduling cycle from
+  the reservation; predicted usage is deducted at dispatch; when an
+  accounting message reveals the *measured* usage of completed requests,
+  the prediction is backed out and replaced by the measurement;
+- the **estimated resource usage array** — per RPN, the summed predicted
+  usage of requests dispatched there and not yet reported complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.grps import ResourceVector
+from repro.core.subscriber import Subscriber
+
+
+@dataclass
+class SubscriberAccount:
+    """The RDN's per-subscriber QoS state."""
+
+    subscriber: Subscriber
+    balance: ResourceVector = field(default_factory=lambda: ResourceVector.ZERO)
+    #: Per-RPN sum of predicted usage of in-flight requests.
+    estimated: Dict[str, ResourceVector] = field(default_factory=dict)
+    #: Per-RPN FIFO of individual dispatch-time predictions, so feedback
+    #: can back out exactly the predictions of completed requests.
+    pending: Dict[str, Deque[ResourceVector]] = field(default_factory=dict)
+    dispatched: int = 0
+    reported_complete: int = 0
+    measured_usage_total: ResourceVector = field(
+        default_factory=lambda: ResourceVector.ZERO
+    )
+
+    def estimated_total(self) -> ResourceVector:
+        """In-flight predicted usage across all RPNs."""
+        total = ResourceVector.ZERO
+        for vec in self.estimated.values():
+            total = total + vec
+        return total
+
+
+class RDNAccounting:
+    """All subscriber accounts plus the feedback-application logic."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, SubscriberAccount] = {}
+        #: (time, subscriber, usage) samples, for deviation analysis.
+        self.usage_log: List[Tuple[float, str, ResourceVector]] = []
+        self.keep_usage_log = True
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def register(self, subscriber: Subscriber) -> SubscriberAccount:
+        """Create the account for a new subscriber."""
+        if subscriber.name in self._accounts:
+            raise RuntimeError("account {!r} already exists".format(subscriber.name))
+        account = SubscriberAccount(subscriber)
+        self._accounts[subscriber.name] = account
+        return account
+
+    def account(self, name: str) -> SubscriberAccount:
+        """Look up an account (KeyError if unknown)."""
+        return self._accounts[name]
+
+    def get(self, name: str) -> Optional[SubscriberAccount]:
+        """Look up an account, or None."""
+        return self._accounts.get(name)
+
+    def accounts(self) -> List[SubscriberAccount]:
+        """All accounts in registration order."""
+        return list(self._accounts.values())
+
+    # -- scheduler-side operations ----------------------------------------
+
+    def refill(self, name: str, credit: ResourceVector, cap: ResourceVector) -> None:
+        """Add one cycle's credit; accrual stops at ``cap``.
+
+        Two invariants matter here:
+
+        - negative balances (debt from past overuse) are *not* forgiven —
+          the credit always pays debt down;
+        - a balance already above the cap (restored there by a feedback
+          correction after an over-predicted dispatch) is *kept*, not
+          clipped — the cap limits how much an idle queue can hoard, but
+          destroying correction-restored balance would systematically
+          underdeliver against the reservation on noisy workloads.
+        """
+        account = self._accounts[name]
+
+        def refill_component(balance: float, add: float, limit: float) -> float:
+            if balance >= limit:
+                return balance  # above cap: keep, but accrue no further
+            return min(balance + add, limit)
+
+        balance = account.balance
+        account.balance = ResourceVector(
+            refill_component(balance.cpu_s, credit.cpu_s, cap.cpu_s),
+            refill_component(balance.disk_s, credit.disk_s, cap.disk_s),
+            refill_component(balance.net_bytes, credit.net_bytes, cap.net_bytes),
+        )
+
+    def credit(self, name: str, amount: ResourceVector) -> None:
+        """Add uncapped credit (used to fund spare-pass dispatches)."""
+        account = self._accounts[name]
+        account.balance = account.balance + amount
+
+    def on_dispatch(self, name: str, rpn_id: str, predicted: ResourceVector) -> None:
+        """Charge a dispatch: balance down, estimated array up."""
+        account = self._accounts[name]
+        account.balance = account.balance - predicted
+        account.estimated[rpn_id] = (
+            account.estimated.get(rpn_id, ResourceVector.ZERO) + predicted
+        )
+        account.pending.setdefault(rpn_id, deque()).append(predicted)
+        account.dispatched += 1
+
+    # -- feedback-side operations -------------------------------------------
+
+    def apply_message(self, message: AccountingMessage) -> Dict[str, ResourceVector]:
+        """Apply one RPN accounting message.
+
+        For every reported subscriber: back out the dispatch-time
+        predictions of the completed requests, charge the measured usage
+        instead, and shrink the estimated-usage array element.
+
+        Returns per-subscriber predicted usage that was backed out, which
+        the node scheduler uses to shrink the RPN's outstanding load.
+        """
+        backed_out: Dict[str, ResourceVector] = {}
+        for name, report in message.per_subscriber.items():
+            account = self._accounts.get(name)
+            if account is None:
+                continue
+            removed = self._pop_predictions(account, message.rpn_id, report.completed)
+            # Replace prediction with measurement: the net balance effect
+            # of each completed request becomes exactly its measured usage.
+            account.balance = account.balance + removed - report.usage
+            element = account.estimated.get(message.rpn_id, ResourceVector.ZERO)
+            account.estimated[message.rpn_id] = (element - removed).clamped_min(0.0)
+            account.reported_complete += report.completed
+            account.measured_usage_total = account.measured_usage_total + report.usage
+            backed_out[name] = removed
+            if self.keep_usage_log:
+                self.usage_log.append((message.cycle_end_s, name, report.usage))
+        return backed_out
+
+    @staticmethod
+    def _pop_predictions(
+        account: SubscriberAccount, rpn_id: str, count: int
+    ) -> ResourceVector:
+        """Remove up to ``count`` oldest predictions for (subscriber, RPN)."""
+        queue = account.pending.get(rpn_id)
+        total = ResourceVector.ZERO
+        if queue is None:
+            return total
+        for _ in range(min(count, len(queue))):
+            total = total + queue.popleft()
+        return total

@@ -1,0 +1,97 @@
+"""Configuration of a Gage deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.grps import GENERIC_REQUEST, ResourceVector
+
+#: Spare-resource allocation policies (§4.1 / ablation A1).
+SPARE_BY_RESERVATION = "reservation"
+SPARE_BY_INPUT_LOAD = "input_load"
+SPARE_NONE = "none"
+
+#: Usage-prediction policies (ablation A2).
+ESTIMATE_EWMA = "ewma"
+ESTIMATE_LAST = "last"
+ESTIMATE_STATIC = "static"
+
+#: Node-selection policies (ablation A3; ``locality`` is §3.6's
+#: content-aware dispatching).
+NODES_LEAST_LOAD = "least_load"
+NODES_ROUND_ROBIN = "round_robin"
+NODES_RANDOM = "random"
+NODES_LOCALITY = "locality"
+
+
+@dataclass
+class GageConfig:
+    """All tunables of the Gage layer, with the paper's defaults.
+
+    Attributes
+    ----------
+    scheduling_cycle_s:
+        The request scheduler's polling period — "set to be 10 msec for
+        responsiveness" (§3.4).
+    accounting_cycle_s:
+        How often each RPN feeds resource usage back to the RDN (§3.5);
+        the x-axis family of Figure 3.
+    generic_request:
+        The resource cost defining one generic request (§3.1).
+    credit_cap_cycles:
+        A queue's positive balance is capped at this many cycles of its
+        refill, bounding the burst an idle subscriber can accumulate.
+    dispatch_window_s:
+        How many seconds of *predicted* work may be outstanding on one
+        RPN before the node scheduler declares it full; this is the
+        cluster-saturation throttle.  ``None`` (the default) derives it
+        as ``max(0.25, 2.5 × accounting_cycle_s)`` — the window must
+        cover at least one feedback round-trip or dispatch stalls between
+        accounting messages.
+    spare_policy, estimator_policy, node_policy:
+        The design choices evaluated by ablations A1-A3.
+    estimator_alpha:
+        EWMA weight of the newest usage sample.
+    """
+
+    scheduling_cycle_s: float = 0.010
+    accounting_cycle_s: float = 0.100
+    generic_request: ResourceVector = field(default_factory=lambda: GENERIC_REQUEST)
+    credit_cap_cycles: float = 4.0
+    dispatch_window_s: Optional[float] = None
+    spare_policy: str = SPARE_BY_RESERVATION
+    estimator_policy: str = ESTIMATE_EWMA
+    node_policy: str = NODES_LEAST_LOAD
+    estimator_alpha: float = 0.25
+    #: How long after observing a connection's FIN/RST its state (the
+    #: RDN's connection-table entry, the LSM's splice rule) lingers so
+    #: retransmitted teardown packets still route; then it is reclaimed.
+    conntable_linger_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.scheduling_cycle_s <= 0:
+            raise ValueError("scheduling cycle must be positive")
+        if self.accounting_cycle_s <= 0:
+            raise ValueError("accounting cycle must be positive")
+        if self.credit_cap_cycles < 1:
+            raise ValueError("credit cap must be at least one cycle")
+        if self.dispatch_window_s is None:
+            self.dispatch_window_s = max(0.25, 2.5 * self.accounting_cycle_s)
+        if self.dispatch_window_s <= 0:
+            raise ValueError("dispatch window must be positive")
+        if self.spare_policy not in (SPARE_BY_RESERVATION, SPARE_BY_INPUT_LOAD, SPARE_NONE):
+            raise ValueError("unknown spare policy: {!r}".format(self.spare_policy))
+        if self.estimator_policy not in (ESTIMATE_EWMA, ESTIMATE_LAST, ESTIMATE_STATIC):
+            raise ValueError("unknown estimator policy: {!r}".format(self.estimator_policy))
+        if self.node_policy not in (
+            NODES_LEAST_LOAD,
+            NODES_ROUND_ROBIN,
+            NODES_RANDOM,
+            NODES_LOCALITY,
+        ):
+            raise ValueError("unknown node policy: {!r}".format(self.node_policy))
+        if not 0 < self.estimator_alpha <= 1:
+            raise ValueError("estimator alpha must lie in (0, 1]")
+        if self.conntable_linger_s < 0:
+            raise ValueError("linger must be non-negative")

@@ -1,0 +1,64 @@
+"""Intra-cluster control payloads (packet mode).
+
+These ride in ordinary simulated frames between the RDN and the RPNs'
+local service managers: the dispatch order that hands a classified URL
+request (plus the splice parameters) to its servicing RPN, and the
+handshake-delegation messages of the asymmetric RDN cluster (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import MACAddress
+from repro.net.conn import Quadruple
+
+#: Destination port used for control frames between cluster nodes.
+CONTROL_PORT = 7777
+
+#: Modeled wire size of a control frame payload, bytes.
+CONTROL_PAYLOAD_LEN = 64
+
+
+@dataclass(frozen=True)
+class DispatchOrder:
+    """RDN → RPN: service this request; here is the splice state.
+
+    Carries everything the local service manager needs to set up the
+    second-leg TCP connection and the sequence-number/address remapping:
+    the client's connection quadruple, the client's ISN, the ISN the RDN
+    used when emulating the first-leg handshake, and where to address
+    response frames at layer 2.
+    """
+
+    subscriber: str
+    request: object
+    request_bytes: int
+    quad: Quadruple  # as the client sees it: src=client, dst=cluster
+    client_isn: int
+    rdn_isn: int
+    client_mac: MACAddress
+
+
+@dataclass(frozen=True)
+class DelegateHandshake:
+    """Primary RDN → secondary RDN: emulate this connection's handshake."""
+
+    quad: Quadruple
+    client_isn: int
+    client_mac: MACAddress
+
+
+@dataclass(frozen=True)
+class HandshakeComplete:
+    """Secondary RDN → primary RDN: handshake done; here is the state.
+
+    Sent when the secondary has received the client's final ACK, so the
+    primary can accept the upcoming URL request packet and later embed
+    ``rdn_isn`` in the dispatch order.
+    """
+
+    quad: Quadruple
+    client_isn: int
+    rdn_isn: int
+    client_mac: MACAddress

@@ -1,0 +1,10 @@
+"""Re-export of the GRPS currency from :mod:`repro.resources`.
+
+Kept so the paper-facing import path ``repro.core.grps`` matches the
+DESIGN.md module map; the implementation lives at the package root to
+keep the cluster substrate free of dependencies on the Gage core.
+"""
+
+from repro.resources import GENERIC_REQUEST, ResourceVector, grps
+
+__all__ = ["GENERIC_REQUEST", "ResourceVector", "grps"]

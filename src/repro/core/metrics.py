@@ -1,0 +1,184 @@
+"""Experiment metrics: service rates and deviation from reservation.
+
+The deviation metric reproduces §4.1 / Figure 3: "we measure the deviation
+of resource usage by each subscriber from its reservation over different
+time intervals, and then compute an overall average among all
+subscribers."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.resources import GENERIC_REQUEST, ResourceVector
+
+
+@dataclass
+class ServiceReport:
+    """Input/served/dropped rates for one subscriber over one run."""
+
+    subscriber: str
+    reservation_grps: float
+    duration_s: float
+    arrived: int
+    served: int
+    dropped: int
+
+    @property
+    def input_rate(self) -> float:
+        """Offered load in requests/second."""
+        return self.arrived / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def served_rate(self) -> float:
+        """Delivered throughput in requests/second."""
+        return self.served / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def dropped_rate(self) -> float:
+        """Drop rate in requests/second."""
+        return self.dropped / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def spare_rate(self) -> float:
+        """Throughput delivered beyond the reservation (Table 2's column)."""
+        return max(0.0, self.served_rate - self.reservation_grps)
+
+    def row(self) -> Tuple[str, float, float, float, float]:
+        """(subscriber, reservation, input, served, dropped) — Table 1 shape."""
+        return (
+            self.subscriber,
+            self.reservation_grps,
+            self.input_rate,
+            self.served_rate,
+            self.dropped_rate,
+        )
+
+
+@dataclass
+class DeviationReport:
+    """Deviation-from-reservation, per averaging interval (Figure 3)."""
+
+    accounting_cycle_s: float
+    #: interval seconds → mean |usage-rate − reservation| / reservation, %.
+    by_interval: Dict[float, float] = field(default_factory=dict)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(interval, deviation %) pairs sorted by interval."""
+        return sorted(self.by_interval.items())
+
+
+def windowed_rates(
+    events: Sequence[Tuple[float, float]],
+    start_s: float,
+    end_s: float,
+    interval_s: float,
+) -> List[float]:
+    """Partition weighted events into windows; return per-window rates.
+
+    ``events`` are (time, weight) pairs; the rate of a window is the sum
+    of weights inside it divided by the interval.  Only complete windows
+    are counted.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    window_count = int(math.floor((end_s - start_s) / interval_s))
+    if window_count <= 0:
+        return []
+    sums = [0.0] * window_count
+    for at, weight in events:
+        if at < start_s or at >= start_s + window_count * interval_s:
+            continue
+        sums[int((at - start_s) / interval_s)] += weight
+    return [total / interval_s for total in sums]
+
+
+def windowed_usage_rates(
+    events: Sequence[Tuple[float, ResourceVector]],
+    start_s: float,
+    end_s: float,
+    interval_s: float,
+    generic: ResourceVector = GENERIC_REQUEST,
+) -> List[float]:
+    """Per-window GRPS rates from (time, usage-vector) events.
+
+    The vectors inside each window are summed *before* conversion to
+    generic requests.  Converting per event and summing would overcount:
+    the max-norm is not additive, so a request whose CPU lands in one
+    accounting cycle and whose bytes land in the next would count more
+    than once.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    window_count = int(math.floor((end_s - start_s) / interval_s))
+    if window_count <= 0:
+        return []
+    sums = [ResourceVector.ZERO] * window_count
+    for at, usage in events:
+        if at < start_s or at >= start_s + window_count * interval_s:
+            continue
+        index = int((at - start_s) / interval_s)
+        sums[index] = sums[index] + usage
+    return [
+        total.scaled(1.0 / interval_s).in_generic_requests(generic)
+        for total in sums
+    ]
+
+
+def deviation_from_reservation_vectors(
+    events_by_subscriber: Dict[str, Sequence[Tuple[float, ResourceVector]]],
+    reservations: Dict[str, float],
+    start_s: float,
+    end_s: float,
+    interval_s: float,
+    generic: ResourceVector = GENERIC_REQUEST,
+) -> float:
+    """Like :func:`deviation_from_reservation`, over usage vectors.
+
+    This is the form the Figure 3 experiments use: the events are the
+    per-cycle usage vectors the RDN receives in accounting messages.
+    """
+    per_subscriber: List[float] = []
+    for name, events in events_by_subscriber.items():
+        reservation = reservations.get(name, 0.0)
+        if reservation <= 0:
+            continue
+        rates = windowed_usage_rates(events, start_s, end_s, interval_s, generic)
+        if not rates:
+            continue
+        deviations = [abs(rate - reservation) / reservation for rate in rates]
+        per_subscriber.append(sum(deviations) / len(deviations))
+    if not per_subscriber:
+        return 0.0
+    return 100.0 * sum(per_subscriber) / len(per_subscriber)
+
+
+def deviation_from_reservation(
+    events_by_subscriber: Dict[str, Sequence[Tuple[float, float]]],
+    reservations: Dict[str, float],
+    start_s: float,
+    end_s: float,
+    interval_s: float,
+) -> float:
+    """Mean percentage deviation of usage rate from reservation.
+
+    For each subscriber the usage events (time, GRPS-equivalents) are
+    windowed at ``interval_s``; each window contributes
+    ``|rate − reservation| / reservation``; windows and then subscribers
+    are averaged.  Returns a percentage.
+    """
+    per_subscriber: List[float] = []
+    for name, events in events_by_subscriber.items():
+        reservation = reservations.get(name, 0.0)
+        if reservation <= 0:
+            continue
+        rates = windowed_rates(events, start_s, end_s, interval_s)
+        if not rates:
+            continue
+        deviations = [abs(rate - reservation) / reservation for rate in rates]
+        per_subscriber.append(sum(deviations) / len(deviations))
+    if not per_subscriber:
+        return 0.0
+    return 100.0 * sum(per_subscriber) / len(per_subscriber)

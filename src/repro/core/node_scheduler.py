@@ -1,0 +1,177 @@
+"""The "which RPN" decision: load balancing across back-end nodes (§3.4).
+
+"Gage attempts to maximize the system utilization efficiency by balancing
+the load on the RPNs, in other words, dispatching a request to the RPN
+with the least load."  The load measure is each RPN's *estimated
+outstanding load* — the summed predicted usage of requests dispatched
+there and not yet reported complete (§3.5).
+
+The ``locality`` policy implements §3.6's content-aware dispatching:
+"URL pages in the same proximity should be serviced by the same RPN to
+exploit access locality" — requests hash by (host, directory) to a
+preferred node, falling back to least-load when it lacks headroom, so
+each node's buffer cache holds a stable slice of the document tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import (
+    NODES_LEAST_LOAD,
+    NODES_LOCALITY,
+    NODES_RANDOM,
+    NODES_ROUND_ROBIN,
+)
+from repro.core.grps import ResourceVector
+
+
+def locality_key(request: object) -> Optional[str]:
+    """The proximity key of a request: its host plus directory.
+
+    Accepts either a raw request object (anything with ``host``/``path``)
+    or the RDN's queue items that wrap one in a ``request`` attribute.
+    Returns None when no URL structure is available, in which case the
+    locality policy degrades to least-load.
+    """
+    inner = getattr(request, "request", request)
+    host = getattr(inner, "host", None)
+    path = getattr(inner, "path", None)
+    if host is None or path is None:
+        return None
+    directory = path.rsplit("/", 1)[0] if "/" in path else ""
+    return "{}|{}".format(host, directory or "/")
+
+
+@dataclass
+class RPNStatus:
+    """The RDN's view of one back-end node."""
+
+    rpn_id: str
+    #: Resource delivered per second of wall time (1 CPU ⇒ cpu_s=1.0, etc.)
+    capacity_per_s: ResourceVector
+    #: Summed predicted usage of dispatched, not-yet-reported requests.
+    outstanding: ResourceVector = field(default_factory=lambda: ResourceVector.ZERO)
+    dispatched: int = 0
+
+    def load_seconds(self) -> float:
+        """Outstanding work expressed as seconds of the busiest resource."""
+        return self.outstanding.dominant_fraction_of(self.capacity_per_s)
+
+    def has_headroom(self, predicted: ResourceVector, window_s: float) -> bool:
+        """Can this node take one more request of ``predicted`` usage
+        without exceeding ``window_s`` seconds of queued work?"""
+        after = self.outstanding + predicted
+        return after.dominant_fraction_of(self.capacity_per_s) <= window_s
+
+
+class NodeScheduler:
+    """Selects the servicing RPN for each dispatched request."""
+
+    def __init__(
+        self,
+        policy: str = NODES_LEAST_LOAD,
+        window_s: float = 0.25,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if policy not in (
+            NODES_LEAST_LOAD,
+            NODES_ROUND_ROBIN,
+            NODES_RANDOM,
+            NODES_LOCALITY,
+        ):
+            raise ValueError("unknown node policy: {!r}".format(policy))
+        self.policy = policy
+        self.window_s = float(window_s)
+        self._rng = rng or random.Random(0)
+        self._nodes: Dict[str, RPNStatus] = {}
+        self._rr_index = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, rpn_id: str, capacity_per_s: ResourceVector) -> RPNStatus:
+        """Register a back-end node."""
+        if rpn_id in self._nodes:
+            raise RuntimeError("node {!r} already registered".format(rpn_id))
+        status = RPNStatus(rpn_id, capacity_per_s)
+        self._nodes[rpn_id] = status
+        return status
+
+    def node(self, rpn_id: str) -> RPNStatus:
+        """The status record for one node."""
+        return self._nodes[rpn_id]
+
+    def nodes(self) -> List[RPNStatus]:
+        """All nodes in registration order."""
+        return list(self._nodes.values())
+
+    def total_capacity_per_s(self) -> ResourceVector:
+        """Cluster-wide capacity per second."""
+        total = ResourceVector.ZERO
+        for status in self._nodes.values():
+            total = total + status.capacity_per_s
+        return total
+
+    # -- selection -----------------------------------------------------------
+
+    def pick(
+        self, predicted: ResourceVector, request: object = None
+    ) -> Optional[str]:
+        """Choose the RPN for a request with ``predicted`` usage.
+
+        ``request`` is consulted only by the ``locality`` policy (the
+        §3.6 content-aware optimization).  Returns None when no node has
+        headroom (cluster saturated); the request stays queued for a
+        later scheduling cycle.
+        """
+        eligible = [
+            status
+            for status in self._nodes.values()
+            if status.has_headroom(predicted, self.window_s)
+        ]
+        if not eligible:
+            return None
+        if self.policy == NODES_LOCALITY:
+            preferred = self._preferred_node(request)
+            if preferred is not None and preferred in eligible:
+                return preferred.rpn_id
+            chosen = min(eligible, key=lambda s: s.load_seconds())
+        elif self.policy == NODES_LEAST_LOAD:
+            chosen = min(eligible, key=lambda s: s.load_seconds())
+        elif self.policy == NODES_ROUND_ROBIN:
+            ordered = list(self._nodes.values())
+            for offset in range(len(ordered)):
+                candidate = ordered[(self._rr_index + offset) % len(ordered)]
+                if candidate in eligible:
+                    self._rr_index = (self._rr_index + offset + 1) % len(ordered)
+                    chosen = candidate
+                    break
+        else:
+            chosen = self._rng.choice(eligible)
+        return chosen.rpn_id
+
+    def _preferred_node(self, request: object) -> Optional[RPNStatus]:
+        """The stable hash-preferred node for a request's proximity key."""
+        key = locality_key(request) if request is not None else None
+        if key is None or not self._nodes:
+            return None
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        ordered = list(self._nodes.values())
+        return ordered[int.from_bytes(digest[:4], "big") % len(ordered)]
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def on_dispatch(self, rpn_id: str, predicted: ResourceVector) -> None:
+        """Record a dispatch: outstanding load grows by the prediction."""
+        status = self._nodes[rpn_id]
+        status.outstanding = status.outstanding + predicted
+        status.dispatched += 1
+
+    def on_feedback(self, rpn_id: str, backed_out: ResourceVector) -> None:
+        """Shrink outstanding load by the predictions of completed work."""
+        status = self._nodes[rpn_id]
+        status.outstanding = (status.outstanding - backed_out).clamped_min(0.0)

@@ -1,0 +1,98 @@
+"""Per-subscriber request queues (§3.3-3.4).
+
+"Each customer ... is allocated a per-subscriber request queue. ...
+Requests within a queue are serviced in a FIFO order."  Queues are
+bounded; when a queue is full, newly arriving requests are dropped —
+this is where Table 1's "Dropped" column comes from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core.subscriber import Subscriber
+
+
+class RequestQueue:
+    """The FIFO queue of one subscriber's pending requests."""
+
+    def __init__(self, subscriber: Subscriber) -> None:
+        self.subscriber = subscriber
+        self._items: Deque[object] = deque()
+        self.arrived = 0
+        self.dropped = 0
+        self.dispatched = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return "<RequestQueue {} len={} dropped={}>".format(
+            self.subscriber.name, len(self._items), self.dropped
+        )
+
+    @property
+    def backlogged(self) -> bool:
+        """True if at least one request is waiting."""
+        return bool(self._items)
+
+    def offer(self, request: object) -> bool:
+        """Enqueue a request; False (and a drop) if the queue is full.
+
+        The bound is the subscriber's *effective* capacity, which folds
+        in any delay-bounded admission target.
+        """
+        self.arrived += 1
+        if len(self._items) >= self.subscriber.effective_queue_capacity:
+            self.dropped += 1
+            return False
+        self._items.append(request)
+        return True
+
+    def peek(self) -> Optional[object]:
+        """The request at the head, without removing it."""
+        return self._items[0] if self._items else None
+
+    def take(self) -> object:
+        """Remove and return the head request."""
+        if not self._items:
+            raise IndexError("queue {} is empty".format(self.subscriber.name))
+        self.dispatched += 1
+        return self._items.popleft()
+
+
+class SubscriberQueues:
+    """The RDN's collection of per-subscriber queues, in visit order."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, RequestQueue] = {}
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    def __iter__(self) -> Iterator[RequestQueue]:
+        return iter(self._queues.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queues
+
+    def register(self, subscriber: Subscriber) -> RequestQueue:
+        """Allocate the queue for a new subscriber."""
+        if subscriber.name in self._queues:
+            raise RuntimeError("subscriber {!r} already registered".format(subscriber.name))
+        queue = RequestQueue(subscriber)
+        self._queues[subscriber.name] = queue
+        return queue
+
+    def get(self, name: str) -> Optional[RequestQueue]:
+        """The queue for ``name``, or None."""
+        return self._queues.get(name)
+
+    def backlogged(self) -> List[RequestQueue]:
+        """Queues with at least one pending request, in visit order."""
+        return [queue for queue in self._queues.values() if queue.backlogged]
+
+    def subscribers(self) -> List[Subscriber]:
+        """All registered subscribers, in registration order."""
+        return [queue.subscriber for queue in self._queues.values()]

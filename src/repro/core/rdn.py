@@ -1,0 +1,446 @@
+"""The primary request distribution node (§3.2-3.4).
+
+The RDN is the single entry point of the cluster: every inbound packet is
+classified (§3.3), handshakes are emulated without involving any TCP
+stack, URL requests are buffered in per-subscriber queues, the scheduler
+dispatches them to back-end RPNs (§3.4), and all other packets are bridged
+at layer 2 through the connection table.
+
+The same class serves both transports:
+
+- **packet mode** — install :meth:`handle_packet` as a promiscuous NIC's
+  receive handler and give the constructor a ``packet_dispatch`` context;
+- **flow mode** — call :meth:`submit_request` with request objects and
+  provide a ``dispatch_fn`` that delivers them to back-end servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.accounting import RDNAccounting
+from repro.core.classifier import PacketClass, RequestClassifier
+from repro.core.config import GageConfig
+from repro.core.conntable import ConnectionTable
+from repro.core.control import (
+    CONTROL_PAYLOAD_LEN,
+    CONTROL_PORT,
+    DelegateHandshake,
+    DispatchOrder,
+    HandshakeComplete,
+)
+from repro.core.feedback import AccountingMessage
+from repro.core.grps import ResourceVector
+from repro.core.node_scheduler import NodeScheduler
+from repro.core.queues import SubscriberQueues
+from repro.core.scheduler import RequestScheduler
+from repro.core.subscriber import Subscriber
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.conn import Quadruple
+from repro.net.nic import NIC
+from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
+from repro.sim.engine import Environment
+
+
+@dataclass
+class HalfOpenConnection:
+    """First-leg handshake state the RDN keeps per new client connection."""
+
+    quad: Quadruple
+    client_isn: int
+    rdn_isn: int
+    client_mac: MACAddress
+    established: bool = False
+    request_enqueued: bool = False
+
+
+@dataclass
+class PendingRequest:
+    """A queued URL request plus the splice metadata of its connection."""
+
+    subscriber: str
+    request: object
+    request_bytes: int
+    quad: Quadruple
+    client_isn: int
+    rdn_isn: int
+    client_mac: MACAddress
+    enqueued_at: float
+
+
+@dataclass
+class RDNOpCounters:
+    """Operation counts for the overhead/utilization analysis (§4.2-4.3)."""
+
+    packets: int = 0
+    classifications: int = 0
+    connection_setups: int = 0
+    forwards: int = 0
+    enqueues: int = 0
+    dispatches: int = 0
+    feedback_messages: int = 0
+    absorbed: int = 0
+    rejected: int = 0
+
+
+class PrimaryRDN:
+    """The front-end request distribution node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: GageConfig,
+        cluster_ip: IPAddress,
+        subscribers: List[Subscriber],
+        host_map: Optional[Dict[str, str]] = None,
+        isn_base: int = 900_000,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.cluster_ip = cluster_ip
+        self.classifier = RequestClassifier()
+        self.conntable = ConnectionTable()
+        self.queues = SubscriberQueues()
+        self.accounting = RDNAccounting()
+        self.node_scheduler = NodeScheduler(
+            policy=config.node_policy, window_s=config.dispatch_window_s
+        )
+        self.scheduler = RequestScheduler(
+            config,
+            self.queues,
+            self.accounting,
+            self.node_scheduler,
+            dispatch_fn=self._dispatch,
+        )
+        self.ops = RDNOpCounters()
+        self._half_open: Dict[Quadruple, HalfOpenConnection] = {}
+        self._rpn_macs: Dict[str, MACAddress] = {}
+        self._rpn_ips: Dict[str, IPAddress] = {}
+        self._isn = isn_base
+        self.nic: Optional[NIC] = None
+        #: Flow-mode delivery: (request, rpn_id, subscriber) -> None.
+        self.flow_dispatch: Optional[Callable[[object, str, str], None]] = None
+        #: Secondary RDNs available for handshake offload, by MAC.
+        self._secondaries: List[MACAddress] = []
+        self._next_secondary = 0
+        self._delegated: Dict[Quadruple, MACAddress] = {}
+        #: URL requests that raced ahead of their HandshakeComplete.
+        self._awaiting_handshake: Dict[Quadruple, Packet] = {}
+        #: Completion log fed by accounting messages: (time, subscriber, count).
+        self.completion_log: List[Tuple[float, str, int]] = []
+        for subscriber in subscribers:
+            self.queues.register(subscriber)
+            self.accounting.register(subscriber)
+            host = (host_map or {}).get(subscriber.name, subscriber.name)
+            self.classifier.register_host(host, subscriber.name)
+        self._scheduler_proc = env.process(self._scheduler_loop())
+
+    def __repr__(self) -> str:
+        return "<PrimaryRDN {} subscribers={} rpns={}>".format(
+            self.cluster_ip, len(self.queues), len(self.node_scheduler)
+        )
+
+    # -- topology wiring ---------------------------------------------------
+
+    def attach_nic(self, nic: NIC) -> None:
+        """Install this RDN as the packet handler of a promiscuous NIC."""
+        self.nic = nic
+        nic.promiscuous = True
+        nic.receive_handler = self.handle_packet
+
+    def add_rpn(
+        self,
+        rpn_id: str,
+        capacity_per_s: ResourceVector,
+        mac: Optional[MACAddress] = None,
+        ip: Optional[IPAddress] = None,
+    ) -> None:
+        """Register one back-end node with the node scheduler."""
+        self.node_scheduler.add_node(rpn_id, capacity_per_s)
+        if mac is not None:
+            self._rpn_macs[rpn_id] = mac
+        if ip is not None:
+            self._rpn_ips[rpn_id] = ip
+
+    def add_secondary(self, mac: MACAddress) -> None:
+        """Register a secondary RDN for handshake offload (§3.2)."""
+        self._secondaries.append(mac)
+
+    # -- the scheduler polling loop (§3.4) ------------------------------------
+
+    def _scheduler_loop(self):
+        while True:
+            yield self.env.timeout(self.config.scheduling_cycle_s)
+            self.scheduler.run_cycle()
+
+    def _next_isn(self) -> int:
+        self._isn = (self._isn + 128_000) % SEQ_SPACE
+        return self._isn
+
+    # -- flow-mode entry point ---------------------------------------------
+
+    def submit_request(self, subscriber: str, request: object) -> bool:
+        """Enqueue a classified request directly (flow transport)."""
+        queue = self.queues.get(subscriber)
+        if queue is None:
+            self.ops.rejected += 1
+            return False
+        self.ops.enqueues += 1
+        return queue.offer(request)
+
+    # -- packet-mode entry point ------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Classify and act on one inbound frame (§3.3)."""
+        self.ops.packets += 1
+        payload = packet.payload
+
+        # Feedback and secondary-RDN control traffic.
+        if isinstance(payload, AccountingMessage):
+            self.ops.feedback_messages += 1
+            self.on_feedback(payload)
+            return
+        if isinstance(payload, HandshakeComplete):
+            self._on_handshake_complete(payload)
+            return
+
+        # The RDN owns the cluster's virtual IP at layer 2: it answers
+        # ARP for it so client traffic lands on the front end.
+        from repro.net.arp import ArpReply, ArpRequest, _arp_frame
+
+        if isinstance(payload, ArpRequest):
+            if payload.target_ip == self.cluster_ip:
+                self.nic.transmit(
+                    _arp_frame(
+                        self.nic.mac,
+                        payload.sender_mac,
+                        ArpReply(target_ip=self.cluster_ip, target_mac=self.nic.mac),
+                    )
+                )
+            return
+        if isinstance(payload, ArpReply):
+            return
+
+        if packet.dst_ip != self.cluster_ip:
+            return  # e.g. RPN->client traffic overheard in promiscuous mode
+
+        # Established (spliced) connections: layer-2 bridging via the
+        # connection table.
+        quad = packet.quadruple()
+        entry = self.conntable.lookup(quad)
+        if entry is not None:
+            self.ops.forwards += 1
+            # Bridge to the servicing RPN.  The source MAC is rewritten to
+            # the RDN's own so the switch never learns a client MAC on the
+            # RDN's port (which would steer RPN->client traffic back here).
+            self.nic.transmit(
+                packet.copy(dst_mac=entry.rpn_mac, src_mac=self.nic.mac)
+            )
+            if packet.flags & (TCPFlags.FIN | TCPFlags.RST):
+                # The client is tearing the connection down; keep the
+                # entry briefly for retransmissions, then reclaim it.
+                self.env.call_later(
+                    self.config.conntable_linger_s, self.conntable.remove, quad
+                )
+            return
+
+        self.ops.classifications += 1
+        classification = self.classifier.classify(packet)
+
+        if classification.packet_class is PacketClass.HANDSHAKE:
+            self._emulate_handshake(packet, quad)
+            return
+
+        if classification.packet_class is PacketClass.REQUEST:
+            if quad not in self._half_open and quad in self._delegated:
+                # HandshakeComplete from the secondary is still in flight;
+                # hold the request until it lands.
+                self._awaiting_handshake[quad] = packet
+                return
+            self._accept_request(packet, quad, classification.subscriber)
+            return
+
+        # OTHER: packets of connections whose handshake was delegated are
+        # relayed to the owning secondary; bare ACKs completing a locally
+        # emulated handshake are absorbed; the rest is dropped.
+        secondary = self._delegated.get(quad)
+        if secondary is not None:
+            self.ops.forwards += 1
+            self.nic.transmit(packet.copy(dst_mac=secondary, src_mac=self.nic.mac))
+            return
+        half = self._half_open.get(quad)
+        if half is not None:
+            if TCPFlags.ACK in packet.flags and packet.payload_len == 0:
+                half.established = True
+                self.ops.absorbed += 1
+                return
+            if TCPFlags.RST in packet.flags or TCPFlags.FIN in packet.flags:
+                del self._half_open[quad]
+                self.ops.absorbed += 1
+                return
+        self.ops.rejected += 1
+
+    # -- handshake emulation (§3.3: "emulating the three-way hand-shake") ------
+
+    def _emulate_handshake(self, packet: Packet, quad: Quadruple) -> None:
+        if self._secondaries:
+            self._delegate_handshake(packet, quad)
+            return
+        half = self._half_open.get(quad)
+        if half is None:
+            half = HalfOpenConnection(
+                quad=quad,
+                client_isn=packet.seq,
+                rdn_isn=self._next_isn(),
+                client_mac=packet.src_mac,
+            )
+            self._half_open[quad] = half
+            self.ops.connection_setups += 1
+        # (On a duplicate SYN the same SYN-ACK is re-sent.)
+        synack = Packet(
+            src_mac=self.nic.mac,
+            dst_mac=half.client_mac,
+            src_ip=self.cluster_ip,
+            dst_ip=quad.src_ip,
+            src_port=quad.dst_port,
+            dst_port=quad.src_port,
+            seq=half.rdn_isn,
+            ack=(half.client_isn + 1) % SEQ_SPACE,
+            flags=TCPFlags.SYN | TCPFlags.ACK,
+        )
+        self.nic.transmit(synack)
+
+    def _delegate_handshake(self, packet: Packet, quad: Quadruple) -> None:
+        """Asymmetric RDN cluster: push handshake work to a secondary."""
+        if quad in self._delegated:
+            target = self._delegated[quad]
+        else:
+            target = self._secondaries[self._next_secondary % len(self._secondaries)]
+            self._next_secondary += 1
+            self._delegated[quad] = target
+        order = DelegateHandshake(
+            quad=quad, client_isn=packet.seq, client_mac=packet.src_mac
+        )
+        self.ops.forwards += 1
+        self.nic.transmit(
+            Packet(
+                src_mac=self.nic.mac,
+                dst_mac=target,
+                src_ip=self.cluster_ip,
+                dst_ip=self.cluster_ip,
+                src_port=CONTROL_PORT,
+                dst_port=CONTROL_PORT,
+                payload=order,
+                payload_len=CONTROL_PAYLOAD_LEN,
+            )
+        )
+
+    def _on_handshake_complete(self, done: HandshakeComplete) -> None:
+        half = HalfOpenConnection(
+            quad=done.quad,
+            client_isn=done.client_isn,
+            rdn_isn=done.rdn_isn,
+            client_mac=done.client_mac,
+            established=True,
+        )
+        self._half_open[done.quad] = half
+        self._delegated.pop(done.quad, None)
+        self.ops.connection_setups += 1
+        raced = self._awaiting_handshake.pop(done.quad, None)
+        if raced is not None:
+            subscriber = self.classifier.classify_payload(raced.payload)
+            if subscriber is not None:
+                self._accept_request(raced, done.quad, subscriber)
+
+    # -- request admission -----------------------------------------------------
+
+    def _accept_request(self, packet: Packet, quad: Quadruple, subscriber: str) -> None:
+        half = self._half_open.get(quad)
+        if half is None:
+            self.ops.rejected += 1
+            return
+        if half.request_enqueued:
+            self.ops.absorbed += 1  # client retransmission while queued
+            return
+        pending = PendingRequest(
+            subscriber=subscriber,
+            request=packet.payload,
+            request_bytes=packet.payload_len,
+            quad=quad,
+            client_isn=half.client_isn,
+            rdn_isn=half.rdn_isn,
+            client_mac=half.client_mac,
+            enqueued_at=self.env.now,
+        )
+        queue = self.queues.get(subscriber)
+        if queue is None:
+            self.ops.rejected += 1
+            return
+        half.request_enqueued = True
+        self.ops.enqueues += 1
+        if not queue.offer(pending):
+            # Queue full: the request is dropped (Table 1's column); reset
+            # the client so it fails fast instead of retransmitting.
+            del self._half_open[quad]
+            reset = Packet(
+                src_mac=self.nic.mac,
+                dst_mac=half.client_mac,
+                src_ip=self.cluster_ip,
+                dst_ip=quad.src_ip,
+                src_port=quad.dst_port,
+                dst_port=quad.src_port,
+                seq=(half.rdn_isn + 1) % SEQ_SPACE,
+                ack=0,
+                flags=TCPFlags.RST,
+            )
+            self.nic.transmit(reset)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, item: object, rpn_id: str, subscriber: str) -> None:
+        self.ops.dispatches += 1
+        if isinstance(item, PendingRequest):
+            self._dispatch_packet_mode(item, rpn_id)
+        elif self.flow_dispatch is not None:
+            self.flow_dispatch(item, rpn_id, subscriber)
+        else:
+            raise RuntimeError("no flow_dispatch installed for flow-mode request")
+
+    def _dispatch_packet_mode(self, pending: PendingRequest, rpn_id: str) -> None:
+        rpn_mac = self._rpn_macs[rpn_id]
+        rpn_ip = self._rpn_ips[rpn_id]
+        self.conntable.insert(pending.quad, rpn_id, rpn_mac)
+        self._half_open.pop(pending.quad, None)
+        order = DispatchOrder(
+            subscriber=pending.subscriber,
+            request=pending.request,
+            request_bytes=pending.request_bytes,
+            quad=pending.quad,
+            client_isn=pending.client_isn,
+            rdn_isn=pending.rdn_isn,
+            client_mac=pending.client_mac,
+        )
+        self.nic.transmit(
+            Packet(
+                src_mac=self.nic.mac,
+                dst_mac=rpn_mac,
+                src_ip=self.cluster_ip,
+                dst_ip=rpn_ip,
+                src_port=CONTROL_PORT,
+                dst_port=CONTROL_PORT,
+                payload=order,
+                payload_len=CONTROL_PAYLOAD_LEN + pending.request_bytes,
+            )
+        )
+
+    # -- feedback ----------------------------------------------------------------
+
+    def on_feedback(self, message: AccountingMessage) -> None:
+        """Apply an RPN accounting message (both transports)."""
+        self.scheduler.apply_feedback(message)
+        for name, report in message.per_subscriber.items():
+            if report.completed:
+                self.completion_log.append(
+                    (message.cycle_end_s, name, report.completed)
+                )

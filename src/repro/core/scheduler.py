@@ -1,0 +1,260 @@
+"""The "which request" decision: credit-based weighted round-robin (§3.4).
+
+Every scheduling cycle (10 ms) the scheduler visits each subscriber queue
+in a cyclic fashion:
+
+1. **Reserved pass** — the queue's balance gains one cycle's worth of its
+   reservation; requests are dispatched (predicted usage deducted from the
+   balance, a least-loaded RPN selected) until the balance would go
+   negative in any resource dimension, the queue empties, or no RPN has
+   headroom.
+2. **Spare pass** — "whatever spare resource remains after the first
+   round of scheduling is then distributed in a weighted fashion among
+   those queues that are still not empty according to their resource
+   reservations" — the policy Table 2 demonstrates ("higher reservation
+   gets larger share of spare resource").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.accounting import RDNAccounting
+from repro.core.config import (
+    SPARE_BY_INPUT_LOAD,
+    SPARE_BY_RESERVATION,
+    SPARE_NONE,
+    GageConfig,
+)
+from repro.core.estimator import UsageEstimator
+from repro.core.grps import ResourceVector
+from repro.core.node_scheduler import NodeScheduler
+from repro.core.queues import RequestQueue, SubscriberQueues
+
+#: Invoked for every dispatched request as (request, rpn_id, subscriber).
+DispatchFn = Callable[[object, str, str], None]
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """One dispatch made during a scheduling cycle."""
+
+    subscriber: str
+    rpn_id: str
+    predicted: ResourceVector
+    spare: bool  # True if dispatched on spare (not reserved) credit
+
+
+class RequestScheduler:
+    """Gage's request scheduler, run once per scheduling cycle."""
+
+    def __init__(
+        self,
+        config: GageConfig,
+        queues: SubscriberQueues,
+        accounting: RDNAccounting,
+        node_scheduler: NodeScheduler,
+        dispatch_fn: DispatchFn,
+    ) -> None:
+        self.config = config
+        self.queues = queues
+        self.accounting = accounting
+        self.node_scheduler = node_scheduler
+        self.dispatch_fn = dispatch_fn
+        self._estimators: Dict[str, UsageEstimator] = {}
+        #: Deficit-round-robin rollover of unused spare share: without it
+        #: each queue forfeits its fractional share every cycle (up to one
+        #: request per queue per cycle — a large bias at 10 ms cycles).
+        self._spare_deficit: Dict[str, ResourceVector] = {}
+        self.cycles = 0
+        self.reserved_dispatches = 0
+        self.spare_dispatches = 0
+
+    def estimator(self, name: str) -> UsageEstimator:
+        """The usage estimator for one subscriber's queue."""
+        if name not in self._estimators:
+            self._estimators[name] = UsageEstimator(
+                policy=self.config.estimator_policy,
+                alpha=self.config.estimator_alpha,
+                initial=self.config.generic_request,
+            )
+        return self._estimators[name]
+
+    # -- one scheduling cycle -------------------------------------------------
+
+    def run_cycle(self) -> List[ScheduleDecision]:
+        """Execute one 10-ms scheduling cycle; returns the dispatches made."""
+        self.cycles += 1
+        cycle = self.config.scheduling_cycle_s
+        decisions: List[ScheduleDecision] = []
+
+        # Pass 1: reserved credit, weighted round-robin over all queues.
+        # The visit order rotates each cycle ("visits each subscriber's
+        # queue in a cyclic fashion", §3.4), so no queue systematically
+        # claims node headroom first.
+        ordered = list(self.queues)
+        if ordered:
+            start = self.cycles % len(ordered)
+            ordered = ordered[start:] + ordered[:start]
+        for queue in ordered:
+            subscriber = queue.subscriber
+            credit = subscriber.reservation_vector(self.config.generic_request).scaled(cycle)
+            # The cap bounds idle-time credit hoarding, but must always
+            # admit at least one predicted request or a subscriber whose
+            # requests are larger than credit_cap_cycles' worth of credit
+            # (heavy-tailed workloads) could never dispatch again.
+            predicted = self.estimator(subscriber.name).predict()
+            cap = credit.scaled(self.config.credit_cap_cycles).max(predicted.scaled(1.5))
+            self.accounting.refill(subscriber.name, credit, cap)
+            decisions.extend(self._drain_reserved(queue))
+
+        # Pass 2: spare resource for still-backlogged queues.
+        if self.config.spare_policy != SPARE_NONE:
+            decisions.extend(self._spare_pass())
+
+        return decisions
+
+    def _drain_reserved(self, queue: RequestQueue) -> List[ScheduleDecision]:
+        decisions: List[ScheduleDecision] = []
+        name = queue.subscriber.name
+        account = self.accounting.account(name)
+        estimator = self.estimator(name)
+        while queue.backlogged:
+            predicted = estimator.predict()
+            if (account.balance - predicted).any_negative:
+                break
+            rpn_id = self.node_scheduler.pick(predicted, request=queue.peek())
+            if rpn_id is None:
+                break  # cluster saturated; leave the request queued
+            request = queue.take()
+            self.accounting.on_dispatch(name, rpn_id, predicted)
+            self.node_scheduler.on_dispatch(rpn_id, predicted)
+            self.dispatch_fn(request, rpn_id, name)
+            self.reserved_dispatches += 1
+            decisions.append(ScheduleDecision(name, rpn_id, predicted, spare=False))
+        return decisions
+
+    # -- spare resource allocation ---------------------------------------------
+
+    def _spare_pool(self) -> ResourceVector:
+        """Capacity this cycle beyond the sum of all reservations."""
+        cycle = self.config.scheduling_cycle_s
+        capacity = self.node_scheduler.total_capacity_per_s().scaled(cycle)
+        reserved = ResourceVector.ZERO
+        for subscriber in self.queues.subscribers():
+            reserved = reserved + subscriber.reservation_vector(
+                self.config.generic_request
+            ).scaled(cycle)
+        return (capacity - reserved).clamped_min(0.0)
+
+    def _spare_weights(self, backlogged: List[RequestQueue]) -> Dict[str, float]:
+        if self.config.spare_policy == SPARE_BY_RESERVATION:
+            weights = {
+                q.subscriber.name: q.subscriber.reservation_grps for q in backlogged
+            }
+        elif self.config.spare_policy == SPARE_BY_INPUT_LOAD:
+            weights = {q.subscriber.name: float(q.arrived) for q in backlogged}
+        else:
+            return {}
+        total = sum(weights.values())
+        if total <= 0:
+            # Degenerate case (all-zero reservations/loads): equal shares.
+            return {name: 1.0 / len(weights) for name in weights}
+        return {name: weight / total for name, weight in weights.items()}
+
+    #: Bound on spare-pass redistribution rounds per cycle (the loop
+    #: terminates long before this in practice).
+    MAX_SPARE_ROUNDS = 10
+
+    def _spare_pass(self) -> List[ScheduleDecision]:
+        """Water-filling spare allocation.
+
+        Each round splits the remaining pool among *currently* backlogged
+        queues in proportion to their reservations; a queue that empties
+        without using its share leaves the remainder to be redistributed
+        in the next round.  This is what makes Table 1 come out: site1
+        and site2 take only slivers of spare, and site3 absorbs the rest.
+        """
+        decisions: List[ScheduleDecision] = []
+        pool = self._spare_pool()
+        if pool == ResourceVector.ZERO:
+            return decisions
+        first_round_names = set()
+        for _round in range(self.MAX_SPARE_ROUNDS):
+            backlogged = self.queues.backlogged()
+            if not backlogged:
+                break
+            weights = self._spare_weights(backlogged)
+            consumed_total = ResourceVector.ZERO
+            for queue in backlogged:
+                name = queue.subscriber.name
+                share = pool.scaled(weights.get(name, 0.0))
+                estimator = self.estimator(name)
+                if _round == 0:
+                    # Roll in the unused share from previous cycles
+                    # (deficit round-robin).  The rollover cap is two
+                    # cycles' share, but never below 1.5 predicted
+                    # requests — otherwise a subscriber whose requests
+                    # cost more than 2x its per-cycle share could never
+                    # accumulate enough spare to dispatch even one.
+                    first_round_names.add(name)
+                    deficit = self._spare_deficit.get(name, ResourceVector.ZERO)
+                    cap = share.scaled(2.0).max(estimator.predict().scaled(1.5))
+                    share = share + ResourceVector(
+                        min(deficit.cpu_s, cap.cpu_s),
+                        min(deficit.disk_s, cap.disk_s),
+                        min(deficit.net_bytes, cap.net_bytes),
+                    )
+                while queue.backlogged:
+                    predicted = estimator.predict()
+                    if (share - predicted).any_negative:
+                        break
+                    rpn_id = self.node_scheduler.pick(
+                        predicted, request=queue.peek()
+                    )
+                    if rpn_id is None:
+                        return decisions  # cluster saturated for everyone
+                    request = queue.take()
+                    share = share - predicted
+                    consumed_total = consumed_total + predicted
+                    # A spare dispatch must not eat into the reserved
+                    # balance: grant uncapped credit equal to the
+                    # prediction, so the dispatch's net balance effect is
+                    # zero and the spare budget lives in the share alone.
+                    self.accounting.credit(name, predicted)
+                    self.accounting.on_dispatch(name, rpn_id, predicted)
+                    self.node_scheduler.on_dispatch(rpn_id, predicted)
+                    self.dispatch_fn(request, rpn_id, name)
+                    self.spare_dispatches += 1
+                    decisions.append(
+                        ScheduleDecision(name, rpn_id, predicted, spare=True)
+                    )
+                if _round == 0:
+                    # Whatever the queue could not spend this round rolls
+                    # over (the queue emptied => share stays for bursts,
+                    # still capped on the way back in next cycle).
+                    self._spare_deficit[name] = share.clamped_min(0.0)
+            if consumed_total == ResourceVector.ZERO:
+                break
+            pool = (pool - consumed_total).clamped_min(0.0)
+            if pool == ResourceVector.ZERO:
+                break
+        # Queues that were never backlogged this cycle hoard no deficit.
+        for name in list(self._spare_deficit):
+            if name not in first_round_names:
+                self._spare_deficit[name] = ResourceVector.ZERO
+        return decisions
+
+    # -- feedback path ------------------------------------------------------------
+
+    def apply_feedback(self, message) -> None:
+        """Apply an accounting message: balances, estimators, node loads."""
+        for name, report in message.per_subscriber.items():
+            if name in self.queues:
+                self.estimator(name).observe_cycle(report.usage, report.completed)
+        backed_out = self.accounting.apply_message(message)
+        total = ResourceVector.ZERO
+        for vec in backed_out.values():
+            total = total + vec
+        self.node_scheduler.on_feedback(message.rpn_id, total)

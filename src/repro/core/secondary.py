@@ -1,0 +1,118 @@
+"""Secondary RDNs: the asymmetric front-end cluster (§3.2).
+
+"This RDN cluster consists of a primary RDN, which receives all the
+incoming packets and makes all the queuing and scheduling decisions, and
+a set of secondary RDNs, which are dedicated to performing the
+time-consuming task in front-end processing such as TCP three-way
+hand-shaking."
+
+The primary forwards each new connection's SYN (as a
+:class:`~repro.core.control.DelegateHandshake` control frame) to a
+secondary; the secondary emulates the whole handshake with the client
+directly, then reports back with :class:`HandshakeComplete` so the
+primary can accept the URL request and embed the chosen ISN in the
+dispatch order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.control import (
+    CONTROL_PAYLOAD_LEN,
+    CONTROL_PORT,
+    DelegateHandshake,
+    HandshakeComplete,
+)
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.conn import Quadruple
+from repro.net.nic import NIC
+from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
+from repro.sim.engine import Environment
+
+
+class SecondaryRDN:
+    """One handshake-offload node of the asymmetric RDN cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cluster_ip: IPAddress,
+        primary_mac: MACAddress,
+        isn_base: int,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.cluster_ip = cluster_ip
+        self.primary_mac = primary_mac
+        self._isn = isn_base
+        self._pending: Dict[Quadruple, DelegateHandshake] = {}
+        self._isns: Dict[Quadruple, int] = {}
+        self.handshakes_started = 0
+        self.handshakes_completed = 0
+        self.nic: Optional[NIC] = None
+
+    def __repr__(self) -> str:
+        return "<SecondaryRDN {} completed={}>".format(self.name, self.handshakes_completed)
+
+    def attach_nic(self, nic: NIC) -> None:
+        """Install this secondary as the handler of its NIC."""
+        self.nic = nic
+        nic.receive_handler = self.handle_packet
+
+    def _next_isn(self) -> int:
+        self._isn = (self._isn + 128_000) % SEQ_SPACE
+        return self._isn
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process delegation orders and the delegated clients' ACKs."""
+        payload = packet.payload
+        if isinstance(payload, DelegateHandshake):
+            self._start(payload)
+            return
+        quad = packet.quadruple()
+        if quad in self._pending and TCPFlags.ACK in packet.flags:
+            self._finish(quad)
+
+    def _start(self, order: DelegateHandshake) -> None:
+        # A duplicate SYN re-sends the same SYN-ACK.
+        if order.quad not in self._pending:
+            self._pending[order.quad] = order
+            self._isns[order.quad] = self._next_isn()
+            self.handshakes_started += 1
+        synack = Packet(
+            src_mac=self.nic.mac,
+            dst_mac=order.client_mac,
+            src_ip=self.cluster_ip,
+            dst_ip=order.quad.src_ip,
+            src_port=order.quad.dst_port,
+            dst_port=order.quad.src_port,
+            seq=self._isns[order.quad],
+            ack=(order.client_isn + 1) % SEQ_SPACE,
+            flags=TCPFlags.SYN | TCPFlags.ACK,
+        )
+        self.nic.transmit(synack)
+
+    def _finish(self, quad: Quadruple) -> None:
+        order = self._pending.pop(quad)
+        rdn_isn = self._isns.pop(quad)
+        self.handshakes_completed += 1
+        done = HandshakeComplete(
+            quad=quad,
+            client_isn=order.client_isn,
+            rdn_isn=rdn_isn,
+            client_mac=order.client_mac,
+        )
+        self.nic.transmit(
+            Packet(
+                src_mac=self.nic.mac,
+                dst_mac=self.primary_mac,
+                src_ip=self.cluster_ip,
+                dst_ip=self.cluster_ip,
+                src_port=CONTROL_PORT,
+                dst_port=CONTROL_PORT,
+                payload=done,
+                payload_len=CONTROL_PAYLOAD_LEN,
+            )
+        )

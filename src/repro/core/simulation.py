@@ -1,0 +1,428 @@
+"""One-call assembly of a complete Gage cluster on the simulator.
+
+:class:`GageCluster` builds the paper's testbed (Figure 1): a primary RDN,
+``num_rpns`` back-end nodes running the web server, optional secondary
+RDNs, and (in packet mode) client hosts — all connected through a
+simulated switch.
+
+Two fidelities drive the *same* Gage core:
+
+- ``fidelity="packet"`` — every TCP handshake, data segment, ACK, and
+  splice remap is simulated; used for mechanism correctness and the
+  overhead experiments.
+- ``fidelity="flow"`` — requests travel as schedulable units with a small
+  modeled control latency; used for the long QoS-dynamics experiments
+  (Tables 1-2, Figure 3) where per-packet simulation adds nothing but
+  run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.webserver import WebServer
+from repro.core.config import GageConfig
+from repro.core.feedback import AccountingMessage
+from repro.core.grps import ResourceVector
+from repro.core.metrics import ServiceReport
+from repro.core.rdn import PrimaryRDN
+from repro.core.rpn import LocalServiceManager, RPNAccountingAgent
+from repro.core.secondary import SecondaryRDN
+from repro.core.subscriber import Subscriber
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.switch import Switch
+from repro.net.tcp import HostStack
+from repro.sim.engine import Environment
+from repro.workload.client import ClientFleet
+from repro.workload.request import CostModel, RequestRecord, WebRequest
+
+#: Fast Ethernet outgoing-link capacity, bytes per second.
+LINK_BYTES_PER_S = 12_500_000.0
+
+
+def default_rpn_capacity(cpu_speed: float = 1.0) -> ResourceVector:
+    """The per-second resource capacity of one back-end node."""
+    return ResourceVector(cpu_s=cpu_speed, disk_s=1.0, net_bytes=LINK_BYTES_PER_S)
+
+
+class GageCluster:
+    """A fully wired Gage deployment on the simulator."""
+
+    def __init__(
+        self,
+        env: Environment,
+        subscribers: Sequence[Subscriber],
+        site_files: Dict[str, Dict[str, int]],
+        num_rpns: int = 8,
+        config: Optional[GageConfig] = None,
+        fidelity: str = "flow",
+        cost_model: Optional[CostModel] = None,
+        workers_per_site: int = 4,
+        rpn_cpu_speed: float = 1.0,
+        rpn_cache_bytes: int = 32 * 1024 * 1024,
+        num_clients: int = 2,
+        num_secondaries: int = 0,
+        flow_dispatch_latency_s: float = 0.0002,
+        flow_feedback_latency_s: float = 0.0002,
+        rpn_overhead_cpu_s: float = 56.7e-6,
+        stagger_accounting: bool = False,
+        dynamic_arp: bool = False,
+    ) -> None:
+        if fidelity not in ("flow", "packet"):
+            raise ValueError("fidelity must be 'flow' or 'packet'")
+        if num_rpns < 1:
+            raise ValueError("need at least one RPN")
+        self.env = env
+        self.fidelity = fidelity
+        self.config = config or GageConfig()
+        self.cost_model = cost_model or CostModel()
+        self.subscribers = list(subscribers)
+        self.cluster_ip = IPAddress("10.0.0.100")
+        self.rdn = PrimaryRDN(env, self.config, self.cluster_ip, self.subscribers)
+        self.machines: List[Machine] = []
+        self.webservers: List[WebServer] = []
+        self.agents: List[RPNAccountingAgent] = []
+        self.lsms: List[LocalServiceManager] = []
+        self.secondaries: List[SecondaryRDN] = []
+        self.switch: Optional[Switch] = None
+        self.fleet: Optional[ClientFleet] = None
+        self._flow_dispatch_latency_s = flow_dispatch_latency_s
+        self._flow_feedback_latency_s = flow_feedback_latency_s
+        #: §4.2's measured per-request Gage overhead on each RPN.
+        self.rpn_overhead_cpu_s = rpn_overhead_cpu_s
+        #: Whether RPN accounting agents tick out of phase.  The paper's
+        #: Figure 3 behaviour (usage observed as "0 or around twice the
+        #: reservation" at a 2 s cycle) implies in-phase reporting, so
+        #: synchronized is the default; staggering is ablation A5.
+        self.stagger_accounting = stagger_accounting
+        #: When True (packet mode), clients resolve the cluster VIP's MAC
+        #: with real ARP (the RDN answers for it) instead of static
+        #: entries.
+        self.dynamic_arp = dynamic_arp
+        #: (time, host) of every completed request, across all RPNs.
+        self.completions: List[Tuple[float, str]] = []
+        #: (time, host, usage-in-GRPS) per completed request.
+        self.usage_events: List[Tuple[float, str, float]] = []
+        #: (time, host, accepted) for every submitted request.
+        self.arrivals: List[Tuple[float, str, bool]] = []
+        #: (completion_time, host, end-to-end latency) per completion.
+        self.latencies: List[Tuple[float, str, float]] = []
+
+        capacity = default_rpn_capacity(rpn_cpu_speed)
+        if fidelity == "packet":
+            self._build_packet_mode(
+                num_rpns,
+                num_clients,
+                num_secondaries,
+                site_files,
+                workers_per_site,
+                rpn_cpu_speed,
+                rpn_cache_bytes,
+                capacity,
+            )
+        else:
+            if num_secondaries:
+                raise ValueError("secondary RDNs only exist in packet mode")
+            self._build_flow_mode(
+                num_rpns,
+                site_files,
+                workers_per_site,
+                rpn_cpu_speed,
+                rpn_cache_bytes,
+                capacity,
+            )
+
+    # -- construction -----------------------------------------------------------
+
+    def _make_webserver(
+        self,
+        index: int,
+        site_files: Dict[str, Dict[str, int]],
+        workers_per_site: int,
+        rpn_cpu_speed: float,
+        rpn_cache_bytes: int,
+    ) -> WebServer:
+        machine = Machine(
+            self.env,
+            "rpn{}".format(index),
+            cpu_speed=rpn_cpu_speed,
+            cache_bytes=rpn_cache_bytes,
+            disk_seek_s=self.cost_model.seek_s,
+            disk_transfer_bps=self.cost_model.transfer_bps,
+        )
+        server = WebServer(
+            machine,
+            cost_model=self.cost_model,
+            workers_per_site=workers_per_site,
+            overhead_cpu_s=self.rpn_overhead_cpu_s,
+        )
+        for subscriber in self.subscribers:
+            server.host_site(
+                subscriber.name, files=site_files.get(subscriber.name, {})
+            )
+        server.on_complete.append(self._on_complete)
+        self.machines.append(machine)
+        self.webservers.append(server)
+        return server
+
+    def _on_complete(self, host: str, request: WebRequest, usage, at: float) -> None:
+        self.completions.append((at, host))
+        self.usage_events.append(
+            (at, host, usage.in_generic_requests(self.config.generic_request))
+        )
+        issued = getattr(request, "issued_at", None)
+        if issued is not None and issued <= at:
+            self.latencies.append((at, host, at - issued))
+
+    def _build_flow_mode(
+        self,
+        num_rpns: int,
+        site_files: Dict[str, Dict[str, int]],
+        workers_per_site: int,
+        rpn_cpu_speed: float,
+        rpn_cache_bytes: int,
+        capacity: ResourceVector,
+    ) -> None:
+        servers: Dict[str, WebServer] = {}
+        for index in range(num_rpns):
+            server = self._make_webserver(
+                index, site_files, workers_per_site, rpn_cpu_speed, rpn_cache_bytes
+            )
+            rpn_id = "rpn{}".format(index)
+            servers[rpn_id] = server
+            self.rdn.add_rpn(rpn_id, capacity)
+            self.agents.append(
+                RPNAccountingAgent(
+                    self.env,
+                    rpn_id,
+                    server,
+                    cycle_s=self.config.accounting_cycle_s,
+                    send_fn=self._flow_feedback,
+                    phase_offset_s=(
+                        self.config.accounting_cycle_s * index / num_rpns
+                        if self.stagger_accounting
+                        else 0.0
+                    ),
+                )
+            )
+
+        def flow_dispatch(request: object, rpn_id: str, _subscriber: str) -> None:
+            server = servers[rpn_id]
+            self.env.call_later(
+                self._flow_dispatch_latency_s,
+                lambda: self.env.process(server.service_request(request)),
+            )
+
+        self.rdn.flow_dispatch = flow_dispatch
+
+    def _flow_feedback(self, message: AccountingMessage) -> None:
+        self.env.call_later(
+            self._flow_feedback_latency_s, self.rdn.on_feedback, message
+        )
+
+    def _build_packet_mode(
+        self,
+        num_rpns: int,
+        num_clients: int,
+        num_secondaries: int,
+        site_files: Dict[str, Dict[str, int]],
+        workers_per_site: int,
+        rpn_cpu_speed: float,
+        rpn_cache_bytes: int,
+        capacity: ResourceVector,
+    ) -> None:
+        ports = num_rpns + num_clients + num_secondaries + 1
+        self.switch = Switch(self.env, ports=max(16, ports))
+        rdn_mac = MACAddress("02:00:00:00:00:64")
+
+        # Primary RDN: a bare NIC, no TCP stack of its own.
+        from repro.net.nic import NIC
+
+        rdn_nic = NIC(self.env, rdn_mac, name="rdn.eth0")
+        self.switch.attach(rdn_nic.iface)
+        self.rdn.attach_nic(rdn_nic)
+
+        # Back-end RPNs.
+        for index in range(num_rpns):
+            server = self._make_webserver(
+                index, site_files, workers_per_site, rpn_cpu_speed, rpn_cache_bytes
+            )
+            machine = server.machine
+            rpn_id = "rpn{}".format(index)
+            rpn_ip = IPAddress("10.0.1.{}".format(index + 1))
+            rpn_mac = MACAddress("02:00:00:00:01:{:02x}".format(index + 1))
+            nic = machine.add_nic(rpn_mac)
+            self.switch.attach(nic.iface)
+            stack = HostStack(self.env, rpn_ip, nic)
+            stack.default_mac = rdn_mac
+            lsm = LocalServiceManager(
+                self.env,
+                stack,
+                rpn_ip,
+                rpn_mac,
+                self.cluster_ip,
+                rule_linger_s=self.config.conntable_linger_s,
+            )
+            stack.listen(80, server.acceptor)
+            self.lsms.append(lsm)
+            self.rdn.add_rpn(rpn_id, capacity, mac=rpn_mac, ip=rpn_ip)
+            self.agents.append(
+                RPNAccountingAgent(
+                    self.env,
+                    rpn_id,
+                    server,
+                    cycle_s=self.config.accounting_cycle_s,
+                    send_fn=self._packet_feedback_sender(nic, rpn_ip, rdn_mac),
+                    phase_offset_s=(
+                        self.config.accounting_cycle_s * index / num_rpns
+                        if self.stagger_accounting
+                        else 0.0
+                    ),
+                )
+            )
+
+        # Secondary RDNs.
+        for index in range(num_secondaries):
+            sec_mac = MACAddress("02:00:00:00:02:{:02x}".format(index + 1))
+            sec_nic = NIC(self.env, sec_mac, name="rdn2-{}.eth0".format(index))
+            self.switch.attach(sec_nic.iface)
+            secondary = SecondaryRDN(
+                self.env,
+                "secondary{}".format(index),
+                self.cluster_ip,
+                primary_mac=rdn_mac,
+                isn_base=10_000_000 * (index + 2),
+            )
+            secondary.attach_nic(sec_nic)
+            self.rdn.add_secondary(sec_mac)
+            self.secondaries.append(secondary)
+
+        # Clients.
+        client_stacks: List[HostStack] = []
+        for index in range(num_clients):
+            client_ip = IPAddress("10.0.0.{}".format(index + 1))
+            client_mac = MACAddress("02:00:00:00:00:{:02x}".format(index + 1))
+            nic = NIC(self.env, client_mac, name="client{}.eth0".format(index))
+            self.switch.attach(nic.iface)
+            stack = HostStack(
+                self.env, client_ip, nic, rto_s=0.5, max_retries=60
+            )
+            if self.dynamic_arp:
+                from repro.net.arp import ArpService
+
+                stack.arp_service = ArpService(self.env, nic, client_ip)
+            else:
+                stack.arp[self.cluster_ip] = rdn_mac
+            client_stacks.append(stack)
+        self.fleet = ClientFleet(self.env, client_stacks, self.cluster_ip)
+
+    def _packet_feedback_sender(self, nic, rpn_ip: IPAddress, rdn_mac: MACAddress):
+        from repro.core.control import CONTROL_PAYLOAD_LEN, CONTROL_PORT
+        from repro.net.packet import Packet
+
+        def send(message: AccountingMessage) -> None:
+            nic.transmit(
+                Packet(
+                    src_mac=nic.mac,
+                    dst_mac=rdn_mac,
+                    src_ip=rpn_ip,
+                    dst_ip=self.cluster_ip,
+                    src_port=CONTROL_PORT,
+                    dst_port=CONTROL_PORT,
+                    payload=message,
+                    payload_len=CONTROL_PAYLOAD_LEN + 32 * len(message.per_subscriber),
+                )
+            )
+
+        return send
+
+    # -- driving workloads ------------------------------------------------------
+
+    def load_trace(self, records: Sequence[RequestRecord]) -> None:
+        """Schedule a trace for issue (transport-appropriate)."""
+        if self.fidelity == "packet":
+            self.fleet.run_trace(records)
+            for record in records:
+                self.env.call_later(
+                    max(0.0, record.at_s - self.env.now),
+                    self._note_arrival,
+                    record.host,
+                )
+        else:
+            for record in records:
+                self.env.call_later(
+                    max(0.0, record.at_s - self.env.now), self._submit_flow, record
+                )
+
+    def _note_arrival(self, host: str) -> None:
+        self.arrivals.append((self.env.now, host, True))
+
+    def _submit_flow(self, record: RequestRecord) -> None:
+        request = record.to_request()
+        request.issued_at = self.env.now
+        accepted = self.rdn.submit_request(record.host, request)
+        self.arrivals.append((self.env.now, record.host, accepted))
+
+    def prewarm_caches(self) -> None:
+        """Load every site file into every RPN's buffer cache.
+
+        Benchmarks of steady-state behaviour call this before the run so
+        the measurement window is not distorted by cold-start disk
+        faulting of the whole document tree.
+        """
+        for machine in self.machines:
+            for path, size in machine.fs.walk():
+                machine.cache.insert(path, size)
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation to ``duration_s``."""
+        self.env.run(until=duration_s)
+
+    # -- results -------------------------------------------------------------------
+
+    def service_report(
+        self, name: str, start_s: float, end_s: float
+    ) -> ServiceReport:
+        """Input/served/dropped rates for one subscriber over a window."""
+        subscriber = next(s for s in self.subscribers if s.name == name)
+        duration = end_s - start_s
+        arrived = sum(
+            1 for at, host, _ok in self.arrivals if host == name and start_s <= at < end_s
+        )
+        served = sum(
+            1 for at, host in self.completions if host == name and start_s <= at < end_s
+        )
+        if self.fidelity == "flow":
+            dropped = sum(
+                1
+                for at, host, ok in self.arrivals
+                if host == name and start_s <= at < end_s and not ok
+            )
+        else:
+            # Packet mode: drops happen at the RDN queue; approximate the
+            # windowed count by arrivals minus completions minus backlog
+            # growth, bounded below by zero.
+            dropped = max(0, arrived - served - len(self.rdn.queues.get(name) or []))
+        return ServiceReport(
+            subscriber=name,
+            reservation_grps=subscriber.reservation_grps,
+            duration_s=duration,
+            arrived=arrived,
+            served=served,
+            dropped=dropped,
+        )
+
+    def all_reports(self, start_s: float, end_s: float) -> List[ServiceReport]:
+        """Service reports for every subscriber."""
+        return [
+            self.service_report(subscriber.name, start_s, end_s)
+            for subscriber in self.subscribers
+        ]
+
+    def completion_events_by_subscriber(self) -> Dict[str, List[Tuple[float, float]]]:
+        """(time, GRPS-equivalent) usage events grouped by subscriber."""
+        grouped: Dict[str, List[Tuple[float, float]]] = {}
+        for at, host, weight in self.usage_events:
+            grouped.setdefault(host, []).append((at, weight))
+        return grouped

@@ -1,0 +1,66 @@
+"""Service subscribers and their QoS reservations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.grps import GENERIC_REQUEST, ResourceVector
+
+
+@dataclass(frozen=True)
+class Subscriber:
+    """One hosting customer with a GRPS reservation.
+
+    Attributes
+    ----------
+    name:
+        The subscriber's identity — for the web service this is the
+        host-name part of the URL (§3.3, §3.6).
+    reservation_grps:
+        Guaranteed generic URL requests per second (§3.1).
+    queue_capacity:
+        Maximum requests buffered in this subscriber's RDN queue before
+        arriving requests are dropped.
+    delay_target_s:
+        Optional queueing-delay bound — the paper's §3.1 names response
+        time as an open QoS metric; this extension realizes it through
+        delay-bounded admission: by Little's law, a queue drained at the
+        reserved rate bounds its queueing delay at ``target`` once its
+        depth is capped at ``reservation × target``.  Excess requests are
+        rejected immediately (fail fast) instead of queueing past the
+        bound.
+    """
+
+    name: str
+    reservation_grps: float
+    queue_capacity: int = 2048
+    delay_target_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.reservation_grps < 0:
+            raise ValueError("reservation must be non-negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if self.delay_target_s is not None and self.delay_target_s <= 0:
+            raise ValueError("delay target must be positive")
+
+    @property
+    def effective_queue_capacity(self) -> int:
+        """The admission bound actually enforced on the queue.
+
+        With a delay target this is ``min(queue_capacity,
+        ceil(reservation × target))`` (at least 1); otherwise just
+        ``queue_capacity``.
+        """
+        if self.delay_target_s is None:
+            return self.queue_capacity
+        bound = max(1, math.ceil(self.reservation_grps * self.delay_target_s))
+        return min(self.queue_capacity, bound)
+
+    def reservation_vector(
+        self, generic: ResourceVector = GENERIC_REQUEST
+    ) -> ResourceVector:
+        """Per-second resource entitlement of this reservation."""
+        return generic.scaled(self.reservation_grps)

@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+See DESIGN.md §3 for the experiment index.  Each runner assembles the
+cluster, drives the workload, and returns structured results; the
+``benchmarks/`` directory wraps these in pytest-benchmark targets that
+print the paper's rows next to the measured ones.
+"""
+
+from repro.harness.experiment import (
+    DeviationCurve,
+    ScalabilityPoint,
+    run_deviation_experiment,
+    run_scalability,
+    run_spare_allocation,
+    run_isolation,
+)
+from repro.harness.charts import line_chart
+from repro.harness.rdn_cost import RDNCostModel
+from repro.harness.recorder import Recorder
+from repro.harness.sweep import Sweep, SweepPoint
+from repro.harness.tables import format_table
+
+__all__ = [
+    "DeviationCurve",
+    "RDNCostModel",
+    "Recorder",
+    "ScalabilityPoint",
+    "Sweep",
+    "SweepPoint",
+    "format_table",
+    "line_chart",
+    "run_deviation_experiment",
+    "run_isolation",
+    "run_scalability",
+    "run_spare_allocation",
+]

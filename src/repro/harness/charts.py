@@ -1,0 +1,79 @@
+"""ASCII charts for benchmark output.
+
+Figure-shaped results print better as pictures, even in a terminal:
+:func:`line_chart` renders (x, y) series as rows of a labeled dot grid
+— enough to eyeball Figure 3's shape or the §4.3 utilization knee in
+``pytest -s`` output without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Characters assigned to successive series.
+MARKS = "ox+*#@"
+
+
+def line_chart(
+    series: Dict[str, Series],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart."""
+    if not series or all(not list(points) for points in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+
+    all_points = [p for points in series.values() for p in points]
+    xs = [x for x, _y in all_points]
+    ys = [y for _x, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        mark = MARKS[index % len(MARKS)]
+        for x, y in points:
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = "{:>10.6g} |".format(y_max)
+    bottom_label = "{:>10.6g} |".format(y_min)
+    blank_label = " " * 11 + "|"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = blank_label
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + "{:<.6g}".format(x_min).ljust(width - 8) + "{:>8.6g}".format(x_max)
+    )
+    footer = []
+    if x_label:
+        footer.append("x: {}".format(x_label))
+    if y_label:
+        footer.append("y: {}".format(y_label))
+    legend = ", ".join(
+        "{}={}".format(MARKS[i % len(MARKS)], name) for i, name in enumerate(series)
+    )
+    footer.append(legend)
+    lines.append(" " * 12 + "  ".join(footer))
+    return "\n".join(lines)

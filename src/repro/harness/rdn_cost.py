@@ -1,0 +1,124 @@
+"""The RDN CPU cost/utilization model (§4.3 of the paper).
+
+The paper projects the front end's capacity from measured per-operation
+costs (its Table 3) plus interrupt handling, whose per-packet cost rises
+sharply when the network subsystem saturates ("the utilization leap is
+due to the overloaded network subsystem, which results in an increase in
+the interrupt handling time").
+
+This model reproduces that curve analytically from the same constants:
+a fixed per-request operation cost (one connection setup, two
+classifications, bridged-packet forwarding) plus a per-packet interrupt
+cost with an exponential escalation term near the packet-rate saturation
+point.  The "intelligent NIC" projection of §4.3 corresponds to zeroing
+the interrupt term, which is exactly how the paper reaches its
+14,000-15,000 requests/sec estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RDNCostModel:
+    """Per-operation RDN costs; defaults are the paper's Table 3 values.
+
+    Attributes
+    ----------
+    connection_setup_us:
+        First-leg handshake emulation per new connection (29.3 µs).
+    classification_us:
+        One packet classification (3.0 µs); charged twice per request
+        (the SYN and the URL packet).
+    forwarding_us:
+        One connection-table lookup + L2 forward (7.0 µs); charged for
+        every client packet bridged to the RPN.
+    bridged_packets_per_request:
+        Client packets bridged after dispatch (URL + data ACKs + FIN).
+    interrupt_us:
+        Per-received-frame interrupt handling cost at low load.
+    packets_per_request:
+        Frames the RDN receives per request (handshake + ACKs + FIN).
+    livelock_pps / livelock_scale_pps:
+        Packet rate where interrupt costs start to escalate and how fast
+        the exponential grows.
+    """
+
+    connection_setup_us: float = 29.3
+    classification_us: float = 3.0
+    forwarding_us: float = 7.0
+    bridged_packets_per_request: float = 5.0
+    interrupt_us: float = 13.0
+    packets_per_request: float = 9.0
+    livelock_pps: float = 44_000.0
+    livelock_scale_pps: float = 1_000.0
+
+    def operations_us_per_request(self) -> float:
+        """CPU time of the Gage operations for one request, µs."""
+        return (
+            self.connection_setup_us
+            + 2.0 * self.classification_us
+            + self.forwarding_us * self.bridged_packets_per_request
+        )
+
+    def interrupt_us_per_packet(self, packet_rate_pps: float) -> float:
+        """Per-frame interrupt cost at a given packet arrival rate."""
+        exponent = (packet_rate_pps - self.livelock_pps) / self.livelock_scale_pps
+        # Far past saturation the model is "overloaded" regardless of the
+        # exact figure; clamp to keep the bisection numerically safe.
+        escalation = math.exp(min(exponent, 50.0))
+        return self.interrupt_us * (1.0 + escalation)
+
+    def utilization(self, request_rate_rps: float, intelligent_nic: bool = False) -> float:
+        """RDN CPU utilization at a request rate (may exceed 1 ⇒ overload).
+
+        ``intelligent_nic=True`` models §4.3's projection of a NIC with
+        its own processor absorbing interrupt handling.
+        """
+        if request_rate_rps < 0:
+            raise ValueError("negative request rate")
+        per_request_us = self.operations_us_per_request()
+        if not intelligent_nic:
+            packet_rate = request_rate_rps * self.packets_per_request
+            per_request_us += self.packets_per_request * self.interrupt_us_per_packet(
+                packet_rate
+            )
+        return request_rate_rps * per_request_us / 1e6
+
+    def saturation_rate_rps(self, intelligent_nic: bool = False) -> float:
+        """The request rate at which utilization reaches 1.0 (bisection)."""
+        low, high = 0.0, 1e6
+        for _ in range(80):
+            mid = (low + high) / 2
+            if self.utilization(mid, intelligent_nic=intelligent_nic) < 1.0:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2
+
+    def curve(
+        self, rates: List[float], intelligent_nic: bool = False
+    ) -> List[Tuple[float, float]]:
+        """(rate, utilization) series for plotting the §4.3 figure."""
+        return [
+            (rate, self.utilization(rate, intelligent_nic=intelligent_nic))
+            for rate in rates
+        ]
+
+    def cpu_seconds_for_ops(self, ops) -> float:
+        """Modeled RDN CPU time for a run's operation counters.
+
+        ``ops`` is a :class:`repro.core.rdn.RDNOpCounters`; the result is
+        what the front end's CPU would have spent on the run, at the
+        paper's per-operation costs (interrupts at the low-load rate —
+        livelock analysis uses :meth:`utilization` instead).
+        """
+        return (
+            ops.connection_setups * self.connection_setup_us
+            + ops.classifications * self.classification_us
+            + ops.forwards * self.forwarding_us
+            + ops.packets * self.interrupt_us
+        ) / 1e6

@@ -1,0 +1,101 @@
+"""Cartesian parameter sweeps with structured results.
+
+The evaluation's figures are sweeps (accounting cycle × averaging
+interval, cluster size × dispatcher); :class:`Sweep` runs a callable over
+the cartesian product of named parameter lists and collects results in a
+queryable grid, so benchmarks and notebooks don't hand-roll nested loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+#: The experiment body: keyword parameters in, any result out.
+Runner = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    params: Dict[str, Any]
+    result: Any
+
+
+class Sweep:
+    """A cartesian sweep of a runner over named parameter axes.
+
+    Example::
+
+        sweep = Sweep(run_one, cycle_s=[0.05, 0.5], rpns=[1, 4, 8])
+        sweep.run()
+        sweep.result(cycle_s=0.5, rpns=8)
+        sweep.column("rpns", cycle_s=0.5)   # [(1, r), (4, r), (8, r)]
+    """
+
+    def __init__(self, runner: Runner, **axes: Sequence[Any]) -> None:
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in axes.items():
+            if not values:
+                raise ValueError("axis {!r} is empty".format(name))
+        self.runner = runner
+        self.axes: Dict[str, List[Any]] = {
+            name: list(values) for name, values in axes.items()
+        }
+        self.points: List[SweepPoint] = []
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def size(self) -> int:
+        """Number of grid cells the sweep will run."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def run(self, progress: Callable[[Dict[str, Any]], None] = None) -> "Sweep":
+        """Execute the runner over the whole grid (in axis order)."""
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            params = dict(zip(names, combo))
+            if progress is not None:
+                progress(params)
+            self.points.append(SweepPoint(params=params, result=self.runner(**params)))
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def _match(self, point: SweepPoint, fixed: Dict[str, Any]) -> bool:
+        return all(point.params.get(name) == value for name, value in fixed.items())
+
+    def result(self, **fixed: Any) -> Any:
+        """The single result matching ``fixed`` (KeyError if not exactly 1)."""
+        matches = [p for p in self.points if self._match(p, fixed)]
+        if len(matches) != 1:
+            raise KeyError(
+                "{} results match {!r}".format(len(matches), fixed)
+            )
+        return matches[0].result
+
+    def column(self, axis: str, **fixed: Any) -> List[Tuple[Any, Any]]:
+        """(axis value, result) pairs along one axis with others fixed."""
+        if axis not in self.axes:
+            raise KeyError("unknown axis {!r}".format(axis))
+        pairs = []
+        for point in self.points:
+            if self._match(point, fixed):
+                pairs.append((point.params[axis], point.result))
+        return pairs
+
+    def map_results(self, fn: Callable[[Any], Any]) -> "Sweep":
+        """A new sweep view with ``fn`` applied to every result."""
+        mapped = Sweep(self.runner, **self.axes)
+        mapped.points = [
+            SweepPoint(params=p.params, result=fn(p.result)) for p in self.points
+        ]
+        return mapped

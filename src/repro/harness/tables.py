@@ -1,0 +1,32 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get one decimal, everything else str()."""
+    if isinstance(value, float):
+        return "{:.1f}".format(value)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """An aligned monospace table, optionally titled."""
+    rendered: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

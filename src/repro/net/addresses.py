@@ -1,0 +1,128 @@
+"""IP and MAC address value types.
+
+Thin, hashable wrappers over integers with the usual dotted/colon text
+forms.  Using value types (rather than raw strings) catches a whole class
+of wiring mistakes in the simulator at construction time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+class IPAddress:
+    """An IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, address: Union[str, int, "IPAddress"]) -> None:
+        if isinstance(address, IPAddress):
+            self._value = address._value
+            return
+        if isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFF:
+                raise ValueError("IPv4 integer out of range: {}".format(address))
+            self._value = address
+            return
+        match = _IP_RE.match(address)
+        if not match:
+            raise ValueError("malformed IPv4 address: {!r}".format(address))
+        octets = [int(part) for part in match.groups()]
+        if any(octet > 255 for octet in octets):
+            raise ValueError("IPv4 octet out of range: {!r}".format(address))
+        self._value = (
+            (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        )
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return "{}.{}.{}.{}".format(
+            (self._value >> 24) & 0xFF,
+            (self._value >> 16) & 0xFF,
+            (self._value >> 8) & 0xFF,
+            self._value & 0xFF,
+        )
+
+    def __repr__(self) -> str:
+        return "IPAddress({!r})".format(str(self))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPAddress) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("ip", self._value))
+
+    def packed(self) -> bytes:
+        """The 4-byte big-endian wire form."""
+        return self._value.to_bytes(4, "big")
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "IPAddress":
+        """Parse the 4-byte big-endian wire form."""
+        if len(data) != 4:
+            raise ValueError("IPv4 wire form must be 4 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+
+class MACAddress:
+    """An Ethernet (EUI-48) address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_INT = 0xFFFFFFFFFFFF
+
+    def __init__(self, address: Union[str, int, "MACAddress"]) -> None:
+        if isinstance(address, MACAddress):
+            self._value = address._value
+            return
+        if isinstance(address, int):
+            if not 0 <= address <= self.BROADCAST_INT:
+                raise ValueError("MAC integer out of range: {}".format(address))
+            self._value = address
+            return
+        if not _MAC_RE.match(address):
+            raise ValueError("malformed MAC address: {!r}".format(address))
+        self._value = int(address.replace(":", ""), 16)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        raw = "{:012x}".format(self._value)
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return "MACAddress({!r})".format(str(self))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MACAddress) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self._value == self.BROADCAST_INT
+
+    def packed(self) -> bytes:
+        """The 6-byte wire form."""
+        return self._value.to_bytes(6, "big")
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "MACAddress":
+        """Parse the 6-byte wire form."""
+        if len(data) != 6:
+            raise ValueError("MAC wire form must be 6 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def broadcast(cls) -> "MACAddress":
+        """The Ethernet broadcast address."""
+        return cls(cls.BROADCAST_INT)

@@ -1,0 +1,186 @@
+"""Address resolution over the simulated Ethernet.
+
+The packet-mode cluster can wire MAC addresses statically (each stack's
+``arp`` table), or resolve them with this ARP implementation: requests
+are broadcast, the owner of the IP replies unicast, replies populate a
+cache with positive entries, and unanswered requests retry then fail.
+
+Gage's primary RDN answers ARP for the cluster's virtual IP — that is
+how every client's traffic lands on the front end in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.nic import NIC
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+#: Modeled wire size of an ARP payload (a real ARP frame is 28 bytes).
+ARP_PAYLOAD_LEN = 28
+
+
+@dataclass(frozen=True)
+class ArpRequest:
+    """Who has ``target_ip``?  Tell ``sender_ip``/``sender_mac``."""
+
+    target_ip: IPAddress
+    sender_ip: IPAddress
+    sender_mac: MACAddress
+
+
+@dataclass(frozen=True)
+class ArpReply:
+    """``target_ip`` is at ``target_mac``."""
+
+    target_ip: IPAddress
+    target_mac: MACAddress
+
+
+class ArpError(Exception):
+    """Resolution failed after all retries."""
+
+
+def _arp_frame(src_mac: MACAddress, dst_mac: MACAddress, payload: object) -> Packet:
+    # ARP is not TCP, but the simulator's single frame type carries an
+    # opaque payload; ports 0 and no flags mark it as non-TCP traffic.
+    return Packet(
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=IPAddress(0),
+        dst_ip=IPAddress(0),
+        src_port=0,
+        dst_port=0,
+        payload=payload,
+        payload_len=ARP_PAYLOAD_LEN,
+    )
+
+
+class ArpService:
+    """Per-host ARP: answers requests for the host's IP, resolves others.
+
+    Installs itself *in front of* the NIC's existing receive handler:
+    ARP payloads are consumed here, everything else passes through.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nic: NIC,
+        ip: IPAddress,
+        timeout_s: float = 0.1,
+        retries: int = 3,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 1:
+            raise ValueError("need at least one attempt")
+        self.env = env
+        self.nic = nic
+        self.ip = ip
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.cache: Dict[IPAddress, MACAddress] = {}
+        self._waiters: Dict[IPAddress, List[Event]] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.failures = 0
+        self._passthrough = nic.receive_handler
+        nic.receive_handler = self._on_packet
+
+    def __repr__(self) -> str:
+        return "<ArpService {} cache={}>".format(self.ip, len(self.cache))
+
+    # -- receive path -----------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, ArpRequest):
+            self.cache.setdefault(payload.sender_ip, payload.sender_mac)
+            if payload.target_ip == self.ip:
+                self._reply(payload)
+            return
+        if isinstance(payload, ArpReply):
+            self._learn(payload.target_ip, payload.target_mac)
+            return
+        if self._passthrough is not None:
+            self._passthrough(packet)
+
+    def _reply(self, request: ArpRequest) -> None:
+        self.replies_sent += 1
+        self.nic.transmit(
+            _arp_frame(
+                self.nic.mac,
+                request.sender_mac,
+                ArpReply(target_ip=self.ip, target_mac=self.nic.mac),
+            )
+        )
+
+    def _learn(self, ip: IPAddress, mac: MACAddress) -> None:
+        self.cache[ip] = mac
+        for waiter in self._waiters.pop(ip, []):
+            if not waiter.triggered:
+                waiter.succeed(mac)
+
+    # -- resolution -----------------------------------------------------------
+
+    def lookup(self, ip: IPAddress) -> Optional[MACAddress]:
+        """Cached MAC for ``ip``, or None."""
+        return self.cache.get(ip)
+
+    def resolve(self, ip: IPAddress) -> Event:
+        """Event that fires with the MAC of ``ip`` (or fails after retries)."""
+        event = Event(self.env)
+        cached = self.cache.get(ip)
+        if cached is not None:
+            event.succeed(cached)
+            return event
+        pending = ip in self._waiters
+        self._waiters.setdefault(ip, []).append(event)
+        if not pending:
+            self.env.process(self._resolve_loop(ip))
+        return event
+
+    def _resolve_loop(self, ip: IPAddress):
+        for _attempt in range(self.retries):
+            if ip in self.cache:
+                return
+            self.requests_sent += 1
+            self.nic.transmit(
+                _arp_frame(
+                    self.nic.mac,
+                    MACAddress.broadcast(),
+                    ArpRequest(target_ip=ip, sender_ip=self.ip, sender_mac=self.nic.mac),
+                )
+            )
+            yield self.env.timeout(self.timeout_s)
+        if ip not in self.cache:
+            self.failures += 1
+            for waiter in self._waiters.pop(ip, []):
+                if not waiter.triggered:
+                    setattr(waiter, "_defused", True)
+                    waiter.fail(ArpError("no ARP reply for {}".format(ip)))
+
+    def send_resolved(self, packet: Packet) -> None:
+        """Transmit ``packet``, resolving its destination MAC first.
+
+        If the destination is unknown the frame is held until the reply
+        arrives; it is dropped (counted as a failure) if resolution fails.
+        """
+        dst_ip = packet.dst_ip
+        cached = self.cache.get(dst_ip)
+        if cached is not None:
+            self.nic.transmit(packet.copy(dst_mac=cached))
+            return
+        self.env.process(self._send_when_resolved(packet))
+
+    def _send_when_resolved(self, packet: Packet):
+        try:
+            mac = yield self.resolve(packet.dst_ip)
+        except ArpError:
+            return
+        self.nic.transmit(packet.copy(dst_mac=mac))

@@ -1,0 +1,30 @@
+"""TCP connection identification.
+
+The paper's connection table is "indexed on the quadruple of the packet
+header, which includes source IP address, source port number, destination
+IP, and destination port number" (§3.3).  :class:`Quadruple` is that key.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.net.addresses import IPAddress
+
+
+class Quadruple(NamedTuple):
+    """A (src_ip, src_port, dst_ip, dst_port) connection key."""
+
+    src_ip: IPAddress
+    src_port: int
+    dst_ip: IPAddress
+    dst_port: int
+
+    def reversed(self) -> "Quadruple":
+        """The same connection as seen from the other direction."""
+        return Quadruple(self.dst_ip, self.dst_port, self.src_ip, self.src_port)
+
+    def __str__(self) -> str:
+        return "{}:{} -> {}:{}".format(
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )

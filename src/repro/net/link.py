@@ -1,0 +1,120 @@
+"""Point-to-point network interfaces and links.
+
+An :class:`Interface` is one end of a full-duplex link: it owns a bounded
+transmit queue and a transmit process that serializes one frame at a time
+at the configured bandwidth, then delivers to the peer interface after the
+propagation latency.  Loss injection (for failure tests) drops frames
+after serialization with a configurable probability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+#: Default: Fast Ethernet, as in the paper's testbed.
+DEFAULT_BANDWIDTH_BPS = 100e6
+#: One switch hop of propagation/forwarding latency.
+DEFAULT_LATENCY_S = 20e-6
+#: Default transmit queue depth, in frames.
+DEFAULT_QUEUE_FRAMES = 512
+
+ReceiveHook = Callable[["Packet", "Interface"], None]
+
+
+class Interface:
+    """One end of a full-duplex link."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        latency_s: float = DEFAULT_LATENCY_S,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must lie in [0, 1)")
+        self.env = env
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.loss_rate = float(loss_rate)
+        self._loss_rng = loss_rng or random.Random(0)
+        self.peer: Optional[Interface] = None
+        #: Administrative state: a downed interface neither transmits nor
+        #: receives (frames are counted as losses) — failure injection.
+        self.up = True
+        #: Called with (packet, this interface) on frame arrival.
+        self.on_receive: Optional[ReceiveHook] = None
+        self._queue = Store(env, capacity=queue_frames)
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.dropped_full = 0
+        self.dropped_loss = 0
+        env.process(self._tx_loop())
+
+    def __repr__(self) -> str:
+        return "<Interface {} tx={} rx={}>".format(self.name, self.tx_frames, self.rx_frames)
+
+    def connect(self, other: "Interface") -> None:
+        """Wire this interface and ``other`` as the two ends of one link."""
+        if self.peer is not None or other.peer is not None:
+            raise RuntimeError("interface already connected")
+        self.peer = other
+        other.peer = self
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently waiting to be serialized."""
+        return len(self._queue)
+
+    def send(self, packet: "Packet") -> bool:
+        """Queue a frame for transmission; False (and a drop) if full."""
+        if self._queue.try_put(packet):
+            return True
+        self.dropped_full += 1
+        return False
+
+    def serialization_delay(self, packet: "Packet") -> float:
+        """Seconds needed to clock the frame onto the wire."""
+        return packet.total_len * 8.0 / self.bandwidth_bps
+
+    def _tx_loop(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.env.timeout(self.serialization_delay(packet))
+            self.tx_frames += 1
+            self.tx_bytes += packet.total_len
+            if self.peer is None:
+                continue
+            if not self.up:
+                self.dropped_loss += 1
+                continue
+            if self.loss_rate and self._loss_rng.random() < self.loss_rate:
+                self.dropped_loss += 1
+                continue
+            self.env.call_later(self.latency_s, self.peer._deliver, packet)
+
+    def _deliver(self, packet: "Packet") -> None:
+        if not self.up:
+            self.dropped_loss += 1
+            return
+        self.rx_frames += 1
+        self.rx_bytes += packet.total_len
+        if self.on_receive is not None:
+            self.on_receive(packet, self)

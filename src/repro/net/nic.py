@@ -1,0 +1,87 @@
+"""Host network interface cards and frame filters.
+
+A :class:`NIC` couples an :class:`~repro.net.link.Interface` with a MAC
+address, destination filtering, an optional per-frame interrupt-cost sink
+(used to model the RDN's interrupt-handling load, §4.3 of the paper) and a
+pluggable receive handler.
+
+:class:`FrameFilter` is the interposition point used by Gage: the RPN's
+local service manager "resides above the Ethernet driver but below the IP
+layer" (§3.2) — exactly between the NIC and the host TCP stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import MACAddress
+from repro.net.link import Interface
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+
+
+class FrameFilter:
+    """Interposes on a host's frame path, below IP.
+
+    Subclasses override either hook; returning ``None`` swallows the
+    packet (it never reaches the stack / the wire), returning a packet —
+    possibly a rewritten copy — lets it continue.
+    """
+
+    def inbound(self, packet: Packet) -> Optional[Packet]:
+        """Filter a frame arriving from the wire, before the stack sees it."""
+        return packet
+
+    def outbound(self, packet: Packet) -> Optional[Packet]:
+        """Filter a frame leaving the stack, before it reaches the wire."""
+        return packet
+
+
+class NIC:
+    """A host network interface card."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mac: MACAddress,
+        name: str = "nic",
+        promiscuous: bool = False,
+        interrupt_cost_s: float = 0.0,
+        interrupt_sink: Optional[Callable[[float], None]] = None,
+        **iface_kwargs: object,
+    ) -> None:
+        self.env = env
+        self.mac = mac
+        self.promiscuous = promiscuous
+        self.interrupt_cost_s = interrupt_cost_s
+        self.interrupt_sink = interrupt_sink
+        #: Called with each accepted packet; installed by the host stack
+        #: or directly by Gage's RDN logic.
+        self.receive_handler: Optional[Callable[[Packet], None]] = None
+        self.iface = Interface(env, name, **iface_kwargs)
+        self.iface.on_receive = self._on_frame
+        self.rx_accepted = 0
+        self.rx_filtered = 0
+        self.tx_sent = 0
+        self.tx_dropped = 0
+
+    def __repr__(self) -> str:
+        return "<NIC {} mac={}>".format(self.iface.name, self.mac)
+
+    def transmit(self, packet: Packet) -> bool:
+        """Send a frame; returns False if the transmit queue was full."""
+        if self.iface.send(packet):
+            self.tx_sent += 1
+            return True
+        self.tx_dropped += 1
+        return False
+
+    def _on_frame(self, packet: Packet, _iface: Interface) -> None:
+        if not self.promiscuous and packet.dst_mac != self.mac and not packet.dst_mac.is_broadcast:
+            self.rx_filtered += 1
+            return
+        self.rx_accepted += 1
+        if self.interrupt_sink is not None and self.interrupt_cost_s > 0:
+            self.interrupt_sink(self.interrupt_cost_s)
+        if self.receive_handler is not None:
+            self.receive_handler(packet)

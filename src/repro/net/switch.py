@@ -1,0 +1,101 @@
+"""A store-and-forward learning Ethernet switch.
+
+Models the paper's testbed interconnect: a 16-port Fast Ethernet switch
+with a cross-section bandwidth high enough that "network contention effect
+is negligible" — each port has its own full-rate egress queue, so flows on
+disjoint port pairs never interfere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import MACAddress
+from repro.net.link import Interface
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+
+
+class Switch:
+    """An N-port learning switch."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ports: int = 16,
+        name: str = "switch",
+        bandwidth_bps: float = 100e6,
+        latency_s: float = 5e-6,
+        mac_aging_s: Optional[float] = None,
+    ) -> None:
+        if ports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        if mac_aging_s is not None and mac_aging_s <= 0:
+            raise ValueError("MAC aging time must be positive")
+        self.env = env
+        self.name = name
+        #: Learned entries older than this are forgotten (None = never) —
+        #: real switches age entries out after ~300 s.
+        self.mac_aging_s = mac_aging_s
+        self.ports: List[Interface] = []
+        for index in range(ports):
+            port = Interface(
+                env,
+                "{}.p{}".format(name, index),
+                bandwidth_bps=bandwidth_bps,
+                latency_s=latency_s,
+            )
+            port.on_receive = self._on_frame
+            self.ports.append(port)
+        self._mac_table: Dict[MACAddress, "Tuple[Interface, float]"] = {}
+        self.forwarded = 0
+        self.flooded = 0
+
+    def __repr__(self) -> str:
+        return "<Switch {} ports={} learned={}>".format(
+            self.name, len(self.ports), len(self._mac_table)
+        )
+
+    def free_port(self) -> Interface:
+        """The lowest-numbered unconnected port."""
+        for port in self.ports:
+            if port.peer is None:
+                return port
+        raise RuntimeError("switch {} has no free ports".format(self.name))
+
+    def attach(self, iface: Interface) -> Interface:
+        """Connect a host interface to the next free port; returns the port."""
+        port = self.free_port()
+        port.connect(iface)
+        return port
+
+    def lookup(self, mac: MACAddress) -> Optional[Interface]:
+        """The learned (unexpired) egress port for ``mac``, if any."""
+        entry = self._mac_table.get(mac)
+        if entry is None:
+            return None
+        port, learned_at = entry
+        if self.mac_aging_s is not None and self.env.now - learned_at > self.mac_aging_s:
+            del self._mac_table[mac]
+            return None
+        return port
+
+    def _on_frame(self, packet: Packet, ingress: Interface) -> None:
+        self._mac_table[packet.src_mac] = (ingress, self.env.now)
+        if packet.dst_mac.is_broadcast:
+            self._flood(packet, ingress)
+            return
+        egress = self.lookup(packet.dst_mac)
+        if egress is None:
+            self._flood(packet, ingress)
+            return
+        if egress is ingress:
+            return  # destination is back where it came from; drop
+        self.forwarded += 1
+        egress.send(packet)
+
+    def _flood(self, packet: Packet, ingress: Interface) -> None:
+        self.flooded += 1
+        for port in self.ports:
+            if port is not ingress and port.peer is not None:
+                port.send(packet)

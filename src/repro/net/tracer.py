@@ -1,0 +1,115 @@
+"""Packet capture for the simulated network.
+
+A :class:`PacketTracer` hooks the delivery path of selected interfaces
+and records every frame that arrives at them, with optional filtering —
+the simulator's tcpdump.  Used by tests and by
+``examples/packet_splicing_trace.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.net.link import Interface
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+
+#: Predicate deciding whether a frame is recorded.
+PacketFilter = Callable[[Packet], bool]
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One captured frame."""
+
+    at_s: float
+    interface: str
+    packet: Packet
+
+
+class PacketTracer:
+    """Records frames delivered to a set of interfaces.
+
+    Usable as a context manager::
+
+        with PacketTracer(env, cluster_interfaces()) as tracer:
+            cluster.run(2.0)
+        for entry in tracer.matching(lambda p: p.dst_port == 80):
+            ...
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interfaces: Iterable[Interface],
+        packet_filter: Optional[PacketFilter] = None,
+        max_packets: int = 100_000,
+    ) -> None:
+        if max_packets < 1:
+            raise ValueError("max_packets must be positive")
+        self.env = env
+        self.packet_filter = packet_filter
+        self.max_packets = max_packets
+        self.captured: List[CapturedPacket] = []
+        self.dropped_over_limit = 0
+        self._interfaces = list(interfaces)
+        self._originals: List[Optional[Callable]] = []
+        self._attached = False
+
+    def __enter__(self) -> "PacketTracer":
+        self.attach()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.detach()
+
+    def attach(self) -> None:
+        """Start capturing (wraps each interface's receive hook)."""
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        self._attached = True
+        self._originals = []
+        for iface in self._interfaces:
+            original = iface.on_receive
+            self._originals.append(original)
+            iface.on_receive = self._make_hook(iface, original)
+
+    def detach(self) -> None:
+        """Stop capturing and restore the original hooks."""
+        if not self._attached:
+            return
+        for iface, original in zip(self._interfaces, self._originals):
+            iface.on_receive = original
+        self._originals = []
+        self._attached = False
+
+    def _make_hook(self, iface: Interface, original):
+        def hook(packet: Packet, where: Interface) -> None:
+            if self.packet_filter is None or self.packet_filter(packet):
+                if len(self.captured) < self.max_packets:
+                    self.captured.append(
+                        CapturedPacket(self.env.now, iface.name, packet)
+                    )
+                else:
+                    self.dropped_over_limit += 1
+            if original is not None:
+                original(packet, where)
+
+        return hook
+
+    def __len__(self) -> int:
+        return len(self.captured)
+
+    def matching(self, predicate: PacketFilter) -> List[CapturedPacket]:
+        """Captured frames whose packet satisfies ``predicate``."""
+        return [entry for entry in self.captured if predicate(entry.packet)]
+
+    def on_interface(self, name: str) -> List[CapturedPacket]:
+        """Captured frames that arrived at one named interface."""
+        return [entry for entry in self.captured if entry.interface == name]
+
+    def clear(self) -> None:
+        """Discard everything captured so far."""
+        self.captured.clear()
+        self.dropped_over_limit = 0

@@ -1,0 +1,40 @@
+"""The asyncio real-socket implementation of the Gage architecture.
+
+The in-kernel packet remapping of the paper cannot be reproduced from
+userspace Python, so this package implements the closest real-network
+equivalent (documented in DESIGN.md): an application-layer front end that
+classifies by Host header, queues per subscriber, runs the *same*
+credit-based scheduler as the simulator (:mod:`repro.core`), dispatches to
+back-end HTTP servers, and splices the two sockets with a bidirectional
+relay.  Back ends report per-request resource usage in an
+``X-Gage-Usage`` response header that the front end strips and feeds into
+the shared accounting code.
+
+Throughput fidelity is necessarily lower than the paper's kernel module
+(GIL, syscall costs), which is why the paper-shape experiments run on the
+simulator; this package demonstrates the architecture end-to-end on real
+sockets.
+"""
+
+from repro.proxy.backend import BackendServer
+from repro.proxy.frontend import GageProxy, ProxyStats
+from repro.proxy.http import (
+    HTTPRequestHead,
+    HTTPResponseHead,
+    read_request_head,
+    read_response_head,
+    render_request_head,
+    render_response_head,
+)
+
+__all__ = [
+    "BackendServer",
+    "GageProxy",
+    "HTTPRequestHead",
+    "HTTPResponseHead",
+    "ProxyStats",
+    "read_request_head",
+    "read_response_head",
+    "render_request_head",
+    "render_response_head",
+]

@@ -1,0 +1,144 @@
+"""The back-end HTTP server of the asyncio deployment.
+
+Serves synthetic site content from an in-memory catalog, models CPU/disk
+service time (as event-loop sleeps, scaled by a cost model), and attaches
+the per-request resource usage to every response in an ``X-Gage-Usage``
+header — the real-socket analogue of the RPN's resource usage accounting
+(§3.5): here the *server* measures usage, and the front end collects it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.proxy.http import (
+    HTTPError,
+    HTTPResponseHead,
+    USAGE_HEADER,
+    read_request_head,
+    render_response_head,
+)
+from repro.workload.request import CostModel, WebRequest
+
+#: Body chunk written at a time, bytes.
+CHUNK_BYTES = 16 * 1024
+
+
+class BackendServer:
+    """One back-end node: asyncio HTTP server over an in-memory file set.
+
+    Parameters
+    ----------
+    sites:
+        host → {path → size_bytes}; requests for other hosts/paths get 404.
+    cost_model:
+        Converts a request into modeled CPU/disk service time; set
+        ``time_scale`` below 1.0 to shrink modeled sleeps in tests.
+    """
+
+    def __init__(
+        self,
+        sites: Dict[str, Dict[str, int]],
+        cost_model: Optional[CostModel] = None,
+        time_scale: float = 1.0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if time_scale < 0:
+            raise ValueError("negative time scale")
+        self.sites = sites
+        self.cost_model = cost_model or CostModel()
+        self.time_scale = time_scale
+        self.host = host
+        self.port: Optional[int] = None
+        self.requests_served = 0
+        self.errors = 0
+        self.bytes_sent = 0
+        #: host → cached flag per path (one-shot "buffer cache").
+        self._warm: Dict[Tuple[str, str], bool] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, port: int = 0) -> int:
+        """Bind and start serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting and close the server."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) once started."""
+        if self.port is None:
+            raise RuntimeError("backend not started")
+        return self.host, self.port
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await read_request_head(reader)
+        except (HTTPError, asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        try:
+            await self._respond(head, writer)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, head, writer: asyncio.StreamWriter) -> None:
+        host = head.host or ""
+        site = self.sites.get(host)
+        size = site.get(head.path) if site is not None else None
+        if size is None:
+            self.errors += 1
+            response = HTTPResponseHead(
+                version="HTTP/1.0",
+                status=404,
+                reason="Not Found",
+                headers={"content-length": "0", "connection": "close"},
+            )
+            writer.write(render_response_head(response))
+            await writer.drain()
+            return
+
+        request = WebRequest(host=host, path=head.path, size_bytes=size)
+        cpu_s = self.cost_model.cpu_seconds(request)
+        key = (host, head.path)
+        disk_s = 0.0
+        if not self._warm.get(key):
+            disk_s = self.cost_model.disk_seconds(request)
+            self._warm[key] = True
+        service_s = (cpu_s + disk_s) * self.time_scale
+        if service_s > 0:
+            await asyncio.sleep(service_s)
+
+        response = HTTPResponseHead(
+            version="HTTP/1.0",
+            status=200,
+            reason="OK",
+            headers={
+                "content-length": str(size),
+                "content-type": "text/html",
+                "connection": "close",
+                USAGE_HEADER: "{:.6f},{:.6f},{}".format(cpu_s, disk_s, size),
+            },
+        )
+        writer.write(render_response_head(response))
+        remaining = size
+        while remaining > 0:
+            chunk = min(CHUNK_BYTES, remaining)
+            writer.write(b"x" * chunk)
+            remaining -= chunk
+            await writer.drain()
+        self.requests_served += 1
+        self.bytes_sent += size

@@ -1,0 +1,283 @@
+"""The Gage front end on real sockets.
+
+Runs the *identical* scheduling/accounting code as the simulator —
+:class:`~repro.core.queues.SubscriberQueues`,
+:class:`~repro.core.scheduler.RequestScheduler`,
+:class:`~repro.core.node_scheduler.NodeScheduler`,
+:class:`~repro.core.accounting.RDNAccounting` — driven by asyncio tasks
+instead of simulated processes:
+
+- the **scheduler task** wakes every scheduling cycle (10 ms) and runs
+  one WRR credit cycle; dispatched connections become asyncio tasks that
+  connect to the chosen back end and splice the two sockets;
+- the **accounting task** wakes every accounting cycle, turns the usage
+  collected from ``X-Gage-Usage`` response headers into
+  :class:`~repro.core.feedback.AccountingMessage` objects (one per back
+  end), and applies them exactly as the simulated RDN would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accounting import RDNAccounting
+from repro.core.classifier import RequestClassifier
+from repro.core.config import GageConfig
+from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.node_scheduler import NodeScheduler
+from repro.core.queues import SubscriberQueues
+from repro.core.scheduler import RequestScheduler
+from repro.core.subscriber import Subscriber
+from repro.proxy.http import (
+    HTTPError,
+    HTTPRequestHead,
+    read_request_head,
+    read_response_head,
+    render_request_head,
+    render_response_head,
+)
+from repro.proxy.splice import relay_exactly
+from repro.resources import ResourceVector
+
+
+@dataclass
+class ProxyStats:
+    """Counters across the proxy's lifetime."""
+
+    accepted: int = 0
+    rejected_unknown_host: int = 0
+    dropped_queue_full: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    bytes_relayed: int = 0
+
+
+@dataclass
+class _PendingConnection:
+    """A classified, queued client connection awaiting dispatch."""
+
+    head: HTTPRequestHead
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    subscriber: str
+
+
+#: Default per-backend capacity: one CPU-second and disk-second per
+#: second, 12.5 MB/s of link — mirrors the simulator's node capacity.
+DEFAULT_BACKEND_CAPACITY = ResourceVector(1.0, 1.0, 12_500_000.0)
+
+
+class GageProxy:
+    """The front-end request distribution proxy."""
+
+    def __init__(
+        self,
+        subscribers: List[Subscriber],
+        backends: Dict[str, Tuple[str, int]],
+        config: Optional[GageConfig] = None,
+        host: str = "127.0.0.1",
+        backend_capacity: ResourceVector = DEFAULT_BACKEND_CAPACITY,
+    ) -> None:
+        if not backends:
+            raise ValueError("need at least one backend")
+        self.config = config or GageConfig()
+        self.host = host
+        self.port: Optional[int] = None
+        self.backends = dict(backends)
+        self.stats = ProxyStats()
+        self.classifier = RequestClassifier(host_extractor=lambda head: head.host)
+        self.queues = SubscriberQueues()
+        self.accounting = RDNAccounting()
+        self.accounting.keep_usage_log = False
+        self.node_scheduler = NodeScheduler(
+            policy=self.config.node_policy, window_s=self.config.dispatch_window_s
+        )
+        self.scheduler = RequestScheduler(
+            self.config,
+            self.queues,
+            self.accounting,
+            self.node_scheduler,
+            dispatch_fn=self._dispatch,
+        )
+        for subscriber in subscribers:
+            self.queues.register(subscriber)
+            self.accounting.register(subscriber)
+            self.classifier.register_host(subscriber.name, subscriber.name)
+        for backend_id in backends:
+            self.node_scheduler.add_node(backend_id, backend_capacity)
+        #: backend -> subscriber -> [usage, completed] since last flush.
+        self._buckets: Dict[str, Dict[str, List[object]]] = {
+            backend_id: {} for backend_id in backends
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, port: int = 0) -> int:
+        """Bind, start serving, and start the scheduler/accounting tasks."""
+        self._server = await asyncio.start_server(self._handle, host=self.host, port=port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._tasks.append(asyncio.ensure_future(self._scheduler_loop()))
+        self._tasks.append(asyncio.ensure_future(self._accounting_loop()))
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop serving and cancel the background tasks."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) once started."""
+        if self.port is None:
+            raise RuntimeError("proxy not started")
+        return self.host, self.port
+
+    # -- background loops --------------------------------------------------
+
+    async def _scheduler_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.scheduling_cycle_s)
+            self.scheduler.run_cycle()
+
+    async def _accounting_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        last = loop.time()
+        while not self._stopping:
+            await asyncio.sleep(self.config.accounting_cycle_s)
+            now = loop.time()
+            for backend_id in self.backends:
+                message = self._flush_bucket(backend_id, last, now)
+                if message.per_subscriber:
+                    self.scheduler.apply_feedback(message)
+            last = now
+
+    def _flush_bucket(self, backend_id: str, start: float, end: float) -> AccountingMessage:
+        bucket = self._buckets[backend_id]
+        per_subscriber = {}
+        total = ResourceVector.ZERO
+        for name, (usage, completed) in bucket.items():
+            per_subscriber[name] = RPNUsageReport(usage, completed)
+            total = total + usage
+        bucket.clear()
+        return AccountingMessage(
+            rpn_id=backend_id,
+            cycle_start_s=start,
+            cycle_end_s=end,
+            total_usage=total,
+            per_subscriber=per_subscriber,
+        )
+
+    # -- client admission ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.accepted += 1
+        try:
+            head = await read_request_head(reader)
+        except (HTTPError, asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        subscriber = self.classifier.classify_payload(head)
+        if subscriber is None:
+            self.stats.rejected_unknown_host += 1
+            await self._refuse(writer, 404, "Not Found")
+            return
+        pending = _PendingConnection(head, reader, writer, subscriber)
+        queue = self.queues.get(subscriber)
+        if queue is None or not queue.offer(pending):
+            self.stats.dropped_queue_full += 1
+            await self._refuse(writer, 503, "Service Unavailable")
+            return
+
+    @staticmethod
+    async def _refuse(writer: asyncio.StreamWriter, status: int, reason: str) -> None:
+        try:
+            writer.write(
+                "HTTP/1.0 {} {}\r\ncontent-length: 0\r\n\r\n".format(
+                    status, reason
+                ).encode("latin-1")
+            )
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, item: object, backend_id: str, subscriber: str) -> None:
+        assert isinstance(item, _PendingConnection)
+        self.stats.dispatched += 1
+        task = asyncio.ensure_future(self._serve(item, backend_id, subscriber))
+        self._tasks.append(task)
+        self._tasks = [t for t in self._tasks if not t.done()]
+
+    async def _serve(
+        self, pending: _PendingConnection, backend_id: str, subscriber: str
+    ) -> None:
+        client_reader, client_writer = pending.reader, pending.writer
+        backend_host, backend_port = self.backends[backend_id]
+        try:
+            backend_reader, backend_writer = await asyncio.open_connection(
+                backend_host, backend_port
+            )
+        except OSError:
+            self.stats.failed += 1
+            self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+            await self._refuse(client_writer, 502, "Bad Gateway")
+            return
+        try:
+            backend_writer.write(render_request_head(pending.head))
+            body_len = pending.head.content_length
+            if body_len:
+                await relay_exactly(client_reader, backend_writer, body_len)
+            await backend_writer.drain()
+
+            response = await read_response_head(backend_reader)
+            usage_triple = response.usage()
+            client_writer.write(render_response_head(response, drop_usage=True))
+            relayed = await relay_exactly(
+                backend_reader, client_writer, response.content_length
+            )
+            await client_writer.drain()
+            self.stats.completed += 1
+            self.stats.bytes_relayed += relayed
+            usage = (
+                ResourceVector(*usage_triple)
+                if usage_triple is not None
+                else ResourceVector(0.0, 0.0, float(relayed))
+            )
+            self._record(backend_id, subscriber, usage, completed=1)
+        except (HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            self.stats.failed += 1
+            self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+        finally:
+            backend_writer.close()
+            client_writer.close()
+
+    def _record(
+        self, backend_id: str, subscriber: str, usage: ResourceVector, completed: int
+    ) -> None:
+        bucket = self._buckets[backend_id]
+        if subscriber not in bucket:
+            bucket[subscriber] = [ResourceVector.ZERO, 0]
+        bucket[subscriber][0] = bucket[subscriber][0] + usage
+        bucket[subscriber][1] += completed

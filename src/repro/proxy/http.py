@@ -1,0 +1,135 @@
+"""A minimal HTTP/1.x head parser for the asyncio proxy.
+
+Supports exactly what the Gage front end needs: reading a request line +
+headers to extract the Host (classification key, §3.3) and
+Content-Length, and reading a response head to extract Content-Length and
+the back end's ``X-Gage-Usage`` accounting header.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Upper bound on a message head, to bound memory per connection.
+MAX_HEAD_BYTES = 16 * 1024
+
+#: The accounting header the back end attaches and the front end strips.
+USAGE_HEADER = "x-gage-usage"
+
+
+class HTTPError(Exception):
+    """Malformed or oversized HTTP message head."""
+
+
+@dataclass
+class HTTPRequestHead:
+    """Parsed request line + headers."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def host(self) -> Optional[str]:
+        """The Host header without any :port suffix."""
+        raw = self.headers.get("host")
+        if raw is None:
+            return None
+        return raw.split(":", 1)[0].strip()
+
+    @property
+    def content_length(self) -> int:
+        """Declared body length (0 if absent)."""
+        return int(self.headers.get("content-length", "0"))
+
+
+@dataclass
+class HTTPResponseHead:
+    """Parsed status line + headers."""
+
+    version: str
+    status: int
+    reason: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def content_length(self) -> int:
+        """Declared body length (0 if absent)."""
+        return int(self.headers.get("content-length", "0"))
+
+    def usage(self) -> Optional[Tuple[float, float, float]]:
+        """The (cpu_s, disk_s, net_bytes) triple from X-Gage-Usage."""
+        raw = self.headers.get(USAGE_HEADER)
+        if raw is None:
+            return None
+        parts = raw.split(",")
+        if len(parts) != 3:
+            raise HTTPError("malformed {} header: {!r}".format(USAGE_HEADER, raw))
+        return float(parts[0]), float(parts[1]), float(parts[2])
+
+
+async def _read_head_block(reader: asyncio.StreamReader) -> str:
+    data = await reader.readuntil(b"\r\n\r\n")
+    if len(data) > MAX_HEAD_BYTES:
+        raise HTTPError("message head too large")
+    return data.decode("latin-1")
+
+
+def _parse_headers(lines) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HTTPError("malformed header line: {!r}".format(line))
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def read_request_head(reader: asyncio.StreamReader) -> HTTPRequestHead:
+    """Read and parse one request head from the stream."""
+    block = await _read_head_block(reader)
+    lines = block.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HTTPError("malformed request line: {!r}".format(lines[0]))
+    method, path, version = parts
+    return HTTPRequestHead(
+        method=method, path=path, version=version, headers=_parse_headers(lines[1:])
+    )
+
+
+async def read_response_head(reader: asyncio.StreamReader) -> HTTPResponseHead:
+    """Read and parse one response head from the stream."""
+    block = await _read_head_block(reader)
+    lines = block.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2:
+        raise HTTPError("malformed status line: {!r}".format(lines[0]))
+    version = parts[0]
+    status = int(parts[1])
+    reason = parts[2] if len(parts) > 2 else ""
+    return HTTPResponseHead(
+        version=version, status=status, reason=reason, headers=_parse_headers(lines[1:])
+    )
+
+
+def render_request_head(head: HTTPRequestHead) -> bytes:
+    """Serialize a request head back to wire form."""
+    lines = ["{} {} {}".format(head.method, head.path, head.version)]
+    lines.extend("{}: {}".format(name, value) for name, value in head.headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def render_response_head(head: HTTPResponseHead, drop_usage: bool = False) -> bytes:
+    """Serialize a response head; optionally strip the accounting header."""
+    lines = ["{} {} {}".format(head.version, head.status, head.reason).rstrip()]
+    for name, value in head.headers.items():
+        if drop_usage and name == USAGE_HEADER:
+            continue
+        lines.append("{}: {}".format(name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

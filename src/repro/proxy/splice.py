@@ -1,0 +1,51 @@
+"""Byte-stream splicing for the asyncio deployment.
+
+The userspace analogue of the paper's TCP connection splicing: once the
+front end has classified a request and chosen a back end, the two sockets
+are joined by relaying bytes.  (In-kernel Gage rewrites
+sequence numbers so the back end answers the client directly; from
+userspace the bytes must flow through the proxy — the known fidelity cost
+of this deployment, documented in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+#: Relay buffer size, bytes.
+RELAY_CHUNK = 64 * 1024
+
+
+async def relay_exactly(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, nbytes: int
+) -> int:
+    """Copy exactly ``nbytes`` from ``reader`` to ``writer``.
+
+    Returns the number of bytes copied; raises ``IncompleteReadError`` if
+    the source ends early.
+    """
+    remaining = nbytes
+    copied = 0
+    while remaining > 0:
+        chunk = await reader.read(min(RELAY_CHUNK, remaining))
+        if not chunk:
+            raise asyncio.IncompleteReadError(partial=b"", expected=remaining)
+        writer.write(chunk)
+        copied += len(chunk)
+        remaining -= len(chunk)
+        await writer.drain()
+    return copied
+
+
+async def relay_until_eof(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> int:
+    """Copy from ``reader`` to ``writer`` until EOF; returns bytes copied."""
+    copied = 0
+    while True:
+        chunk = await reader.read(RELAY_CHUNK)
+        if not chunk:
+            return copied
+        writer.write(chunk)
+        copied += len(chunk)
+        await writer.drain()

@@ -1,0 +1,145 @@
+"""The generic-request QoS currency (§3.1 of the paper).
+
+This lives at the package root (rather than inside :mod:`repro.core`)
+because both the Gage core and the cluster substrate account in it;
+:mod:`repro.core.grps` re-exports everything here.
+
+Gage expresses QoS as *generic URL requests per second* (GRPS).  A generic
+request "represents an average web site access and is assumed to take
+10 msec of CPU time, 10 msec of disk channel usage time, and 2000 bytes of
+network bandwidth".  A subscriber reserving 50 GRPS is therefore entitled,
+every second, to 500 ms of CPU, 500 ms of disk channel time, and
+100 KBytes of outgoing bandwidth from the cluster.
+
+:class:`ResourceVector` is the three-dimensional quantity all accounting,
+balances, and capacities are expressed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An amount of the three managed resources.
+
+    Attributes
+    ----------
+    cpu_s:
+        CPU time, in seconds.
+    disk_s:
+        Disk channel usage time, in seconds.
+    net_bytes:
+        Network bandwidth consumed on the outgoing link, in bytes.
+    """
+
+    cpu_s: float = 0.0
+    disk_s: float = 0.0
+    net_bytes: float = 0.0
+
+    #: Shared all-zero constant (assigned after the class body).
+    ZERO: ClassVar["ResourceVector"]
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_s + other.cpu_s,
+            self.disk_s + other.disk_s,
+            self.net_bytes + other.net_bytes,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_s - other.cpu_s,
+            self.disk_s - other.disk_s,
+            self.net_bytes - other.net_bytes,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """This vector multiplied componentwise by ``factor``."""
+        return ResourceVector(
+            self.cpu_s * factor, self.disk_s * factor, self.net_bytes * factor
+        )
+
+    def max(self, other: "ResourceVector") -> "ResourceVector":
+        """Componentwise maximum."""
+        return ResourceVector(
+            max(self.cpu_s, other.cpu_s),
+            max(self.disk_s, other.disk_s),
+            max(self.net_bytes, other.net_bytes),
+        )
+
+    def clamped_min(self, floor: float = 0.0) -> "ResourceVector":
+        """Componentwise ``max(component, floor)``."""
+        return ResourceVector(
+            max(self.cpu_s, floor),
+            max(self.disk_s, floor),
+            max(self.net_bytes, floor),
+        )
+
+    #: Tolerance for negativity checks: balances are sums of many small
+    #: floats, so exact-zero results land within ±1e-6 of zero.
+    EPSILON: ClassVar[float] = 1e-6
+
+    @property
+    def any_negative(self) -> bool:
+        """True if any component is below zero (a queue balance exhausted)."""
+        return (
+            self.cpu_s < -self.EPSILON
+            or self.disk_s < -self.EPSILON
+            or self.net_bytes < -self.EPSILON
+        )
+
+    @property
+    def all_nonnegative(self) -> bool:
+        """True if every component is zero or above."""
+        return not self.any_negative
+
+    def covers(self, other: "ResourceVector") -> bool:
+        """True if this vector is componentwise >= ``other``."""
+        return (
+            self.cpu_s >= other.cpu_s
+            and self.disk_s >= other.disk_s
+            and self.net_bytes >= other.net_bytes
+        )
+
+    def dominant_fraction_of(self, capacity: "ResourceVector") -> float:
+        """The largest componentwise ratio self/capacity (load measure).
+
+        Components with zero capacity are ignored; returns 0.0 when all
+        capacity components are zero.
+        """
+        ratios = []
+        if capacity.cpu_s > 0:
+            ratios.append(self.cpu_s / capacity.cpu_s)
+        if capacity.disk_s > 0:
+            ratios.append(self.disk_s / capacity.disk_s)
+        if capacity.net_bytes > 0:
+            ratios.append(self.net_bytes / capacity.net_bytes)
+        return max(ratios) if ratios else 0.0
+
+    def in_generic_requests(self, generic: "ResourceVector" = None) -> float:
+        """This usage expressed as a number of generic requests.
+
+        Uses the *dominant* (most constrained) resource, mirroring the
+        scheduler's dispatch-until-any-balance-negative rule.
+        """
+        return self.dominant_fraction_of(generic or GENERIC_REQUEST)
+
+
+#: The paper's definition of one generic URL request (§3.1).
+GENERIC_REQUEST = ResourceVector(cpu_s=0.010, disk_s=0.010, net_bytes=2000.0)
+
+# A shared zero constant (frozen dataclass, safe to share).  Assigning a
+# class attribute is unaffected by frozen instance semantics.
+ResourceVector.ZERO = ResourceVector(0.0, 0.0, 0.0)
+
+
+def grps(count: float, generic: ResourceVector = GENERIC_REQUEST) -> ResourceVector:
+    """The resource entitlement of ``count`` generic requests.
+
+    ``grps(50)`` is what a 50-GRPS reservation earns per second: 0.5 s of
+    CPU, 0.5 s of disk channel time, and 100 KB of network bandwidth.
+    """
+    return generic.scaled(count)

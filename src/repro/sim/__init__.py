@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine simulation engine in the style
+of SimPy, purpose-built for the Gage reproduction.  The engine provides:
+
+- :class:`~repro.sim.engine.Environment` — the event loop and simulated clock.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf`, :class:`~repro.sim.events.AllOf` —
+  the primitive occurrences processes wait on.
+- :class:`~repro.sim.process.Process` — generator-based simulated processes
+  with interrupt support.
+- :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.PriorityResource`,
+  :class:`~repro.sim.resources.Container`,
+  :class:`~repro.sim.resources.Store` — contention primitives.
+- :class:`~repro.sim.rng.RandomStreams` — named, independently seeded
+  random streams for reproducible experiments.
+
+Determinism: events scheduled for the same simulated time are processed in
+(priority, insertion-order) order, so two runs with the same seeds produce
+identical traces.
+"""
+
+from repro.sim.engine import Environment, NORMAL_PRIORITY, URGENT_PRIORITY
+from repro.sim.errors import Interrupt, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NORMAL_PRIORITY",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "URGENT_PRIORITY",
+]

@@ -1,0 +1,157 @@
+"""The simulation event loop and clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+#: Priority for events scheduled by ordinary user actions.
+NORMAL_PRIORITY = 1
+#: Priority for kernel-internal events that must run before user events
+#: scheduled at the same instant (e.g. resource bookkeeping).
+URGENT_PRIORITY = 0
+
+_HeapItem = Tuple[float, int, int, Event]
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    The environment owns the simulated clock (:attr:`now`) and the event
+    heap.  Events scheduled for the same instant are processed in
+    (priority, insertion order), which makes runs fully deterministic.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[_HeapItem] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return "<Environment t={:.6f} pending={}>".format(self._now, len(self._heap))
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation helpers ----------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event` bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new simulated :class:`Process` from a generator."""
+        return Process(self, generator)
+
+    def call_later(self, delay: float, fn, *args: object) -> Event:
+        """Invoke ``fn(*args)`` after ``delay`` seconds of simulated time.
+
+        Lighter than spawning a process; used for fire-and-forget actions
+        such as delivering a frame after propagation delay.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _evt: fn(*args))
+        self.schedule(event, delay=delay)
+        return event
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL_PRIORITY
+    ) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay={})".format(delay))
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        if not self._heap:
+            raise SimulationError("no events scheduled")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError("event processed twice: {!r}".format(event))
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # An unhandled failure with nobody waiting is a programming
+            # error; surface it instead of silently dropping it.
+            raise event._value  # type: ignore[misc]
+
+    def run(self, until: object = None) -> object:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the heap drains; a number — run until that
+            simulated time; an :class:`Event` — run until it is processed
+            and return its value.
+        """
+        stop_at: Optional[float] = None
+        wait_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            wait_event = until
+            if wait_event.processed:
+                return wait_event.value
+            wait_event.callbacks.append(self._stop_on_event)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    "until={} is in the past (now={})".format(stop_at, self._now)
+                )
+        try:
+            while self._heap:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if wait_event is not None and not wait_event.processed:
+            raise SimulationError(
+                "run(until=event) finished before the event triggered"
+            )
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event._ok:
+            setattr(event, "_defused", True)
+            raise event._value  # type: ignore[misc]
+        raise StopSimulation(event._value)

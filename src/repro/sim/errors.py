@@ -1,0 +1,35 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early.
+
+    User code may raise it from inside a process to stop the whole
+    simulation; the value carried becomes the return value of ``run``.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, an arbitrary object that the
+    interrupted process can inspect to decide how to react.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

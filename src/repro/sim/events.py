@@ -1,0 +1,193 @@
+"""Primitive simulation events.
+
+An :class:`Event` is a one-shot occurrence on the simulated timeline.
+Processes wait on events by yielding them; arbitrary callbacks may also be
+attached.  Events move through three states:
+
+1. *untriggered* — created but not yet scheduled;
+2. *triggered* — scheduled on the environment's event heap with a value
+   (success) or an exception (failure);
+3. *processed* — the environment popped it from the heap and invoked every
+   callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker for typing only
+    from repro.sim.engine import Environment
+
+Callback = Callable[["Event"], None]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The environment this event belongs to.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callback]] = []
+        self._value: object = _PENDING
+        self._ok: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        state = (
+            "untriggered"
+            if not self.triggered
+            else ("processed" if self.processed else "triggered")
+        )
+        return "<{} {} at t={:.6f}>".format(
+            type(self).__name__, state, self.env.now
+        )
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (``callbacks`` is discarded)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; raises if untriggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> object:
+        """The success value or failure exception carried by the event."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+
+    def succeed(self, value: object = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to occur successfully after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered: {!r}".format(self))
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to occur as a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered: {!r}".format(self))
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=delay)
+        return self
+
+    # -- composition --------------------------------------------------
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that occurs a fixed delay after its creation.
+
+    Created via :meth:`Environment.timeout`; triggers immediately on
+    construction, so it cannot be failed or re-triggered.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError("negative timeout delay: {}".format(delay))
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            # The condition already fired, but it still "owns" this
+            # constituent: a late failure (e.g. an aborted connection
+            # after an AnyOf timeout won) must not crash the event loop.
+            if not event._ok:
+                setattr(event, "_defused", True)
+            return
+        if not event._ok:
+            # The condition consumes the failure; stop the engine from
+            # treating the source event as an unhandled error.
+            setattr(event, "_defused", True)
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        self._check(event)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        """Map of already-occurred constituent events to their values.
+
+        Only *processed* events count: a :class:`Timeout` is triggered from
+        birth, but it has not yet happened until the engine processes it.
+        """
+        return {
+            event: event._value for event in self._events if event.processed
+        }
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any constituent event succeeds."""
+
+    def _check(self, event: Event) -> None:
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once every constituent event has succeeded."""
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, events)
+        if not self.triggered and self._remaining == 0:
+            self.succeed({})
+
+    def _check(self, event: Event) -> None:
+        if self._remaining == 0:
+            self.succeed(self._collect())

@@ -1,0 +1,128 @@
+"""Generator-coroutine simulated processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Process(Event):
+    """A simulated process driven by a Python generator.
+
+    The generator yields :class:`Event` instances; the process sleeps until
+    each yielded event is processed and is resumed with the event's value
+    (or has the event's exception thrown into it on failure).  The process
+    is itself an event that succeeds with the generator's return value,
+    so processes can wait on one another.
+
+    Use :meth:`interrupt` to throw an :class:`Interrupt` into a process
+    that is waiting on an event.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                "Process requires a generator, got {!r}".format(type(generator))
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off execution at the current instant.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env.schedule(bootstrap, delay=0.0)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", "process")
+        return "<Process {} {}>".format(
+            name, "alive" if self.is_alive else "finished"
+        )
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently suspended on, if any."""
+        return self._waiting_on
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The process must be alive.  If the process is waiting on an event,
+        it is detached from it first; the event itself is not cancelled and
+        may still occur (its value is simply discarded by this process).
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        carrier = Event(self.env)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        setattr(carrier, "_defused", True)
+        carrier.callbacks.append(self._resume)
+        self.env.schedule(carrier, delay=0.0)
+
+    # -- internal -------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        previous = self.env._active_process
+        self.env._active_process = self
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                setattr(trigger, "_defused", True)
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = previous
+        if not isinstance(target, Event):
+            message = "process yielded a non-event: {!r}".format(target)
+            try:
+                self._generator.throw(SimulationError(message))
+            except StopIteration as stop:
+                self.succeed(getattr(stop, "value", None))
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.processed:
+            # The event already happened; resume immediately (this keeps
+            # `yield already_done_event` legal, matching SimPy semantics).
+            carrier = Event(self.env)
+            carrier._ok = target._ok
+            carrier._value = target._value
+            if not target._ok:
+                setattr(carrier, "_defused", True)
+                setattr(target, "_defused", True)
+            carrier.callbacks.append(self._resume)
+            self.env.schedule(carrier, delay=0.0)
+        else:
+            self._waiting_on = target
+            # A waiter exists, so a failure of `target` is handled by being
+            # thrown into this process rather than crashing the event loop.
+            setattr(target, "_defused", True)
+            target.callbacks.append(self._resume)

@@ -1,0 +1,25 @@
+"""Workload generation: request models, synthetic and SPECWeb99-shaped
+trace generators, trace file I/O, and open-loop simulated clients."""
+
+from repro.workload.client import ClientFleet, ClientStats
+from repro.workload.flashcrowd import LoadProfile, ProfiledWorkload
+from repro.workload.request import CostModel, RequestRecord, WebRequest, WebResponse
+from repro.workload.specweb import SpecWeb99Config, SpecWeb99Workload
+from repro.workload.synthetic import SyntheticWorkload
+from repro.workload.trace import load_trace, save_trace
+
+__all__ = [
+    "ClientFleet",
+    "ClientStats",
+    "CostModel",
+    "LoadProfile",
+    "ProfiledWorkload",
+    "RequestRecord",
+    "SpecWeb99Config",
+    "SpecWeb99Workload",
+    "SyntheticWorkload",
+    "WebRequest",
+    "WebResponse",
+    "load_trace",
+    "save_trace",
+]

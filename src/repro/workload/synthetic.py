@@ -1,0 +1,107 @@
+"""Synthetic constant-rate workloads.
+
+"The clients load the trace from a file and issue requests to Gage at a
+constant rate" (§4) — the synthetic experiments use fixed-size pages
+(6 KBytes in the Figure 3 experiment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.request import RequestRecord
+
+#: The fixed page size of the paper's synthetic workload (§4.1).
+DEFAULT_FILE_BYTES = 6 * 1024
+
+
+@dataclass
+class SyntheticWorkload:
+    """Constant-rate, fixed-size-page workload for a set of hosts.
+
+    Parameters
+    ----------
+    rates:
+        Host name → offered load in requests/second.
+    duration_s:
+        Length of the generated trace.
+    file_bytes:
+        Size of every page.
+    files_per_site:
+        Number of distinct pages per site; controls how well the working
+        set fits in the back-end buffer caches.
+    arrival:
+        ``"constant"`` — evenly spaced (the paper's method) or
+        ``"poisson"`` — exponential interarrivals.
+    cpu_extra_s:
+        Extra CPU demand per request (models dynamic content).
+    """
+
+    rates: Dict[str, float]
+    duration_s: float
+    file_bytes: int = DEFAULT_FILE_BYTES
+    files_per_site: int = 64
+    arrival: str = "constant"
+    cpu_extra_s: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.file_bytes < 0:
+            raise ValueError("file size must be non-negative")
+        if self.files_per_site < 1:
+            raise ValueError("need at least one file per site")
+        if self.arrival not in ("constant", "poisson"):
+            raise ValueError("unknown arrival model: {!r}".format(self.arrival))
+        for host, rate in self.rates.items():
+            if rate < 0:
+                raise ValueError("negative rate for {!r}".format(host))
+        self._rng = random.Random(self.seed)
+
+    def site_files(self, host: str) -> Dict[str, int]:
+        """The document tree to install for ``host``."""
+        return {
+            "page{:04d}.html".format(i): self.file_bytes
+            for i in range(self.files_per_site)
+        }
+
+    def _arrival_times(self, rate: float) -> List[float]:
+        if rate <= 0:
+            return []
+        times: List[float] = []
+        if self.arrival == "constant":
+            period = 1.0 / rate
+            at = period  # first request one period in, like a paced client
+            while at < self.duration_s:
+                times.append(at)
+                at += period
+        else:
+            at = self._rng.expovariate(rate)
+            while at < self.duration_s:
+                times.append(at)
+                at += self._rng.expovariate(rate)
+        return times
+
+    def generate(self) -> List[RequestRecord]:
+        """The full trace, merged across hosts and sorted by time."""
+        records: List[RequestRecord] = []
+        for host in self.rates:
+            file_index = 0
+            for at in self._arrival_times(self.rates[host]):
+                path = "/page{:04d}.html".format(file_index % self.files_per_site)
+                file_index += 1
+                records.append(
+                    RequestRecord(
+                        at_s=at,
+                        host=host,
+                        path=path,
+                        size_bytes=self.file_bytes,
+                        cpu_extra_s=self.cpu_extra_s,
+                    )
+                )
+        records.sort(key=lambda record: record.at_s)
+        return records

@@ -1,0 +1,59 @@
+"""Trace file I/O.
+
+Traces are tab-separated text, one request per line::
+
+    <at_seconds>\t<host>\t<path>\t<size_bytes>\t<cpu_extra_s>
+
+matching how the paper's clients "load the trace from a file and issue
+requests to Gage at a constant rate" (§4).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.workload.request import RequestRecord
+
+
+def save_trace(records: Iterable[RequestRecord], path: Union[str, Path]) -> int:
+    """Write records to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                "{:.6f}\t{}\t{}\t{}\t{:.6f}\n".format(
+                    record.at_s,
+                    record.host,
+                    record.path,
+                    record.size_bytes,
+                    record.cpu_extra_s,
+                )
+            )
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[RequestRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    records: List[RequestRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 5:
+                raise ValueError(
+                    "malformed trace line {}: {!r}".format(line_no, line)
+                )
+            records.append(
+                RequestRecord(
+                    at_s=float(parts[0]),
+                    host=parts[1],
+                    path=parts[2],
+                    size_bytes=int(parts[3]),
+                    cpu_extra_s=float(parts[4]),
+                )
+            )
+    return records

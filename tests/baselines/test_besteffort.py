@@ -1,0 +1,92 @@
+"""Tests for the best-effort (no-QoS) dispatcher."""
+
+import pytest
+
+from repro.baselines import BestEffortDispatcher
+from repro.cluster import Machine, WebServer
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+def build(env, num_servers=2, **dispatcher_kwargs):
+    workload = SyntheticWorkload(rates={"a": 50.0}, duration_s=2.0, file_bytes=2000)
+    servers = []
+    for index in range(num_servers):
+        machine = Machine(env, "rpn{}".format(index))
+        server = WebServer(machine)
+        server.host_site("a", files=workload.site_files("a"))
+        servers.append(server)
+    dispatcher = BestEffortDispatcher(env, servers, **dispatcher_kwargs)
+    return dispatcher, servers, workload
+
+
+def test_requires_servers():
+    with pytest.raises(ValueError):
+        BestEffortDispatcher(Environment(), [])
+
+
+def test_serves_offered_load():
+    env = Environment()
+    dispatcher, _servers, workload = build(env)
+    dispatcher.load_trace(workload.generate())
+    env.run(until=3.0)
+    assert dispatcher.submitted == 99
+    assert len(dispatcher.completions) == 99
+    assert dispatcher.dropped == 0
+
+
+def test_balances_across_servers():
+    env = Environment()
+    dispatcher, servers, workload = build(env, num_servers=2)
+    dispatcher.load_trace(workload.generate())
+    env.run(until=3.0)
+    counts = [server.sites["a"].completed for server in servers]
+    assert abs(counts[0] - counts[1]) <= 2
+
+
+def test_drops_when_all_servers_full():
+    env = Environment()
+    dispatcher, _servers, _workload = build(
+        env, num_servers=1, max_in_flight_per_server=2
+    )
+    from repro.workload import WebRequest
+
+    for _ in range(5):
+        dispatcher.submit(WebRequest("a", "/page0000.html", 2000))
+    assert dispatcher.dropped == 3
+    env.run()
+    assert len(dispatcher.completions) == 2
+
+
+def test_completed_rate_windowing():
+    env = Environment()
+    dispatcher, _servers, workload = build(env)
+    dispatcher.load_trace(workload.generate())
+    env.run(until=3.0)
+    full = dispatcher.completed_rate(0.0, 2.0)
+    assert full == pytest.approx(49.5, rel=0.1)
+    assert dispatcher.completed_rate(0.0, 0.0) == 0.0
+    assert dispatcher.completed_rate(0.0, 2.0, host="a") == full
+    assert dispatcher.completed_rate(0.0, 2.0, host="other") == 0.0
+
+
+def test_no_isolation_property():
+    """The defining deficiency: a flood degrades everyone (contrast with
+    GageCluster's isolation tests)."""
+    env = Environment()
+    workload = SyntheticWorkload(
+        rates={"good": 50.0, "flood": 400.0}, duration_s=4.0, file_bytes=2000
+    )
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine)
+    for host in ("good", "flood"):
+        server.host_site(host, files=workload.site_files(host))
+    for path, size in machine.fs.walk():
+        machine.cache.insert(path, size)
+    dispatcher = BestEffortDispatcher(env, [server], max_in_flight_per_server=64)
+    dispatcher.load_trace(workload.generate())
+    env.run(until=4.0)
+    good_rate = dispatcher.completed_rate(1.0, 4.0, host="good")
+    # One server does ~100 req/s; the flood claims most of it, so the
+    # good subscriber gets nowhere near its 50 req/s offered load.
+    assert good_rate < 40.0

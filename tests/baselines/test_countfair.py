@@ -1,0 +1,87 @@
+"""Tests for the request-count weighted-fair dispatcher."""
+
+import pytest
+
+from repro.baselines.countfair import CountFairDispatcher
+from repro.cluster import Machine, WebServer
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload, WebRequest
+
+
+def build(env, rates, file_bytes=2000, duration=4.0, **kw):
+    workload = SyntheticWorkload(rates=rates, duration_s=duration, file_bytes=file_bytes)
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine)
+    for host in rates:
+        server.host_site(host, files=workload.site_files(host))
+    for path, size in machine.fs.walk():
+        machine.cache.insert(path, size)
+    dispatcher = CountFairDispatcher(env, [server], **kw)
+    return dispatcher, workload
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CountFairDispatcher(env, [])
+    dispatcher, _ = build(env, {"a": 1.0})
+    with pytest.raises(ValueError):
+        dispatcher.add_subscriber("x", -1.0)
+    dispatcher.add_subscriber("a", 10.0)
+    with pytest.raises(RuntimeError):
+        dispatcher.add_subscriber("a", 10.0)
+
+
+def test_unknown_host_rejected():
+    env = Environment()
+    dispatcher, _ = build(env, {"a": 1.0})
+    assert not dispatcher.submit(WebRequest("nope", "/x", 100))
+
+
+def test_reserved_counts_honoured_when_requests_uniform():
+    """With uniform request costs, count metering behaves like Gage."""
+    env = Environment()
+    dispatcher, workload = build(env, {"a": 30.0, "b": 80.0}, duration=5.0)
+    dispatcher.add_subscriber("a", 40.0)
+    dispatcher.add_subscriber("b", 40.0)
+    dispatcher.load_trace(workload.generate())
+    env.run(until=5.0)
+    # a (under its count reservation) is fully served.
+    assert dispatcher.completed_rate("a", 1.0, 5.0) == pytest.approx(30.0, rel=0.1)
+    # b gets its reservation plus whatever spare slots remain.
+    assert dispatcher.completed_rate("b", 1.0, 5.0) > 40.0 * 0.9
+
+
+def test_queue_capacity_drops():
+    env = Environment()
+    dispatcher, _ = build(env, {"a": 1.0}, cycle_s=100.0)  # scheduler idle
+    queue = dispatcher.add_subscriber("a", 10.0, queue_capacity=2)
+    for _ in range(5):
+        dispatcher.submit(WebRequest("a", "/page0000.html", 2000))
+    assert queue.dropped == 3
+    assert queue.arrived == 5
+
+
+def test_no_resource_awareness_by_design():
+    """The defining blind spot: equal counts despite unequal costs."""
+    env = Environment()
+    light = SyntheticWorkload(rates={"light": 100.0}, duration_s=4.0, file_bytes=1024)
+    heavy = SyntheticWorkload(rates={"heavy": 100.0}, duration_s=4.0, file_bytes=16 * 1024)
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine, workers_per_site=2)
+    server.host_site("light", files=light.site_files("light"))
+    server.host_site("heavy", files=heavy.site_files("heavy"))
+    for path, size in machine.fs.walk():
+        machine.cache.insert(path, size)
+    dispatcher = CountFairDispatcher(env, [server], max_in_flight_per_server=8)
+    dispatcher.add_subscriber("light", 30.0)
+    dispatcher.add_subscriber("heavy", 30.0)
+    records = light.generate() + heavy.generate()
+    records.sort(key=lambda r: r.at_s)
+    dispatcher.load_trace(records)
+    env.run(until=4.0)
+    light_rate = dispatcher.completed_rate("light", 1.0, 4.0)
+    heavy_rate = dispatcher.completed_rate("heavy", 1.0, 4.0)
+    # The count meter treats a 16KB page like a 1KB one: heavy's byte
+    # throughput dwarfs light's despite equal reservations.
+    assert heavy_rate * 16 * 1024 > 4 * light_rate * 1024

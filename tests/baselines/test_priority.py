@@ -1,0 +1,81 @@
+"""Tests for the strict-priority dispatcher baseline."""
+
+import pytest
+
+from repro.baselines import PriorityDispatcher
+from repro.cluster import Machine, WebServer
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+def build(env, rates, duration=4.0):
+    workload = SyntheticWorkload(rates=rates, duration_s=duration, file_bytes=2000)
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine)
+    for host in rates:
+        server.host_site(host, files=workload.site_files(host))
+    for path, size in machine.fs.walk():
+        machine.cache.insert(path, size)
+    dispatcher = PriorityDispatcher(env, [server])
+    return dispatcher, workload
+
+
+def test_requires_servers():
+    with pytest.raises(ValueError):
+        PriorityDispatcher(Environment(), [])
+
+
+def test_class_registration():
+    env = Environment()
+    dispatcher, _ = build(env, {"a": 1.0})
+    cls = dispatcher.add_class("premium", level=0, hosts=["a"])
+    assert dispatcher.class_of("premium") is cls
+    with pytest.raises(RuntimeError):
+        dispatcher.add_class("premium", level=1, hosts=[])
+
+
+def test_unclassified_host_rejected():
+    env = Environment()
+    dispatcher, _ = build(env, {"a": 1.0})
+    from repro.workload import WebRequest
+
+    assert not dispatcher.submit(WebRequest("unknown", "/x", 100))
+
+
+def test_queue_capacity_drops():
+    env = Environment()
+    dispatcher, _ = build(env, {"a": 1.0})
+    dispatcher.add_class("c", level=0, hosts=["a"], queue_capacity=2)
+    from repro.workload import WebRequest
+
+    for _ in range(5):
+        dispatcher.submit(WebRequest("a", "/page0000.html", 2000))
+    assert dispatcher.class_of("c").dropped == 3
+
+
+def test_high_priority_starves_low():
+    """The §2 critique: priority gives no quantitative guarantee — an
+    overloaded premium class starves basic entirely."""
+    env = Environment()
+    rates = {"premium": 300.0, "basic": 30.0}
+    dispatcher, workload = build(env, rates, duration=6.0)
+    dispatcher.add_class("premium", level=0, hosts=["premium"])
+    dispatcher.add_class("basic", level=1, hosts=["basic"])
+    dispatcher.load_trace(workload.generate())
+    env.run(until=6.0)
+    premium_rate = dispatcher.completed_rate("premium", 2.0, 6.0)
+    basic_rate = dispatcher.completed_rate("basic", 2.0, 6.0)
+    # One ~100 req/s server: premium floods it and takes everything.
+    assert premium_rate > 80.0
+    assert basic_rate < 5.0  # basic is starved
+
+
+def test_low_priority_served_when_capacity_remains():
+    env = Environment()
+    rates = {"premium": 40.0, "basic": 30.0}
+    dispatcher, workload = build(env, rates, duration=4.0)
+    dispatcher.add_class("premium", level=0, hosts=["premium"])
+    dispatcher.add_class("basic", level=1, hosts=["basic"])
+    dispatcher.load_trace(workload.generate())
+    env.run(until=4.5)
+    assert dispatcher.completed_rate("basic", 1.0, 4.0) == pytest.approx(30.0, rel=0.15)

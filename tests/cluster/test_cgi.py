@@ -1,0 +1,112 @@
+"""Tests for CGI process accounting (§3.5's dynamic-content claim)."""
+
+import pytest
+
+from repro.cluster import Machine, WebServer
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+
+def build(env):
+    machine = Machine(env, "rpn0")
+    server = WebServer(machine)
+    server.host_site("a", files={"index.html": 2000})
+    return machine, server
+
+
+def cgi_request(cpu_extra=0.050, size=3000):
+    return WebRequest("a", "/cgi/report", size_bytes=size, cpu_extra_s=cpu_extra)
+
+
+def test_cgi_request_served_without_a_file():
+    env = Environment()
+    _machine, server = build(env)
+    response = env.run(until=env.process(server.service_request(cgi_request())))
+    assert response.status == 200
+    assert response.size_bytes == 3000
+
+
+def test_cgi_cpu_charged_to_forked_child_in_site_subtree():
+    env = Environment()
+    machine, server = build(env)
+    site = server.sites["a"]
+    before = site.master.subtree_usage().cpu_s
+    env.run(until=env.process(server.service_request(cgi_request(cpu_extra=0.200))))
+    after = site.master.subtree_usage()
+    # Every CPU cycle, including the CGI program's 200ms, lands in the
+    # charging entity's subtree without any extra mechanism.
+    assert after.cpu_s - before >= 0.200
+    # The CGI process itself has been reaped (dead) but retains usage.
+    cgi_procs = [
+        proc
+        for proc in machine.procs._procs.values()
+        if proc.name.startswith("cgi[")
+    ]
+    assert len(cgi_procs) == 1
+    assert not cgi_procs[0].alive
+    assert cgi_procs[0].cpu_s == pytest.approx(0.200)
+
+
+def test_cgi_usage_reported_through_accounting_agent():
+    from repro.core import RPNAccountingAgent
+
+    env = Environment()
+    _machine, server = build(env)
+    messages = []
+    RPNAccountingAgent(env, "rpn0", server, cycle_s=0.1, send_fn=messages.append)
+
+    def run(env):
+        yield env.process(server.service_request(cgi_request(cpu_extra=0.150)))
+
+    env.process(run(env))
+    env.run(until=0.5)
+    total_cpu = sum(
+        m.per_subscriber["a"].usage.cpu_s
+        for m in messages
+        if "a" in m.per_subscriber
+    )
+    assert total_cpu >= 0.150
+
+
+def test_cgi_usage_hook_includes_program_cpu():
+    env = Environment()
+    _machine, server = build(env)
+    usages = []
+    server.on_complete.append(lambda host, req, usage, at: usages.append(usage))
+    env.run(until=env.process(server.service_request(cgi_request(cpu_extra=0.080))))
+    assert usages[0].cpu_s >= 0.080
+    assert usages[0].disk_s == 0.0  # generated content reads no file
+
+
+def test_static_requests_unaffected_by_cgi_path_logic():
+    env = Environment()
+    machine, server = build(env)
+    response = env.run(
+        until=env.process(
+            server.service_request(WebRequest("a", "/index.html", 2000))
+        )
+    )
+    assert response.status == 200
+    assert machine.disk.io_count == 1  # static path still hits the disk
+
+
+def test_concurrent_cgi_processes_grow_and_shrink_table():
+    env = Environment()
+    machine, server = build(env)
+    start_procs = len(machine.procs)
+
+    def run(env):
+        procs = [
+            env.process(server.service_request(cgi_request(cpu_extra=0.030)))
+            for _ in range(4)
+        ]
+        for proc in procs:
+            yield proc
+
+    env.run(until=env.process(run(env)))
+    assert len(machine.procs) == start_procs + 4  # reaped but retained
+    alive_cgi = [
+        p for p in machine.procs._procs.values()
+        if p.name.startswith("cgi[") and p.alive
+    ]
+    assert alive_cgi == []

@@ -1,0 +1,131 @@
+"""Tests for the time-sliced CPU model."""
+
+import pytest
+
+from repro.cluster import CPU, ProcessTable
+from repro.sim import Environment
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CPU(env, speed=0)
+    with pytest.raises(ValueError):
+        CPU(env, quantum_s=0)
+
+
+def test_single_task_takes_its_duration():
+    env = Environment()
+    cpu = CPU(env)
+    proc = ProcessTable().spawn("p")
+    done_at = []
+
+    def runner(env):
+        yield cpu.execute(proc, 0.050)
+        done_at.append(env.now)
+
+    env.process(runner(env))
+    env.run()
+    assert done_at == [pytest.approx(0.050)]
+    assert proc.cpu_s == pytest.approx(0.050)
+
+
+def test_speed_scales_duration():
+    env = Environment()
+    cpu = CPU(env, speed=2.0)
+    proc = ProcessTable().spawn("p")
+    done_at = []
+
+    def runner(env):
+        yield cpu.execute(proc, 0.050)
+        done_at.append(env.now)
+
+    env.process(runner(env))
+    env.run()
+    assert done_at == [pytest.approx(0.025)]
+
+
+def test_two_tasks_timeshare():
+    """Two equal tasks submitted together finish at (nearly) the same time,
+    both around 2x their solo duration: round-robin, not FIFO."""
+    env = Environment()
+    cpu = CPU(env, quantum_s=0.001)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+    finish = {}
+
+    def runner(env, name, proc):
+        yield cpu.execute(proc, 0.050)
+        finish[name] = env.now
+
+    env.process(runner(env, "a", pa))
+    env.process(runner(env, "b", pb))
+    env.run()
+    assert finish["a"] == pytest.approx(0.100, rel=0.05)
+    assert finish["b"] == pytest.approx(0.100, rel=0.05)
+    assert abs(finish["a"] - finish["b"]) <= 0.001 + 1e-9
+
+
+def test_per_process_accounting_is_exact():
+    env = Environment()
+    cpu = CPU(env)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+
+    def runner(env, proc, duration):
+        yield cpu.execute(proc, duration)
+
+    env.process(runner(env, pa, 0.030))
+    env.process(runner(env, pb, 0.070))
+    env.run()
+    assert pa.cpu_s == pytest.approx(0.030)
+    assert pb.cpu_s == pytest.approx(0.070)
+
+
+def test_zero_duration_completes_immediately():
+    env = Environment()
+    cpu = CPU(env)
+    proc = ProcessTable().spawn("p")
+    event = cpu.execute(proc, 0.0)
+    assert event.triggered
+
+
+def test_negative_duration_rejected():
+    env = Environment()
+    cpu = CPU(env)
+    proc = ProcessTable().spawn("p")
+    with pytest.raises(ValueError):
+        cpu.execute(proc, -0.1)
+
+
+def test_utilization_tracking():
+    env = Environment()
+    cpu = CPU(env)
+    proc = ProcessTable().spawn("p")
+
+    def runner(env):
+        yield cpu.execute(proc, 0.5)
+        yield env.timeout(0.5)  # idle second half
+
+    env.process(runner(env))
+    env.run()
+    assert cpu.utilization() == pytest.approx(0.5, rel=0.01)
+    cpu.reset_utilization()
+    assert cpu.utilization() == 0.0
+
+
+def test_cpu_wakes_after_idle_period():
+    env = Environment()
+    cpu = CPU(env)
+    proc = ProcessTable().spawn("p")
+    done_at = []
+
+    def runner(env):
+        yield cpu.execute(proc, 0.010)
+        yield env.timeout(1.0)  # CPU idles
+        yield cpu.execute(proc, 0.010)
+        done_at.append(env.now)
+
+    env.process(runner(env))
+    env.run()
+    assert done_at == [pytest.approx(1.020)]

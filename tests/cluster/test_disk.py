@@ -1,0 +1,86 @@
+"""Tests for the disk-channel model."""
+
+import pytest
+
+from repro.cluster import Disk, ProcessTable
+from repro.sim import Environment
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Disk(env, seek_s=-1)
+    with pytest.raises(ValueError):
+        Disk(env, transfer_bps=0)
+
+
+def test_io_time_model():
+    env = Environment()
+    disk = Disk(env, seek_s=0.008, transfer_bps=20e6)
+    assert disk.io_time(0) == pytest.approx(0.008)
+    assert disk.io_time(20_000_000) == pytest.approx(1.008)
+
+
+def test_read_charges_issuing_process():
+    env = Environment()
+    disk = Disk(env, seek_s=0.010, transfer_bps=10e6)
+    proc = ProcessTable().spawn("p")
+    done_at = []
+
+    def runner(env):
+        yield disk.read(proc, 1_000_000)  # 10ms seek + 100ms transfer
+        done_at.append(env.now)
+
+    env.process(runner(env))
+    env.run()
+    assert done_at == [pytest.approx(0.110)]
+    assert proc.disk_s == pytest.approx(0.110)
+    assert disk.io_count == 1
+    assert disk.busy_s == pytest.approx(0.110)
+
+
+def test_channel_is_fifo_serial():
+    env = Environment()
+    disk = Disk(env, seek_s=0.010, transfer_bps=1e9)
+    table = ProcessTable()
+    order = []
+
+    def runner(env, name, proc):
+        yield disk.read(proc, 1000)
+        order.append((name, env.now))
+
+    env.process(runner(env, "a", table.spawn("a")))
+    env.process(runner(env, "b", table.spawn("b")))
+    env.run()
+    assert order[0][0] == "a"
+    assert order[1][0] == "b"
+    # Second I/O waits for the first: ~2x one I/O time.
+    assert order[1][1] == pytest.approx(2 * disk.io_time(1000))
+
+
+def test_queue_length_visible(env=None):
+    env = Environment()
+    disk = Disk(env, seek_s=0.010, transfer_bps=1e9)
+    table = ProcessTable()
+    lengths = []
+
+    def runner(env, proc):
+        yield disk.read(proc, 1000)
+
+    def observer(env):
+        yield env.timeout(0.005)  # mid-first-I/O
+        lengths.append(disk.queue_length)
+
+    for i in range(3):
+        env.process(runner(env, table.spawn(str(i))))
+    env.process(observer(env))
+    env.run()
+    assert lengths == [2]
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    disk = Disk(env)
+    proc = ProcessTable().spawn("p")
+    with pytest.raises(ValueError):
+        disk.read(proc, -1)

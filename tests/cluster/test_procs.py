@@ -1,0 +1,110 @@
+"""Tests for the simulated process table and usage accounting."""
+
+import pytest
+
+from repro.cluster import ProcessTable
+from repro.core.grps import ResourceVector
+
+
+def test_init_process_exists():
+    table = ProcessTable()
+    assert table.init.pid == 1
+    assert table.init.parent is None
+    assert len(table) == 1
+
+
+def test_spawn_defaults_to_init_child():
+    table = ProcessTable()
+    proc = table.spawn("httpd")
+    assert proc.parent is table.init
+    assert proc in table.init.children
+    assert table.get(proc.pid) is proc
+
+
+def test_spawn_with_explicit_parent():
+    table = ProcessTable()
+    master = table.spawn("master")
+    worker = table.spawn("worker", parent=master)
+    assert worker.parent is master
+    assert worker in master.children
+
+
+def test_charging():
+    table = ProcessTable()
+    proc = table.spawn("p")
+    proc.charge_cpu(0.010)
+    proc.charge_disk(0.005)
+    proc.charge_net(2000)
+    assert proc.usage == ResourceVector(0.010, 0.005, 2000)
+
+
+def test_negative_charges_rejected():
+    table = ProcessTable()
+    proc = table.spawn("p")
+    with pytest.raises(ValueError):
+        proc.charge_cpu(-1)
+    with pytest.raises(ValueError):
+        proc.charge_disk(-1)
+    with pytest.raises(ValueError):
+        proc.charge_net(-1)
+
+
+def test_subtree_usage_sums_descendants():
+    table = ProcessTable()
+    master = table.spawn("master")
+    w1 = table.spawn("w1", parent=master)
+    w2 = table.spawn("w2", parent=master)
+    grandchild = table.spawn("cgi", parent=w1)
+    master.charge_cpu(0.001)
+    w1.charge_cpu(0.002)
+    w2.charge_cpu(0.003)
+    grandchild.charge_cpu(0.004)
+    usage = master.subtree_usage()
+    assert usage.cpu_s == pytest.approx(0.010)
+
+
+def test_subtree_excludes_other_entities():
+    """The accounting walk for one charging entity must not see another's."""
+    table = ProcessTable()
+    site_a = table.spawn("site-a")
+    site_b = table.spawn("site-b")
+    table.spawn("wa", parent=site_a).charge_cpu(0.5)
+    table.spawn("wb", parent=site_b).charge_cpu(0.9)
+    assert site_a.subtree_usage().cpu_s == pytest.approx(0.5)
+    assert site_b.subtree_usage().cpu_s == pytest.approx(0.9)
+
+
+def test_dynamic_worker_addition_is_visible():
+    """The model allows the number of processes to vary dynamically (§3.5)."""
+    table = ProcessTable()
+    master = table.spawn("master")
+    assert master.subtree_usage().cpu_s == 0
+    late_worker = table.spawn("late", parent=master)
+    late_worker.charge_cpu(0.7)
+    assert master.subtree_usage().cpu_s == pytest.approx(0.7)
+
+
+def test_kill_marks_subtree_dead_but_keeps_usage():
+    table = ProcessTable()
+    master = table.spawn("master")
+    worker = table.spawn("w", parent=master)
+    worker.charge_cpu(0.2)
+    table.kill(master)
+    assert not master.alive
+    assert not worker.alive
+    # Usage is retained and still visible to the accounting walk — a CGI
+    # program that exits between cycles must not lose its final usage.
+    assert table.get(worker.pid).cpu_s == pytest.approx(0.2)
+    assert master.subtree_usage().cpu_s == pytest.approx(0.2)
+    # The live view excludes the dead subtree.
+    assert master not in list(table.init.live_subtree())
+    assert worker not in list(table.init.live_subtree())
+
+
+def test_total_usage():
+    table = ProcessTable()
+    table.spawn("a").charge_cpu(1.0)
+    table.spawn("b").charge_disk(2.0)
+    total = table.total_usage()
+    assert total.cpu_s == pytest.approx(1.0)
+    assert total.disk_s == pytest.approx(2.0)

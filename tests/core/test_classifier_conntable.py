@@ -1,0 +1,103 @@
+"""Tests for packet classification and the connection table."""
+
+from repro.core import ConnectionTable, PacketClass, RequestClassifier
+from repro.net import IPAddress, MACAddress, Packet, TCPFlags
+from repro.net.conn import Quadruple
+from repro.workload import WebRequest
+
+
+def packet(flags=TCPFlags.ACK, payload=None, payload_len=0):
+    return Packet(
+        src_mac=MACAddress("02:00:00:00:00:01"),
+        dst_mac=MACAddress("02:00:00:00:00:64"),
+        src_ip=IPAddress("10.0.0.1"),
+        dst_ip=IPAddress("10.0.0.100"),
+        src_port=30000,
+        dst_port=80,
+        flags=flags,
+        payload=payload,
+        payload_len=payload_len,
+    )
+
+
+def test_syn_is_handshake_class():
+    classifier = RequestClassifier()
+    result = classifier.classify(packet(flags=TCPFlags.SYN))
+    assert result.packet_class is PacketClass.HANDSHAKE
+
+
+def test_request_payload_maps_to_subscriber():
+    classifier = RequestClassifier()
+    classifier.register_host("site1.example.com", "site1")
+    req = WebRequest("site1.example.com", "/x.html", 1000)
+    result = classifier.classify(packet(payload=req, payload_len=200))
+    assert result.packet_class is PacketClass.REQUEST
+    assert result.subscriber == "site1"
+
+
+def test_unknown_host_payload_is_other():
+    classifier = RequestClassifier()
+    req = WebRequest("unknown.example.com", "/x.html", 1000)
+    result = classifier.classify(packet(payload=req, payload_len=200))
+    assert result.packet_class is PacketClass.OTHER
+    assert classifier.unknown_subscriber == 1
+
+
+def test_bare_ack_is_other():
+    classifier = RequestClassifier()
+    result = classifier.classify(packet(flags=TCPFlags.ACK))
+    assert result.packet_class is PacketClass.OTHER
+
+
+def test_fin_is_other():
+    classifier = RequestClassifier()
+    result = classifier.classify(packet(flags=TCPFlags.FIN | TCPFlags.ACK))
+    assert result.packet_class is PacketClass.OTHER
+
+
+def test_custom_extractor_for_other_services():
+    """§3.6: classification can key on anything, e.g. a user ID."""
+    classifier = RequestClassifier(host_extractor=lambda p: getattr(p, "user_id", None))
+
+    class IMLogin:
+        user_id = "alice"
+
+    classifier.register_host("alice", "subscriber-alice")
+    assert classifier.classify_payload(IMLogin()) == "subscriber-alice"
+
+
+def test_subscriber_for_host():
+    classifier = RequestClassifier()
+    classifier.register_host("h1", "s1")
+    assert classifier.subscriber_for_host("h1") == "s1"
+    assert classifier.subscriber_for_host("h2") is None
+
+
+def quad(port=30000):
+    return Quadruple(IPAddress("10.0.0.1"), port, IPAddress("10.0.0.100"), 80)
+
+
+def test_conntable_insert_lookup_remove():
+    table = ConnectionTable()
+    mac = MACAddress("02:00:00:00:01:01")
+    table.insert(quad(), "rpn1", mac)
+    assert len(table) == 1
+    assert quad() in table
+    entry = table.lookup(quad())
+    assert entry.rpn_id == "rpn1"
+    assert entry.rpn_mac == mac
+    assert table.hits == 1
+    assert table.lookup(quad(port=9)) is None
+    assert table.misses == 1
+    removed = table.remove(quad())
+    assert removed.rpn_id == "rpn1"
+    assert table.remove(quad()) is None
+    assert len(table) == 0
+
+
+def test_conntable_clear():
+    table = ConnectionTable()
+    table.insert(quad(1), "rpn1", MACAddress(1))
+    table.insert(quad(2), "rpn2", MACAddress(2))
+    table.clear()
+    assert len(table) == 0

@@ -1,0 +1,81 @@
+"""Tests for intra-cluster control payloads and request models."""
+
+import pytest
+
+from repro.core.control import (
+    CONTROL_PAYLOAD_LEN,
+    CONTROL_PORT,
+    DelegateHandshake,
+    DispatchOrder,
+    HandshakeComplete,
+)
+from repro.net import IPAddress, MACAddress
+from repro.net.conn import Quadruple
+from repro.workload import WebRequest, WebResponse
+
+
+def quad():
+    return Quadruple(IPAddress("10.0.0.1"), 30000, IPAddress("10.0.0.100"), 80)
+
+
+def test_dispatch_order_is_immutable():
+    order = DispatchOrder(
+        subscriber="s",
+        request=WebRequest("s", "/x", 100),
+        request_bytes=200,
+        quad=quad(),
+        client_isn=1,
+        rdn_isn=2,
+        client_mac=MACAddress(1),
+    )
+    with pytest.raises(Exception):
+        order.subscriber = "other"
+    assert order.quad.src_port == 30000
+
+
+def test_handshake_payloads_roundtrip_fields():
+    delegate = DelegateHandshake(quad=quad(), client_isn=7, client_mac=MACAddress(3))
+    done = HandshakeComplete(
+        quad=delegate.quad,
+        client_isn=delegate.client_isn,
+        rdn_isn=99,
+        client_mac=delegate.client_mac,
+    )
+    assert done.quad == delegate.quad
+    assert done.client_isn == 7
+    assert done.rdn_isn == 99
+
+
+def test_control_constants_sane():
+    assert 0 < CONTROL_PORT <= 0xFFFF
+    assert CONTROL_PAYLOAD_LEN > 0
+
+
+def test_web_request_wire_size_model():
+    small = WebRequest("h", "/a", 100)
+    long_path = WebRequest("h", "/" + "x" * 1000, 100)
+    assert small.request_bytes < long_path.request_bytes
+    assert long_path.request_bytes <= 512  # capped header size
+    assert small.request_bytes >= 160
+
+
+def test_web_request_repr_and_ids_unique():
+    a = WebRequest("h", "/a", 100)
+    b = WebRequest("h", "/a", 100)
+    assert a.rid != b.rid
+    assert "/a" in repr(a)
+
+
+def test_web_response_defaults():
+    request = WebRequest("h", "/a", 100)
+    response = WebResponse(request, size_bytes=100)
+    assert response.status == 200
+    assert "200" in repr(response)
+    error = WebResponse(request, size_bytes=0, status=404)
+    assert error.status == 404
+
+
+def test_quadruple_reversal_is_involution():
+    q = quad()
+    assert q.reversed().reversed() == q
+    assert "10.0.0.1:30000" in str(q)

@@ -1,0 +1,68 @@
+"""Tests for delay-bounded admission (the response-time QoS extension)."""
+
+import pytest
+
+from repro.core import GageCluster, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+def test_effective_capacity_from_delay_target():
+    sub = Subscriber("a", reservation_grps=100, delay_target_s=0.5)
+    # Little's law: 100/s x 0.5s = 50 requests of queue depth.
+    assert sub.effective_queue_capacity == 50
+    # The explicit capacity still acts as an upper bound.
+    tight = Subscriber("a", 100, queue_capacity=10, delay_target_s=0.5)
+    assert tight.effective_queue_capacity == 10
+    # No target: plain capacity.
+    plain = Subscriber("a", 100, queue_capacity=77)
+    assert plain.effective_queue_capacity == 77
+    # Tiny reservations still admit at least one request.
+    tiny = Subscriber("a", 1, delay_target_s=0.1)
+    assert tiny.effective_queue_capacity == 1
+
+
+def test_delay_target_validation():
+    with pytest.raises(ValueError):
+        Subscriber("a", 10, delay_target_s=0.0)
+    with pytest.raises(ValueError):
+        Subscriber("a", 10, delay_target_s=-1.0)
+
+
+def run_overloaded(delay_target, duration=8.0):
+    """One overloaded subscriber on a small cluster; returns latencies."""
+    env = Environment()
+    subs = [
+        Subscriber("a", 50, queue_capacity=4096, delay_target_s=delay_target)
+    ]
+    workload = SyntheticWorkload(rates={"a": 120.0}, duration_s=duration, file_bytes=2000)
+    cluster = GageCluster(
+        env, subs, {"a": workload.site_files("a")}, num_rpns=1
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(duration)
+    latencies = sorted(
+        lat for at, _h, lat in cluster.latencies if at >= duration / 2
+    )
+    report = cluster.service_report("a", duration / 2, duration)
+    return latencies, report
+
+
+def test_delay_target_bounds_latency_under_overload():
+    bounded, bounded_report = run_overloaded(delay_target=0.4)
+    unbounded, unbounded_report = run_overloaded(delay_target=None)
+
+    def p95(values):
+        return values[int(0.95 * len(values))]
+
+    # Without a target the queue grows for the whole run and tail latency
+    # blows past any bound; with the target it stays near it.
+    assert p95(unbounded) > 1.0
+    assert p95(bounded) < 0.4 * 1.6  # target + in-service time slack
+    # The price is drops: admission rejects what cannot meet the bound.
+    assert bounded_report.dropped > 0
+    # Throughput is unchanged — both serve at the sustainable rate.
+    assert bounded_report.served_rate == pytest.approx(
+        unbounded_report.served_rate, rel=0.1
+    )

@@ -1,0 +1,132 @@
+"""Tests for the usage estimator and per-subscriber queues."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Subscriber, SubscriberQueues, UsageEstimator
+from repro.core.grps import GENERIC_REQUEST, ResourceVector
+
+
+def test_estimator_initial_is_generic():
+    estimator = UsageEstimator()
+    assert estimator.predict() == GENERIC_REQUEST
+
+
+def test_estimator_ewma_moves_towards_samples():
+    estimator = UsageEstimator(policy="ewma", alpha=0.5)
+    sample = ResourceVector(0.002, 0.0, 500)
+    for _ in range(20):
+        estimator.observe(sample)
+    predicted = estimator.predict()
+    assert predicted.cpu_s == pytest.approx(0.002, rel=0.01)
+    assert predicted.net_bytes == pytest.approx(500, rel=0.01)
+
+
+def test_estimator_last_policy():
+    estimator = UsageEstimator(policy="last")
+    estimator.observe(ResourceVector(1, 1, 1))
+    estimator.observe(ResourceVector(2, 2, 2))
+    assert estimator.predict() == ResourceVector(2, 2, 2)
+
+
+def test_estimator_static_policy_never_moves():
+    estimator = UsageEstimator(policy="static")
+    estimator.observe(ResourceVector(99, 99, 99))
+    assert estimator.predict() == GENERIC_REQUEST
+
+
+def test_estimator_reset():
+    estimator = UsageEstimator(policy="last")
+    estimator.observe(ResourceVector(5, 5, 5))
+    estimator.reset()
+    assert estimator.predict() == GENERIC_REQUEST
+    assert estimator.samples == 0
+
+
+def test_estimator_validation():
+    with pytest.raises(ValueError):
+        UsageEstimator(policy="nope")
+    with pytest.raises(ValueError):
+        UsageEstimator(alpha=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    samples=st.lists(
+        st.tuples(st.floats(0, 0.1), st.floats(0, 0.1), st.floats(0, 1e5)),
+        min_size=1,
+        max_size=30,
+    ),
+    alpha=st.floats(0.01, 1.0),
+)
+def test_estimator_stays_within_sample_hull(samples, alpha):
+    """An EWMA estimate never escapes [min, max] of initial+samples."""
+    estimator = UsageEstimator(policy="ewma", alpha=alpha)
+    cpu_values = [GENERIC_REQUEST.cpu_s]
+    for cpu, disk, net in samples:
+        estimator.observe(ResourceVector(cpu, disk, net))
+        cpu_values.append(cpu)
+    predicted = estimator.predict()
+    assert min(cpu_values) - 1e-9 <= predicted.cpu_s <= max(cpu_values) + 1e-9
+
+
+def sub(name, grps=100, cap=3):
+    return Subscriber(name, reservation_grps=grps, queue_capacity=cap)
+
+
+def test_queue_fifo_and_counters():
+    queues = SubscriberQueues()
+    queue = queues.register(sub("a"))
+    assert queue.offer("r1")
+    assert queue.offer("r2")
+    assert queue.peek() == "r1"
+    assert queue.take() == "r1"
+    assert queue.take() == "r2"
+    assert queue.arrived == 2
+    assert queue.dispatched == 2
+    assert not queue.backlogged
+
+
+def test_queue_overflow_drops():
+    queues = SubscriberQueues()
+    queue = queues.register(sub("a", cap=2))
+    assert queue.offer("r1")
+    assert queue.offer("r2")
+    assert not queue.offer("r3")
+    assert queue.dropped == 1
+    assert len(queue) == 2
+
+
+def test_queue_take_empty_raises():
+    queues = SubscriberQueues()
+    queue = queues.register(sub("a"))
+    with pytest.raises(IndexError):
+        queue.take()
+    assert queue.peek() is None
+
+
+def test_queues_registration_order_and_duplicates():
+    queues = SubscriberQueues()
+    queues.register(sub("a"))
+    queues.register(sub("b"))
+    assert [q.subscriber.name for q in queues] == ["a", "b"]
+    assert "a" in queues
+    with pytest.raises(RuntimeError):
+        queues.register(sub("a"))
+
+
+def test_queues_backlogged_filter():
+    queues = SubscriberQueues()
+    qa = queues.register(sub("a"))
+    queues.register(sub("b"))
+    qa.offer("r")
+    assert [q.subscriber.name for q in queues.backlogged()] == ["a"]
+
+
+def test_queues_get_and_subscribers():
+    queues = SubscriberQueues()
+    queues.register(sub("a"))
+    assert queues.get("a").subscriber.name == "a"
+    assert queues.get("missing") is None
+    assert [s.name for s in queues.subscribers()] == ["a"]

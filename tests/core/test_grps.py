@@ -1,0 +1,91 @@
+"""Tests for the GRPS resource-vector currency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GENERIC_REQUEST, ResourceVector, grps
+
+
+def test_generic_request_definition():
+    """The paper's §3.1 definition: 10ms CPU, 10ms disk, 2000 bytes."""
+    assert GENERIC_REQUEST.cpu_s == 0.010
+    assert GENERIC_REQUEST.disk_s == 0.010
+    assert GENERIC_REQUEST.net_bytes == 2000.0
+
+
+def test_grps_entitlement_example():
+    """§3.1: a 50-GRPS reservation = 500ms CPU, 500ms disk, 100KB/s."""
+    entitlement = grps(50)
+    assert entitlement.cpu_s == pytest.approx(0.5)
+    assert entitlement.disk_s == pytest.approx(0.5)
+    assert entitlement.net_bytes == pytest.approx(100_000)
+
+
+def test_arithmetic():
+    a = ResourceVector(1.0, 2.0, 3.0)
+    b = ResourceVector(0.5, 0.5, 0.5)
+    assert a + b == ResourceVector(1.5, 2.5, 3.5)
+    assert a - b == ResourceVector(0.5, 1.5, 2.5)
+    assert a.scaled(2) == ResourceVector(2.0, 4.0, 6.0)
+
+
+def test_zero_constant():
+    assert ResourceVector.ZERO == ResourceVector(0, 0, 0)
+    assert ResourceVector(1, 1, 1) + ResourceVector.ZERO == ResourceVector(1, 1, 1)
+
+
+def test_negativity_checks():
+    assert not ResourceVector(0, 0, 0).any_negative
+    assert ResourceVector(-0.001, 5, 5).any_negative
+    assert ResourceVector(5, -0.001, 5).any_negative
+    assert ResourceVector(5, 5, -1).any_negative
+    assert ResourceVector(0, 0, 0).all_nonnegative
+
+
+def test_covers():
+    assert ResourceVector(1, 1, 1).covers(ResourceVector(1, 1, 1))
+    assert ResourceVector(2, 2, 2).covers(ResourceVector(1, 1, 1))
+    assert not ResourceVector(2, 0.5, 2).covers(ResourceVector(1, 1, 1))
+
+
+def test_clamped_min():
+    assert ResourceVector(-1, 2, -3).clamped_min(0.0) == ResourceVector(0, 2, 0)
+
+
+def test_max():
+    assert ResourceVector(1, 5, 2).max(ResourceVector(3, 1, 2)) == ResourceVector(3, 5, 2)
+
+
+def test_dominant_fraction():
+    capacity = ResourceVector(1.0, 1.0, 12_500_000)
+    usage = ResourceVector(0.5, 0.25, 1_250_000)
+    assert usage.dominant_fraction_of(capacity) == pytest.approx(0.5)
+    assert ResourceVector.ZERO.dominant_fraction_of(ResourceVector.ZERO) == 0.0
+
+
+def test_in_generic_requests():
+    # Exactly one generic request's worth of every resource.
+    assert GENERIC_REQUEST.in_generic_requests() == pytest.approx(1.0)
+    # CPU-dominant usage counts by its CPU component.
+    usage = ResourceVector(0.020, 0.005, 1000)
+    assert usage.in_generic_requests() == pytest.approx(2.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ax=st.floats(0, 1e3), ay=st.floats(0, 1e3), az=st.floats(0, 1e6),
+    bx=st.floats(0, 1e3), by=st.floats(0, 1e3), bz=st.floats(0, 1e6),
+)
+def test_add_sub_inverse_property(ax, ay, az, bx, by, bz):
+    a = ResourceVector(ax, ay, az)
+    b = ResourceVector(bx, by, bz)
+    back = (a + b) - b
+    assert back.cpu_s == pytest.approx(a.cpu_s, abs=1e-6)
+    assert back.disk_s == pytest.approx(a.disk_s, abs=1e-6)
+    assert back.net_bytes == pytest.approx(a.net_bytes, abs=1e-3)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        GENERIC_REQUEST.cpu_s = 99

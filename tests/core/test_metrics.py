@@ -1,0 +1,126 @@
+"""Tests for service reports and deviation-from-reservation math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    DeviationReport,
+    ServiceReport,
+    deviation_from_reservation,
+    windowed_rates,
+)
+
+
+def test_service_report_rates():
+    report = ServiceReport(
+        subscriber="site1",
+        reservation_grps=250,
+        duration_s=10.0,
+        arrived=2594,
+        served=2594,
+        dropped=0,
+    )
+    assert report.input_rate == pytest.approx(259.4)
+    assert report.served_rate == pytest.approx(259.4)
+    assert report.dropped_rate == 0.0
+    assert report.spare_rate == pytest.approx(9.4)
+    assert report.row()[0] == "site1"
+
+
+def test_service_report_zero_duration():
+    report = ServiceReport("x", 10, 0.0, 5, 5, 0)
+    assert report.input_rate == 0.0
+    assert report.served_rate == 0.0
+
+
+def test_windowed_rates_basic():
+    # Ten events at 1-second spacing over [0, 10), window = 2s.
+    events = [(float(i), 1.0) for i in range(10)]
+    rates = windowed_rates(events, 0.0, 10.0, 2.0)
+    assert rates == [1.0] * 5
+
+
+def test_windowed_rates_partial_window_excluded():
+    events = [(float(i), 1.0) for i in range(10)]
+    rates = windowed_rates(events, 0.0, 9.0, 2.0)  # 4 complete windows
+    assert len(rates) == 4
+
+
+def test_windowed_rates_out_of_range_events_ignored():
+    events = [(-1.0, 1.0), (0.5, 1.0), (99.0, 1.0)]
+    rates = windowed_rates(events, 0.0, 2.0, 1.0)
+    assert rates == [1.0, 0.0]
+
+
+def test_windowed_rates_validation():
+    with pytest.raises(ValueError):
+        windowed_rates([], 0, 10, 0)
+
+
+def test_deviation_zero_for_perfect_service():
+    events = {"a": [(i * 0.01, 1.0) for i in range(1000)]}  # 100/s over 10s
+    deviation = deviation_from_reservation(events, {"a": 100.0}, 0.0, 10.0, 1.0)
+    assert deviation == pytest.approx(0.0, abs=1e-6)
+
+
+def test_deviation_for_bursty_service():
+    """All usage in alternate windows: rate alternates 200/0 around 100.
+
+    Every window deviates by 100%, so the mean deviation is 100%.
+    """
+    events = {}
+    bursty = []
+    for window in range(0, 10, 2):  # even windows get double service
+        bursty.extend((window + i * 0.005, 1.0) for i in range(200))
+    events["a"] = bursty
+    deviation = deviation_from_reservation(events, {"a": 100.0}, 0.0, 10.0, 1.0)
+    assert deviation == pytest.approx(100.0, rel=0.01)
+
+
+def test_deviation_shrinks_with_longer_interval():
+    """The same bursty series, averaged over 2s windows, deviates 0%."""
+    events = {}
+    bursty = []
+    for window in range(0, 10, 2):
+        bursty.extend((window + i * 0.005, 1.0) for i in range(200))
+    events["a"] = bursty
+    short = deviation_from_reservation(events, {"a": 100.0}, 0.0, 10.0, 1.0)
+    long = deviation_from_reservation(events, {"a": 100.0}, 0.0, 10.0, 2.0)
+    assert long < short
+    assert long == pytest.approx(0.0, abs=1e-6)
+
+
+def test_deviation_averages_across_subscribers():
+    events = {
+        "exact": [(i * 0.01, 1.0) for i in range(1000)],  # 100/s
+        "half": [(i * 0.02, 1.0) for i in range(500)],  # 50/s vs 100 reserved
+    }
+    deviation = deviation_from_reservation(
+        events, {"exact": 100.0, "half": 100.0}, 0.0, 10.0, 1.0
+    )
+    assert deviation == pytest.approx(25.0, rel=0.05)
+
+
+def test_deviation_ignores_zero_reservations():
+    events = {"free": [(0.5, 1.0)]}
+    assert deviation_from_reservation(events, {"free": 0.0}, 0.0, 10.0, 1.0) == 0.0
+
+
+def test_deviation_report_series_sorted():
+    report = DeviationReport(accounting_cycle_s=0.05)
+    report.by_interval[4.0] = 5.0
+    report.by_interval[1.0] = 20.0
+    assert report.series() == [(1.0, 20.0), (4.0, 5.0)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rate=st.integers(10, 500),
+    interval=st.sampled_from([1.0, 2.0, 5.0]),
+)
+def test_deviation_nonnegative_property(rate, interval):
+    events = {"a": [(i / rate, 1.0) for i in range(rate * 10)]}
+    deviation = deviation_from_reservation(events, {"a": float(rate)}, 0.0, 10.0, interval)
+    assert deviation >= 0.0
+    assert deviation < 100.0 * 10  # sanity bound

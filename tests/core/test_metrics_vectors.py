@@ -1,0 +1,77 @@
+"""Tests for vector-valued deviation metrics (the Figure 3 pipeline)."""
+
+import pytest
+
+from repro.core.metrics import (
+    deviation_from_reservation_vectors,
+    windowed_usage_rates,
+)
+from repro.resources import GENERIC_REQUEST, ResourceVector
+
+
+def test_windowed_usage_rates_sums_vectors_before_conversion():
+    """A request split across two events (CPU first, bytes later) counts
+    once per window — the non-additivity fix."""
+    cpu_part = ResourceVector(0.010, 0.0, 0.0)
+    net_part = ResourceVector(0.0, 0.0, 2000.0)
+    events = [(0.2, cpu_part), (0.4, net_part)]
+    rates = windowed_usage_rates(events, 0.0, 1.0, 1.0)
+    # One whole generic request in the window -> 1 GRPS.
+    assert rates == [pytest.approx(1.0)]
+
+    # Converting per-event and summing would have given 2.0.
+    per_event = sum(v.in_generic_requests() for _t, v in events)
+    assert per_event == pytest.approx(2.0)
+
+
+def test_windowed_usage_rates_windowing():
+    one = GENERIC_REQUEST
+    events = [(0.5, one), (1.5, one), (1.7, one)]
+    rates = windowed_usage_rates(events, 0.0, 2.0, 1.0)
+    assert rates == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_windowed_usage_rates_validation():
+    with pytest.raises(ValueError):
+        windowed_usage_rates([], 0.0, 1.0, 0.0)
+    assert windowed_usage_rates([], 0.0, 0.5, 1.0) == []
+
+
+def test_deviation_vectors_perfect_service_is_zero():
+    events = {
+        "a": [(i * 0.01, GENERIC_REQUEST) for i in range(1000)]  # 100 GRPS
+    }
+    deviation = deviation_from_reservation_vectors(
+        events, {"a": 100.0}, 0.0, 10.0, 1.0
+    )
+    assert deviation == pytest.approx(0.0, abs=1e-6)
+
+
+def test_deviation_vectors_alternating_lumps():
+    events = {"a": []}
+    for window in range(0, 10, 2):
+        events["a"].append((window + 0.5, GENERIC_REQUEST.scaled(200)))
+    deviation = deviation_from_reservation_vectors(
+        events, {"a": 100.0}, 0.0, 10.0, 1.0
+    )
+    assert deviation == pytest.approx(100.0, rel=0.01)
+    smoothed = deviation_from_reservation_vectors(
+        events, {"a": 100.0}, 0.0, 10.0, 2.0
+    )
+    assert smoothed == pytest.approx(0.0, abs=1e-6)
+
+
+def test_deviation_vectors_custom_generic_unit():
+    sql_txn = ResourceVector(0.015, 0.025, 500.0)
+    events = {"db": [(i * 0.1, sql_txn) for i in range(100)]}  # 10 TPS
+    deviation = deviation_from_reservation_vectors(
+        events, {"db": 10.0}, 0.0, 10.0, 1.0, generic=sql_txn
+    )
+    assert deviation == pytest.approx(0.0, abs=1e-6)
+
+
+def test_deviation_vectors_ignores_zero_reservations():
+    events = {"free": [(0.5, GENERIC_REQUEST)]}
+    assert deviation_from_reservation_vectors(
+        events, {"free": 0.0}, 0.0, 10.0, 1.0
+    ) == 0.0

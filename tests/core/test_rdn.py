@@ -1,0 +1,194 @@
+"""Unit tests for the primary RDN's packet handling."""
+
+import pytest
+
+from repro.core import GageConfig, PrimaryRDN, Subscriber
+from repro.core.control import DispatchOrder
+from repro.net import IPAddress, MACAddress, NIC, Packet, Switch, TCPFlags
+from repro.net.conn import Quadruple
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+CLUSTER_IP = IPAddress("10.0.0.100")
+CLIENT_IP = IPAddress("10.0.0.1")
+CLIENT_MAC = MACAddress("02:00:00:00:00:01")
+RDN_MAC = MACAddress("02:00:00:00:00:64")
+RPN_MAC = MACAddress("02:00:00:00:01:01")
+RPN_IP = IPAddress("10.0.1.1")
+
+
+def build_rdn(env, subscribers=None, config=None):
+    """An RDN with a NIC wired to a capture switch port."""
+    rdn = PrimaryRDN(
+        env,
+        config or GageConfig(),
+        CLUSTER_IP,
+        subscribers or [Subscriber("site1", 100)],
+    )
+    switch = Switch(env, ports=4)
+    nic = NIC(env, RDN_MAC, name="rdn.eth0")
+    switch.attach(nic.iface)
+    rdn.attach_nic(nic)
+    sent = []
+    capture = NIC(env, MACAddress("02:00:00:00:00:FE"), name="cap", promiscuous=True)
+    capture.receive_handler = sent.append
+    switch.attach(capture.iface)
+    from repro.core.simulation import default_rpn_capacity
+
+    rdn.add_rpn("rpn0", default_rpn_capacity(), mac=RPN_MAC, ip=RPN_IP)
+    return rdn, sent
+
+
+def syn(port=30000, seq=1000):
+    return Packet(
+        src_mac=CLIENT_MAC, dst_mac=RDN_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=port, dst_port=80, seq=seq, flags=TCPFlags.SYN,
+    )
+
+
+def url_packet(port=30000, seq=1001, ack=None, host="site1"):
+    return Packet(
+        src_mac=CLIENT_MAC, dst_mac=RDN_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=port, dst_port=80, seq=seq, ack=ack or 0,
+        flags=TCPFlags.ACK | TCPFlags.PSH,
+        payload=WebRequest(host, "/x.html", 2000), payload_len=200,
+    )
+
+
+def test_syn_triggers_emulated_synack():
+    env = Environment()
+    rdn, sent = build_rdn(env)
+    rdn.handle_packet(syn(seq=5000))
+    env.run(until=0.01)
+    synacks = [p for p in sent if TCPFlags.SYN in p.flags and TCPFlags.ACK in p.flags]
+    assert len(synacks) == 1
+    assert synacks[0].src_ip == CLUSTER_IP
+    assert synacks[0].ack == 5001
+    assert synacks[0].dst_mac == CLIENT_MAC
+    assert rdn.ops.connection_setups == 1
+
+
+def test_duplicate_syn_resends_same_synack():
+    env = Environment()
+    rdn, sent = build_rdn(env)
+    rdn.handle_packet(syn(seq=5000))
+    rdn.handle_packet(syn(seq=5000))
+    env.run(until=0.01)
+    synacks = [p for p in sent if TCPFlags.SYN in p.flags and TCPFlags.ACK in p.flags]
+    assert len(synacks) == 2
+    assert synacks[0].seq == synacks[1].seq  # same emulated ISN
+    assert rdn.ops.connection_setups == 1  # still one connection
+
+
+def test_url_request_enqueued_once():
+    env = Environment()
+    rdn, _sent = build_rdn(env)
+    rdn.handle_packet(syn())
+    rdn.handle_packet(url_packet())
+    rdn.handle_packet(url_packet())  # client retransmission
+    queue = rdn.queues.get("site1")
+    assert len(queue) == 1
+    assert rdn.ops.absorbed >= 1
+
+
+def test_url_without_handshake_rejected():
+    env = Environment()
+    rdn, _sent = build_rdn(env)
+    rdn.handle_packet(url_packet())
+    assert len(rdn.queues.get("site1")) == 0
+    assert rdn.ops.rejected == 1
+
+
+def test_unknown_host_request_rejected():
+    env = Environment()
+    rdn, _sent = build_rdn(env)
+    rdn.handle_packet(syn())
+    rdn.handle_packet(url_packet(host="nosuch"))
+    assert len(rdn.queues.get("site1")) == 0
+
+
+def test_queue_full_sends_rst():
+    env = Environment()
+    subs = [Subscriber("site1", 100, queue_capacity=1)]
+    rdn, sent = build_rdn(env, subscribers=subs)
+    for port in (30000, 30001):
+        rdn.handle_packet(syn(port=port))
+        rdn.handle_packet(url_packet(port=port))
+    env.run(until=0.01)
+    rsts = [p for p in sent if TCPFlags.RST in p.flags]
+    assert len(rsts) == 1
+    assert rdn.queues.get("site1").dropped == 1
+
+
+def test_dispatch_inserts_conntable_and_sends_order():
+    env = Environment()
+    rdn, sent = build_rdn(env)
+    rdn.handle_packet(syn())
+    rdn.handle_packet(url_packet())
+    env.run(until=0.05)  # several scheduling cycles
+    quad = Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80)
+    assert quad in rdn.conntable
+    orders = [p for p in sent if isinstance(p.payload, DispatchOrder)]
+    assert len(orders) == 1
+    order = orders[0].payload
+    assert order.subscriber == "site1"
+    assert order.client_isn == 1000
+    assert order.client_mac == CLIENT_MAC
+    assert orders[0].dst_mac == RPN_MAC
+
+
+def test_established_connection_bridged_with_rdn_src_mac():
+    env = Environment()
+    rdn, sent = build_rdn(env)
+    quad = Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80)
+    rdn.conntable.insert(quad, "rpn0", RPN_MAC)
+    ack = Packet(
+        src_mac=CLIENT_MAC, dst_mac=RDN_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=30000, dst_port=80, seq=1177, ack=900, flags=TCPFlags.ACK,
+    )
+    rdn.handle_packet(ack)
+    env.run(until=0.01)
+    bridged = [p for p in sent if p.dst_mac == RPN_MAC]
+    assert len(bridged) == 1
+    assert bridged[0].src_mac == RDN_MAC  # prevents switch MAC flapping
+    assert bridged[0].seq == 1177
+    assert rdn.ops.forwards == 1
+
+
+def test_bare_ack_completes_handshake_and_is_absorbed():
+    env = Environment()
+    rdn, _sent = build_rdn(env)
+    rdn.handle_packet(syn())
+    ack = Packet(
+        src_mac=CLIENT_MAC, dst_mac=RDN_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=30000, dst_port=80, seq=1001, ack=0, flags=TCPFlags.ACK,
+    )
+    rdn.handle_packet(ack)
+    assert rdn.ops.absorbed == 1
+    quad = Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80)
+    assert rdn._half_open[quad].established
+
+
+def test_packets_for_other_destinations_ignored():
+    env = Environment()
+    rdn, _sent = build_rdn(env)
+    stray = Packet(
+        src_mac=CLIENT_MAC, dst_mac=RDN_MAC, src_ip=CLIENT_IP,
+        dst_ip=IPAddress("10.0.0.2"), src_port=1, dst_port=2,
+        flags=TCPFlags.ACK,
+    )
+    rdn.handle_packet(stray)
+    assert rdn.ops.rejected == 0
+    assert rdn.ops.classifications == 0
+
+
+def test_flow_mode_submit_without_dispatcher_raises_on_dispatch():
+    env = Environment()
+    rdn = PrimaryRDN(env, GageConfig(), CLUSTER_IP, [Subscriber("site1", 100)])
+    from repro.core.simulation import default_rpn_capacity
+
+    rdn.add_rpn("rpn0", default_rpn_capacity())
+    assert rdn.submit_request("site1", WebRequest("site1", "/x", 100))
+    assert not rdn.submit_request("nosuch", WebRequest("nosuch", "/x", 100))
+    with pytest.raises(RuntimeError):
+        env.run(until=0.05)  # scheduler dispatches without flow_dispatch

@@ -1,0 +1,191 @@
+"""Unit tests for the local service manager and accounting agent."""
+
+import pytest
+
+from repro.cluster import Machine, WebServer
+from repro.core import LocalServiceManager, RPNAccountingAgent, Subscriber
+from repro.core.control import DispatchOrder
+from repro.net import IPAddress, MACAddress, NIC, Packet, Switch, TCPFlags
+from repro.net.conn import Quadruple
+from repro.net.tcp import HostStack, TCPState
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+CLIENT_IP = IPAddress("10.0.0.1")
+CLIENT_MAC = MACAddress("02:00:00:00:00:01")
+CLUSTER_IP = IPAddress("10.0.0.100")
+RPN_IP = IPAddress("10.0.1.1")
+RPN_MAC = MACAddress("02:00:00:00:01:01")
+
+
+def build_rpn(env):
+    """One RPN with LSM + webserver, plus a client-side capture host.
+
+    The capture host owns the client MAC and behaves as a dumb client:
+    it records every frame and acknowledges in-order data/FIN segments,
+    so server-side sends complete as they would against a real client.
+    """
+    switch = Switch(env, ports=4)
+    machine = Machine(env, "rpn0")
+    nic = machine.add_nic(RPN_MAC)
+    switch.attach(nic.iface)
+    stack = HostStack(env, RPN_IP, nic)
+    lsm = LocalServiceManager(env, stack, RPN_IP, RPN_MAC, CLUSTER_IP)
+    server = WebServer(machine)
+    server.host_site("site1", files={"x.html": 2000})
+    stack.listen(80, server.acceptor)
+    captured = []
+    capture = NIC(env, CLIENT_MAC, name="client", promiscuous=True)
+    switch.attach(capture.iface)
+
+    def ack_back(packet):
+        captured.append(packet)
+        if packet.dst_mac != CLIENT_MAC:
+            return
+        consumed = packet.payload_len + (1 if TCPFlags.FIN in packet.flags else 0)
+        if consumed == 0:
+            return
+        ack = Packet(
+            src_mac=CLIENT_MAC, dst_mac=RPN_MAC,
+            src_ip=packet.dst_ip, dst_ip=CLUSTER_IP,
+            src_port=packet.dst_port, dst_port=packet.src_port,
+            seq=packet.ack, ack=(packet.seq + consumed) % (2 ** 32),
+            flags=TCPFlags.ACK,
+        )
+        capture.transmit(ack)
+
+    capture.receive_handler = ack_back
+    return machine, stack, lsm, server, captured
+
+
+def order(port=30000, client_isn=1000, rdn_isn=50000):
+    return DispatchOrder(
+        subscriber="site1",
+        request=WebRequest("site1", "/x.html", 2000),
+        request_bytes=200,
+        quad=Quadruple(CLIENT_IP, port, CLUSTER_IP, 80),
+        client_isn=client_isn,
+        rdn_isn=rdn_isn,
+        client_mac=CLIENT_MAC,
+    )
+
+
+def test_dispatch_order_establishes_splice_locally():
+    env = Environment()
+    _machine, stack, lsm, _server, captured = build_rpn(env)
+    lsm._start_second_leg(order())
+    # The local handshake happens synchronously: connection established,
+    # splice rule installed, SYN-ACK suppressed from the wire.
+    assert lsm.splices_established == 1
+    quad = Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80)
+    rule = lsm.rule_for(quad)
+    assert rule is not None
+    assert rule.rdn_isn == 50000
+    conn = stack.connections[Quadruple(RPN_IP, 80, CLIENT_IP, 30000)]
+    assert conn.state is TCPState.ESTABLISHED
+    env.run(until=0.01)
+    synacks = [
+        p for p in captured if TCPFlags.SYN in p.flags and TCPFlags.ACK in p.flags
+    ]
+    assert synacks == []  # the second-leg SYN-ACK never hits the wire
+
+
+def test_response_packets_remapped_to_cluster_ip():
+    env = Environment()
+    _machine, _stack, lsm, server, captured = build_rpn(env)
+    lsm._start_second_leg(order())
+    env.run(until=0.5)
+    assert server.sites["site1"].completed == 1
+    responses = [p for p in captured if p.payload_len > 0 and p.dst_ip == CLIENT_IP]
+    assert responses
+    for packet in responses:
+        assert packet.src_ip == CLUSTER_IP  # the splice illusion
+        assert packet.dst_mac == CLIENT_MAC
+    rule = lsm.rule_for(Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80))
+    assert rule.outgoing_remapped > 0
+
+
+def test_incoming_client_packets_remapped_to_rpn():
+    env = Environment()
+    _machine, stack, lsm, _server, _captured = build_rpn(env)
+    lsm._start_second_leg(order(rdn_isn=50000))
+    env.run(until=0.2)
+    conn = stack.connections.get(Quadruple(RPN_IP, 80, CLIENT_IP, 30000))
+    snd_before = conn.snd_una
+    # A client ACK arrives addressed to the cluster IP with ACK numbers
+    # in the RDN's sequence space.
+    rule = lsm.rule_for(Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80))
+    client_ack = Packet(
+        src_mac=CLIENT_MAC, dst_mac=RPN_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=30000, dst_port=80, seq=1201,
+        ack=(conn.snd_nxt + rule.seq_delta) % (2**32),
+        flags=TCPFlags.ACK,
+    )
+    remapped = lsm.inbound(client_ack)
+    assert remapped.dst_ip == RPN_IP
+    assert remapped.ack == conn.snd_nxt
+
+
+def test_forget_removes_rules():
+    env = Environment()
+    _machine, _stack, lsm, _server, _captured = build_rpn(env)
+    lsm._start_second_leg(order())
+    quad = Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80)
+    assert lsm.rule_for(quad) is not None
+    lsm.forget(quad)
+    assert lsm.rule_for(quad) is None
+
+
+def test_non_splice_traffic_passes_through():
+    env = Environment()
+    _machine, _stack, lsm, _server, _captured = build_rpn(env)
+    other = Packet(
+        src_mac=CLIENT_MAC, dst_mac=RPN_MAC, src_ip=CLIENT_IP, dst_ip=RPN_IP,
+        src_port=9999, dst_port=22, flags=TCPFlags.SYN,
+    )
+    assert lsm.inbound(other) is other
+    assert lsm.outbound(other) is other
+
+
+def test_accounting_agent_reports_deltas():
+    env = Environment()
+    machine, _stack, lsm, server, _captured = build_rpn(env)
+    messages = []
+    agent = RPNAccountingAgent(env, "rpn0", server, cycle_s=0.1, send_fn=messages.append)
+    lsm._start_second_leg(order())
+    env.run(until=0.35)
+    assert agent.messages_sent == 3
+    completed = sum(
+        m.per_subscriber["site1"].completed
+        for m in messages
+        if "site1" in m.per_subscriber
+    )
+    assert completed == 1
+    usage = sum(
+        m.per_subscriber["site1"].usage.net_bytes
+        for m in messages
+        if "site1" in m.per_subscriber
+    )
+    assert usage == 2000  # deltas never double-count
+
+
+def test_accounting_agent_validation():
+    env = Environment()
+    machine = Machine(env, "m")
+    server = WebServer(machine)
+    with pytest.raises(ValueError):
+        RPNAccountingAgent(env, "r", server, cycle_s=0, send_fn=lambda m: None)
+    with pytest.raises(ValueError):
+        RPNAccountingAgent(
+            env, "r", server, cycle_s=1, send_fn=lambda m: None, phase_offset_s=-1
+        )
+
+
+def test_agent_quiet_cycles_have_no_subscriber_entries():
+    env = Environment()
+    _machine, _stack, _lsm, server, _captured = build_rpn(env)
+    messages = []
+    RPNAccountingAgent(env, "rpn0", server, cycle_s=0.05, send_fn=messages.append)
+    env.run(until=0.2)
+    assert messages
+    assert all(not m.per_subscriber for m in messages)

@@ -1,0 +1,115 @@
+"""Unit tests for the secondary RDN (asymmetric front-end cluster)."""
+
+from repro.core import SecondaryRDN
+from repro.core.control import DelegateHandshake, HandshakeComplete
+from repro.net import NIC, IPAddress, MACAddress, Packet, Switch, TCPFlags
+from repro.net.conn import Quadruple
+from repro.sim import Environment
+
+CLUSTER_IP = IPAddress("10.0.0.100")
+CLIENT_IP = IPAddress("10.0.0.1")
+CLIENT_MAC = MACAddress("02:00:00:00:00:01")
+PRIMARY_MAC = MACAddress("02:00:00:00:00:64")
+SEC_MAC = MACAddress("02:00:00:00:02:01")
+
+
+def build(env):
+    switch = Switch(env, ports=4)
+    nic = NIC(env, SEC_MAC, name="sec.eth0")
+    switch.attach(nic.iface)
+    secondary = SecondaryRDN(env, "sec0", CLUSTER_IP, PRIMARY_MAC, isn_base=7_000_000)
+    secondary.attach_nic(nic)
+    sent = []
+    capture = NIC(env, MACAddress("02:00:00:00:00:FE"), name="cap", promiscuous=True)
+    capture.receive_handler = sent.append
+    switch.attach(capture.iface)
+    return secondary, sent
+
+
+def quad(port=30000):
+    return Quadruple(CLIENT_IP, port, CLUSTER_IP, 80)
+
+
+def delegate(port=30000, client_isn=1000):
+    return DelegateHandshake(quad=quad(port), client_isn=client_isn, client_mac=CLIENT_MAC)
+
+
+def control_packet(payload):
+    return Packet(
+        src_mac=PRIMARY_MAC, dst_mac=SEC_MAC, src_ip=CLUSTER_IP, dst_ip=CLUSTER_IP,
+        src_port=7777, dst_port=7777, payload=payload, payload_len=64,
+    )
+
+
+def client_ack(port=30000, seq=1001, ack=0):
+    return Packet(
+        src_mac=PRIMARY_MAC,  # relayed by the primary
+        dst_mac=SEC_MAC, src_ip=CLIENT_IP, dst_ip=CLUSTER_IP,
+        src_port=port, dst_port=80, seq=seq, ack=ack, flags=TCPFlags.ACK,
+    )
+
+
+def test_delegation_sends_synack_to_client():
+    env = Environment()
+    secondary, sent = build(env)
+    secondary.handle_packet(control_packet(delegate(client_isn=1234)))
+    env.run(until=0.01)
+    synacks = [p for p in sent if TCPFlags.SYN in p.flags and TCPFlags.ACK in p.flags]
+    assert len(synacks) == 1
+    assert synacks[0].src_ip == CLUSTER_IP  # impersonates the cluster
+    assert synacks[0].ack == 1235
+    assert synacks[0].dst_mac == CLIENT_MAC
+    assert secondary.handshakes_started == 1
+
+
+def test_duplicate_delegation_resends_same_isn():
+    env = Environment()
+    secondary, sent = build(env)
+    secondary.handle_packet(control_packet(delegate()))
+    secondary.handle_packet(control_packet(delegate()))
+    env.run(until=0.01)
+    synacks = [p for p in sent if TCPFlags.SYN in p.flags]
+    assert len(synacks) == 2
+    assert synacks[0].seq == synacks[1].seq
+    assert secondary.handshakes_started == 1
+
+
+def test_client_ack_completes_and_reports_to_primary():
+    env = Environment()
+    secondary, sent = build(env)
+    secondary.handle_packet(control_packet(delegate(client_isn=1000)))
+    env.run(until=0.01)
+    synack = next(p for p in sent if TCPFlags.SYN in p.flags)
+    secondary.handle_packet(client_ack(ack=(synack.seq + 1)))
+    env.run(until=0.02)
+    completions = [p for p in sent if isinstance(p.payload, HandshakeComplete)]
+    assert len(completions) == 1
+    done = completions[0].payload
+    assert done.quad == quad()
+    assert done.client_isn == 1000
+    assert done.rdn_isn == synack.seq
+    assert completions[0].dst_mac == PRIMARY_MAC
+    assert secondary.handshakes_completed == 1
+    # State is cleaned up; a stray second ACK is ignored.
+    secondary.handle_packet(client_ack())
+    assert secondary.handshakes_completed == 1
+
+
+def test_unrelated_packets_ignored():
+    env = Environment()
+    secondary, sent = build(env)
+    secondary.handle_packet(client_ack())  # no pending handshake
+    env.run(until=0.01)
+    assert sent == []
+    assert secondary.handshakes_completed == 0
+
+
+def test_distinct_connections_get_distinct_isns():
+    env = Environment()
+    secondary, sent = build(env)
+    secondary.handle_packet(control_packet(delegate(port=30000)))
+    secondary.handle_packet(control_packet(delegate(port=30001)))
+    env.run(until=0.01)
+    synacks = [p for p in sent if TCPFlags.SYN in p.flags]
+    assert len(synacks) == 2
+    assert synacks[0].seq != synacks[1].seq

@@ -1,0 +1,134 @@
+"""Unit tests for the GageCluster assembly and reporting API."""
+
+import pytest
+
+from repro.core import GageCluster, GageConfig, Subscriber, default_rpn_capacity
+from repro.resources import ResourceVector
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+def small_cluster(env, fidelity="flow", **kw):
+    subs = [Subscriber("a", 100)]
+    return GageCluster(env, subs, {"a": {"x.html": 2000}}, num_rpns=2,
+                       fidelity=fidelity, **kw)
+
+
+def traffic_cluster(env, rate=20.0, duration=2.0):
+    """A cluster whose site files match the workload's request paths."""
+    subs = [Subscriber("a", 100)]
+    workload = SyntheticWorkload(rates={"a": rate}, duration_s=duration, file_bytes=2000)
+    cluster = GageCluster(
+        env, subs, {"a": workload.site_files("a")}, num_rpns=2, fidelity="flow"
+    )
+    cluster.load_trace(workload.generate())
+    return cluster
+
+
+def test_default_rpn_capacity_vector():
+    capacity = default_rpn_capacity()
+    assert capacity == ResourceVector(1.0, 1.0, 12_500_000.0)
+    assert default_rpn_capacity(cpu_speed=2.0).cpu_s == 2.0
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        GageCluster(env, [Subscriber("a", 1)], {"a": {}}, num_rpns=0)
+    with pytest.raises(ValueError):
+        GageCluster(env, [Subscriber("a", 1)], {"a": {}}, fidelity="quantum")
+
+
+def test_flow_mode_builds_no_network():
+    env = Environment()
+    cluster = small_cluster(env)
+    assert cluster.switch is None
+    assert cluster.fleet is None
+    assert cluster.lsms == []
+    assert len(cluster.machines) == 2
+    assert len(cluster.agents) == 2
+
+
+def test_packet_mode_builds_full_network():
+    env = Environment()
+    cluster = small_cluster(env, fidelity="packet")
+    assert cluster.switch is not None
+    assert cluster.fleet is not None
+    assert len(cluster.lsms) == 2
+    assert cluster.rdn.nic is not None
+
+
+def test_prewarm_caches_fills_every_machine():
+    env = Environment()
+    cluster = small_cluster(env)
+    cluster.prewarm_caches()
+    for machine in cluster.machines:
+        assert machine.cache.used_bytes == 2000
+
+
+def test_service_report_windows():
+    env = Environment()
+    cluster = traffic_cluster(env)
+    cluster.run(3.0)
+    full = cluster.service_report("a", 0.0, 3.0)
+    assert full.arrived == 39
+    assert full.served == 39
+    empty = cluster.service_report("a", 2.5, 3.0)
+    assert empty.arrived == 0
+    with pytest.raises(StopIteration):
+        cluster.service_report("missing", 0.0, 1.0)
+
+
+def test_latency_tracking_in_flow_mode():
+    env = Environment()
+    cluster = traffic_cluster(env, rate=10.0, duration=1.0)
+    cluster.run(2.0)
+    assert len(cluster.latencies) in (9, 10)
+    for _at, host, latency in cluster.latencies:
+        assert host == "a"
+        assert 0 < latency < 1.0
+
+
+def test_completion_events_grouping():
+    env = Environment()
+    cluster = traffic_cluster(env, rate=10.0, duration=1.0)
+    cluster.run(2.0)
+    events = cluster.completion_events_by_subscriber()
+    assert set(events) == {"a"}
+    assert len(events["a"]) in (9, 10)
+    for _at, weight in events["a"]:
+        assert weight > 0
+
+
+def test_stagger_accounting_offsets_agents():
+    env = Environment()
+    config = GageConfig(accounting_cycle_s=0.2)
+    cluster = GageCluster(
+        env,
+        [Subscriber("a", 100)],
+        {"a": {}},
+        num_rpns=4,
+        config=config,
+        stagger_accounting=True,
+    )
+    offsets = [agent.phase_offset_s for agent in cluster.agents]
+    assert offsets == pytest.approx([0.0, 0.05, 0.10, 0.15])
+
+    synced = GageCluster(
+        Environment(),
+        [Subscriber("a", 100)],
+        {"a": {}},
+        num_rpns=4,
+        config=GageConfig(accounting_cycle_s=0.2),
+    )
+    assert all(agent.phase_offset_s == 0.0 for agent in synced.agents)
+
+
+def test_subscribers_hosted_on_every_rpn():
+    env = Environment()
+    subs = [Subscriber("a", 50), Subscriber("b", 50)]
+    cluster = GageCluster(
+        env, subs, {"a": {"x": 1}, "b": {"y": 2}}, num_rpns=3, fidelity="flow"
+    )
+    for server in cluster.webservers:
+        assert set(server.sites) == {"a", "b"}

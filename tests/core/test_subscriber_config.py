@@ -1,0 +1,44 @@
+"""Tests for Subscriber and GageConfig validation."""
+
+import pytest
+
+from repro.core import GageConfig, Subscriber
+from repro.core.grps import ResourceVector
+
+
+def test_subscriber_reservation_vector():
+    sub = Subscriber("site1", reservation_grps=100)
+    vec = sub.reservation_vector()
+    assert vec == ResourceVector(1.0, 1.0, 200_000)
+
+
+def test_subscriber_validation():
+    with pytest.raises(ValueError):
+        Subscriber("x", reservation_grps=-1)
+    with pytest.raises(ValueError):
+        Subscriber("x", reservation_grps=10, queue_capacity=0)
+
+
+def test_config_defaults_match_paper():
+    config = GageConfig()
+    assert config.scheduling_cycle_s == 0.010  # §3.4: "10 msec"
+    assert config.generic_request.cpu_s == 0.010
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GageConfig(scheduling_cycle_s=0)
+    with pytest.raises(ValueError):
+        GageConfig(accounting_cycle_s=-1)
+    with pytest.raises(ValueError):
+        GageConfig(credit_cap_cycles=0.5)
+    with pytest.raises(ValueError):
+        GageConfig(dispatch_window_s=0)
+    with pytest.raises(ValueError):
+        GageConfig(spare_policy="bogus")
+    with pytest.raises(ValueError):
+        GageConfig(estimator_policy="bogus")
+    with pytest.raises(ValueError):
+        GageConfig(node_policy="bogus")
+    with pytest.raises(ValueError):
+        GageConfig(estimator_alpha=0)

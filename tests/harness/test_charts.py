@@ -1,0 +1,62 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import line_chart
+
+
+def test_single_series_renders():
+    chart = line_chart(
+        {"u": [(0, 0.0), (50, 0.5), (100, 1.0)]},
+        title="utilization",
+        x_label="req/s",
+        y_label="util",
+    )
+    lines = chart.split("\n")
+    assert lines[0] == "utilization"
+    assert any("o" in line for line in lines)
+    assert "x: req/s" in lines[-1]
+    assert "o=u" in lines[-1]
+    # Axis labels carry the extremes: y-max on the top grid row, y-min on
+    # the bottom grid row (above the axis line and x-label rows).
+    assert "1" in lines[1]
+    assert "0" in lines[-4]
+
+
+def test_multiple_series_distinct_marks():
+    chart = line_chart({
+        "a": [(0, 1.0), (1, 2.0)],
+        "b": [(0, 2.0), (1, 1.0)],
+    })
+    assert "o" in chart
+    assert "x" in chart
+    assert "o=a" in chart
+    assert "x=b" in chart
+
+
+def test_degenerate_ranges_handled():
+    # Flat series and single points must not divide by zero.
+    chart = line_chart({"flat": [(1, 5.0), (2, 5.0)]})
+    assert "o" in chart
+    chart2 = line_chart({"point": [(3, 7.0)]})
+    assert "o" in chart2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": []})
+    with pytest.raises(ValueError):
+        line_chart({"a": [(0, 1)]}, width=5)
+
+
+def test_fig3_shape_plot_smoke():
+    """Plot a Figure-3-like family; purely a rendering smoke test."""
+    family = {
+        "50ms": [(i, 1.0 / i) for i in range(1, 11)],
+        "2s": [(1, 102.0), (2, 11.0), (4, 4.0), (10, 3.0)],
+    }
+    chart = line_chart(family, title="Fig 3", x_label="interval (s)", y_label="deviation %")
+    assert "Fig 3" in chart
+    assert len(chart.split("\n")) > 10

@@ -1,0 +1,83 @@
+"""Tests for the experiment harness (short configurations)."""
+
+import pytest
+
+from repro.harness import (
+    RDNCostModel,
+    format_table,
+    run_deviation_experiment,
+    run_isolation,
+    run_scalability,
+)
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"], [("a", 1.5), ("longer", 20.25)], title="T"
+    )
+    lines = table.split("\n")
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.5" in lines[3]
+    assert "20.2" in lines[4]
+    # All rows have identical width.
+    assert len(set(len(line) for line in lines[1:])) == 1
+
+
+def test_format_table_without_title():
+    table = format_table(["x"], [(1,)])
+    assert table.split("\n")[0].strip() == "x"
+
+
+def test_run_isolation_short():
+    reports = run_isolation(
+        reservations={"a": 100.0, "b": 50.0},
+        input_rates={"a": 90.0, "b": 200.0},
+        num_rpns=2,
+        duration_s=4.0,
+        warmup_s=1.0,
+    )
+    by_name = {r.subscriber: r for r in reports}
+    assert by_name["a"].served_rate == pytest.approx(90.0, rel=0.1)
+    assert by_name["b"].served_rate > 50.0  # reservation + spare
+    assert by_name["b"].served_rate < 200.0
+
+
+def test_run_deviation_monotone_in_interval():
+    curve = run_deviation_experiment(
+        2.0, intervals_s=[1.0, 4.0], duration_s=14.0, num_rpns=4,
+        num_subscribers=2, reservation_grps=100.0,
+    )
+    assert curve.by_interval[1.0] > curve.by_interval[4.0]
+    assert curve.series()[0][0] == 1.0
+
+
+def test_run_deviation_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        run_deviation_experiment(0.1, workload="bogus")
+
+
+def test_run_scalability_single_point():
+    points = run_scalability(rpn_counts=[1], duration_s=3.0, warmup_s=1.0)
+    assert len(points) == 1
+    point = points[0]
+    assert 400 < point.with_gage_rps < 700
+    assert point.without_gage_rps > point.with_gage_rps * 0.95
+    assert -5 < point.penalty_percent < 10
+
+
+def test_rdn_cost_model_shapes():
+    model = RDNCostModel()
+    assert model.operations_us_per_request() == pytest.approx(70.3)
+    # Utilization is monotone in the request rate.
+    assert model.utilization(1000) < model.utilization(2000)
+    # The intelligent NIC strictly helps.
+    assert model.utilization(4000, intelligent_nic=True) < model.utilization(4000)
+    with pytest.raises(ValueError):
+        model.utilization(-1)
+
+
+def test_rdn_cost_model_saturation_bisection():
+    model = RDNCostModel()
+    saturation = model.saturation_rate_rps()
+    assert model.utilization(saturation) == pytest.approx(1.0, abs=0.01)

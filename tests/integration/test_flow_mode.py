@@ -1,0 +1,117 @@
+"""End-to-end tests of the flow-fidelity Gage cluster."""
+
+import pytest
+
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+def build_cluster(env, subscribers, rates, duration=5.0, num_rpns=4, config=None, **kw):
+    # 2000-byte pages cost exactly one generic request each (§3.1), so
+    # GRPS reservations translate 1:1 to request rates.
+    workload = SyntheticWorkload(rates=rates, duration_s=duration, file_bytes=2000)
+    site_files = {name: workload.site_files(name) for name in rates}
+    cluster = GageCluster(
+        env,
+        subscribers,
+        site_files,
+        num_rpns=num_rpns,
+        config=config,
+        fidelity="flow",
+        **kw,
+    )
+    cluster.load_trace(workload.generate())
+    return cluster
+
+
+def test_underloaded_subscriber_fully_served():
+    env = Environment()
+    subs = [Subscriber("a", reservation_grps=100)]
+    cluster = build_cluster(env, subs, {"a": 50.0}, duration=5.0)
+    cluster.run(5.0)
+    report = cluster.service_report("a", 1.0, 5.0)
+    assert report.served_rate == pytest.approx(50.0, rel=0.05)
+    assert report.dropped == 0
+
+
+def test_isolation_overloaded_neighbor_cannot_steal():
+    """A wildly overloaded site must not degrade a reserved site (§4.1)."""
+    env = Environment()
+    subs = [
+        Subscriber("good", reservation_grps=200, queue_capacity=256),
+        Subscriber("greedy", reservation_grps=100, queue_capacity=256),
+    ]
+    # Cluster capacity: 4 RPNs x 100 GRPS = 400; greedy offers 600.
+    cluster = build_cluster(
+        env, subs, {"good": 190.0, "greedy": 600.0}, duration=8.0, num_rpns=4
+    )
+    cluster.run(8.0)
+    good = cluster.service_report("good", 2.0, 8.0)
+    greedy = cluster.service_report("greedy", 2.0, 8.0)
+    assert good.served_rate == pytest.approx(190.0, rel=0.08)
+    assert greedy.dropped > 0
+    # Spare (capacity - reservations = 100) flows to the greedy site.
+    assert greedy.served_rate > 100.0
+
+
+def test_completions_tracked_with_usage():
+    env = Environment()
+    subs = [Subscriber("a", reservation_grps=100)]
+    cluster = build_cluster(env, subs, {"a": 20.0}, duration=3.0)
+    cluster.run(3.0)
+    events = cluster.completion_events_by_subscriber()
+    assert "a" in events
+    assert len(events["a"]) > 40
+    for _at, weight in events["a"]:
+        assert weight > 0
+
+
+def test_accounting_messages_flow_back():
+    env = Environment()
+    subs = [Subscriber("a", reservation_grps=100)]
+    config = GageConfig(accounting_cycle_s=0.05)
+    cluster = build_cluster(env, subs, {"a": 50.0}, duration=2.0, config=config)
+    cluster.run(2.0)
+    assert all(agent.messages_sent >= 30 for agent in cluster.agents)
+    account = cluster.rdn.accounting.account("a")
+    assert account.reported_complete > 50
+    # Estimators learned that real requests are cheaper than generic.
+    predicted = cluster.rdn.scheduler.estimator("a").predict()
+    assert predicted.cpu_s < 0.011
+
+
+def test_spare_split_proportional_to_reservations():
+    """Table 2's policy at integration level."""
+    env = Environment()
+    subs = [
+        Subscriber("hi", reservation_grps=250, queue_capacity=512),
+        Subscriber("lo", reservation_grps=200, queue_capacity=512),
+    ]
+    cluster = build_cluster(
+        env, subs, {"hi": 700.0, "lo": 600.0}, duration=10.0, num_rpns=8
+    )
+    cluster.run(10.0)
+    hi = cluster.service_report("hi", 2.0, 10.0)
+    lo = cluster.service_report("lo", 2.0, 10.0)
+    assert hi.spare_rate > 0
+    assert lo.spare_rate > 0
+    assert hi.spare_rate / lo.spare_rate == pytest.approx(250 / 200, rel=0.25)
+
+
+def test_flow_mode_rejects_secondaries():
+    env = Environment()
+    with pytest.raises(ValueError):
+        GageCluster(
+            env,
+            [Subscriber("a", 10)],
+            {"a": {}},
+            fidelity="flow",
+            num_secondaries=1,
+        )
+
+
+def test_unknown_fidelity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        GageCluster(env, [Subscriber("a", 10)], {"a": {}}, fidelity="warp")

@@ -1,0 +1,136 @@
+"""Property-based tests of system-level invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    res_a=st.integers(30, 120),
+    res_b=st.integers(30, 120),
+    overload=st.floats(2.0, 6.0),
+)
+def test_isolation_invariant(res_a, res_b, overload):
+    """For any reservations fitting the cluster and any overload factor on
+    subscriber b, subscriber a (offered within its reservation) is served
+    at its offered rate."""
+    env = Environment()
+    subs = [
+        Subscriber("a", res_a, queue_capacity=256),
+        Subscriber("b", res_b, queue_capacity=256),
+    ]
+    rate_a = 0.9 * res_a
+    rate_b = overload * res_b
+    workload = SyntheticWorkload(
+        rates={"a": rate_a, "b": rate_b}, duration_s=5.0, file_bytes=2000
+    )
+    # 3 RPNs = ~300 GRPS; reservations sum to at most 240.
+    cluster = GageCluster(
+        env, subs, {n: workload.site_files(n) for n in ("a", "b")}, num_rpns=3
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(5.0)
+    report = cluster.service_report("a", 2.0, 5.0)
+    assert report.served_rate >= 0.9 * rate_a
+    # And b never exceeds what physics allows.
+    report_b = cluster.service_report("b", 2.0, 5.0)
+    assert report_b.served_rate <= rate_b + 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    reservations=st.lists(st.integers(20, 80), min_size=2, max_size=4),
+)
+def test_work_conservation_under_total_overload(reservations):
+    """When every queue is overloaded, total service approaches cluster
+    capacity: the scheduler never idles resources while work waits."""
+    env = Environment()
+    names = ["s{}".format(i) for i in range(len(reservations))]
+    subs = [
+        Subscriber(name, grps, queue_capacity=512)
+        for name, grps in zip(names, reservations)
+    ]
+    rates = {name: 250.0 for name in names}
+    workload = SyntheticWorkload(rates=rates, duration_s=5.0, file_bytes=2000)
+    cluster = GageCluster(
+        env, subs, {n: workload.site_files(n) for n in names}, num_rpns=2
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(5.0)
+    total = sum(r.served_rate for r in cluster.all_reports(2.0, 5.0))
+    # 2 RPNs of ~99 effective GRPS each (includes the 56.7us overhead).
+    assert total > 0.85 * 195.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(sizes=st.lists(st.integers(1, 8000), min_size=1, max_size=6))
+def test_tcp_delivers_any_payload_sequence(sizes):
+    """Random message sizes arrive complete and in order over simulated TCP."""
+    from tests.net.conftest import TwoHostNet
+
+    env = Environment()
+    net = TwoHostNet(env)
+    received = []
+
+    def serve(conn):
+        def server(env):
+            expected = sum(sizes)
+            total = 0
+            while total < expected:
+                payload, length = yield conn.receive()
+                total += length
+                if payload is not None:
+                    received.append(payload)
+        env.process(server(env))
+
+    net.b.stack.listen(80, serve)
+
+    def client(env):
+        conn = net.a.stack.connect(net.b.ip, 80)
+        yield conn.established
+        for index, size in enumerate(sizes):
+            yield conn.send(size, payload=index)
+
+    env.run(until=env.process(client(env)))
+    env.run()
+    assert received == list(range(len(sizes)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    res_hi=st.integers(100, 200),
+    ratio=st.floats(1.2, 3.0),
+)
+def test_spare_split_tracks_reservation_ratio(res_hi, ratio):
+    """With two persistently overloaded queues, spare throughput divides
+    roughly in proportion to reservations (the Table 2 law), for any
+    reservation pair that fits the cluster."""
+    res_lo = int(res_hi / ratio)
+    env = Environment()
+    subs = [
+        Subscriber("hi", res_hi, queue_capacity=512),
+        Subscriber("lo", res_lo, queue_capacity=512),
+    ]
+    workload = SyntheticWorkload(
+        rates={"hi": 900.0, "lo": 900.0}, duration_s=6.0, file_bytes=2000
+    )
+    cluster = GageCluster(
+        env, subs, {n: workload.site_files(n) for n in ("hi", "lo")}, num_rpns=8
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(6.0)
+    hi = cluster.service_report("hi", 2.0, 6.0)
+    lo = cluster.service_report("lo", 2.0, 6.0)
+    assert hi.spare_rate > 0
+    assert lo.spare_rate > 0
+    measured = hi.spare_rate / lo.spare_rate
+    expected = res_hi / res_lo
+    assert measured == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,108 @@
+"""Robustness integration tests: loss, CGI, and mixed workloads."""
+
+import random
+
+import pytest
+
+from repro.core import GageCluster, Subscriber
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+from repro.workload.request import RequestRecord
+
+
+def test_qos_survives_client_uplink_loss():
+    """5% frame loss on a client uplink: retransmission recovers every
+    request and the service rate still meets the offered load."""
+    env = Environment()
+    subs = [Subscriber("a", 100)]
+    workload = SyntheticWorkload(rates={"a": 30.0}, duration_s=3.0, file_bytes=2000)
+    cluster = GageCluster(
+        env, subs, {"a": workload.site_files("a")}, num_rpns=2, fidelity="packet"
+    )
+    lossy = cluster.fleet.stacks[0].nic.iface
+    lossy.loss_rate = 0.05
+    lossy._loss_rng = random.Random(11)
+    cluster.load_trace(workload.generate())
+    cluster.run(8.0)  # headroom for retransmission delays
+    stats = cluster.fleet.stats
+    assert stats.completed == stats.issued
+    assert stats.failed == 0
+    assert lossy.dropped_loss > 0  # losses actually happened
+
+
+def test_cgi_and_static_mixed_workload_isolation():
+    """A site serving dynamic CGI traffic is throttled like any other;
+    its CGI processes' CPU counts against its reservation."""
+    env = Environment()
+    subs = [
+        Subscriber("static-site", 60, queue_capacity=128),
+        Subscriber("cgi-site", 40, queue_capacity=128),
+    ]
+    workload = SyntheticWorkload(
+        rates={"static-site": 55.0}, duration_s=6.0, file_bytes=2000
+    )
+    records = list(workload.generate())
+    # CGI requests: 25ms of program CPU each => ~2.5 generics of CPU; at
+    # 120/s offered, demand is ~300 GRPS against a 40-GRPS reservation.
+    period = 1.0 / 120.0
+    at = period
+    while at < 6.0:
+        records.append(
+            RequestRecord(
+                at_s=at, host="cgi-site", path="/cgi/app",
+                size_bytes=1000, cpu_extra_s=0.025,
+            )
+        )
+        at += period
+    records.sort(key=lambda r: r.at_s)
+    cluster = GageCluster(
+        env,
+        subs,
+        {"static-site": workload.site_files("static-site"), "cgi-site": {}},
+        num_rpns=2,
+        fidelity="flow",
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(records)
+    cluster.run(6.0)
+    static = cluster.service_report("static-site", 2.0, 6.0)
+    cgi = cluster.service_report("cgi-site", 2.0, 6.0)
+    # The static site is untouched by the CGI flood.
+    assert static.served_rate == pytest.approx(55.0, rel=0.1)
+    # The CGI site is throttled: its measured (CPU-heavy) usage, not its
+    # request count, is what the credit scheduler meters.
+    assert cgi.served_rate < 120.0 * 0.8
+    assert cgi.dropped > 0
+    # And the CGI processes' CPU landed in the accounting.
+    account = cluster.rdn.accounting.account("cgi-site")
+    per_request_cpu = (
+        account.measured_usage_total.cpu_s / account.reported_complete
+    )
+    assert per_request_cpu > 0.025  # includes the forked program's time
+
+
+def test_packet_mode_mixed_subscribers_with_loss_and_overload():
+    """Loss + overload + two subscribers at packet fidelity: reserved
+    traffic is unaffected."""
+    env = Environment()
+    subs = [
+        Subscriber("good", 80, queue_capacity=64),
+        Subscriber("flood", 20, queue_capacity=64),
+    ]
+    workload = SyntheticWorkload(
+        rates={"good": 60.0, "flood": 200.0}, duration_s=5.0, file_bytes=2000
+    )
+    cluster = GageCluster(
+        env,
+        subs,
+        {n: workload.site_files(n) for n in ("good", "flood")},
+        num_rpns=2,
+        fidelity="packet",
+    )
+    lossy = cluster.fleet.stacks[1].nic.iface
+    lossy.loss_rate = 0.02
+    lossy._loss_rng = random.Random(3)
+    cluster.load_trace(workload.generate())
+    cluster.run(9.0)
+    good = cluster.service_report("good", 1.5, 5.0)
+    assert good.served_rate == pytest.approx(60.0, rel=0.15)

@@ -1,0 +1,39 @@
+"""Shared fixtures for network-layer tests."""
+
+import pytest
+
+from repro.net import NIC, HostStack, IPAddress, MACAddress, Switch
+from repro.sim import Environment
+
+
+class Host:
+    """A simulated host: NIC + TCP stack, for tests."""
+
+    def __init__(self, env, ip, mac, switch, **stack_kwargs):
+        self.ip = IPAddress(ip)
+        self.mac = MACAddress(mac)
+        self.nic = NIC(env, self.mac, name="nic-{}".format(ip))
+        switch.attach(self.nic.iface)
+        self.stack = HostStack(env, self.ip, self.nic, **stack_kwargs)
+
+
+class TwoHostNet:
+    """Two hosts on one switch with static ARP entries."""
+
+    def __init__(self, env, **stack_kwargs):
+        self.env = env
+        self.switch = Switch(env, ports=4)
+        self.a = Host(env, "10.0.0.1", "02:00:00:00:00:01", self.switch, **stack_kwargs)
+        self.b = Host(env, "10.0.0.2", "02:00:00:00:00:02", self.switch, **stack_kwargs)
+        self.a.stack.arp[self.b.ip] = self.b.mac
+        self.b.stack.arp[self.a.ip] = self.a.mac
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return TwoHostNet(env)

@@ -1,0 +1,171 @@
+"""Tests for the ARP implementation."""
+
+import pytest
+
+from repro.net import NIC, IPAddress, MACAddress, Switch
+from repro.net.arp import ArpError, ArpRequest, ArpService
+from repro.sim import Environment
+
+
+def host(env, switch, ip, mac, **kw):
+    nic = NIC(env, MACAddress(mac), name="h-{}".format(ip))
+    switch.attach(nic.iface)
+    return ArpService(env, nic, IPAddress(ip), **kw)
+
+
+def test_resolution_between_two_hosts():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01")
+    b = host(env, switch, "10.0.0.2", "02:00:00:00:00:02")
+
+    def run(env):
+        mac = yield a.resolve(IPAddress("10.0.0.2"))
+        assert mac == b.nic.mac
+
+    env.run(until=env.process(run(env)))
+    assert a.lookup(IPAddress("10.0.0.2")) == b.nic.mac
+    assert a.requests_sent == 1
+    assert b.replies_sent == 1
+    # The responder learned the requester's address from the request.
+    assert b.lookup(IPAddress("10.0.0.1")) == a.nic.mac
+
+
+def test_cached_resolution_is_immediate():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01")
+    host(env, switch, "10.0.0.2", "02:00:00:00:00:02")
+
+    def run(env):
+        yield a.resolve(IPAddress("10.0.0.2"))
+        before = a.requests_sent
+        yield a.resolve(IPAddress("10.0.0.2"))
+        assert a.requests_sent == before  # served from cache
+
+    env.run(until=env.process(run(env)))
+
+
+def test_concurrent_resolutions_share_one_request():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01")
+    host(env, switch, "10.0.0.2", "02:00:00:00:00:02")
+    results = []
+
+    def run(env):
+        first = a.resolve(IPAddress("10.0.0.2"))
+        second = a.resolve(IPAddress("10.0.0.2"))
+        results.append((yield first))
+        results.append((yield second))
+
+    env.run(until=env.process(run(env)))
+    assert len(results) == 2
+    assert a.requests_sent == 1
+
+
+def test_resolution_fails_after_retries():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01", timeout_s=0.05, retries=2)
+
+    def run(env):
+        with pytest.raises(ArpError):
+            yield a.resolve(IPAddress("10.0.0.99"))
+
+    env.run(until=env.process(run(env)))
+    assert a.requests_sent == 2
+    assert a.failures == 1
+
+
+def test_send_resolved_holds_then_delivers():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01")
+    b = host(env, switch, "10.0.0.2", "02:00:00:00:00:02")
+    got = []
+    b._passthrough = got.append
+
+    from repro.net.packet import Packet, TCPFlags
+
+    frame = Packet(
+        src_mac=a.nic.mac, dst_mac=MACAddress.broadcast(),
+        src_ip=IPAddress("10.0.0.1"), dst_ip=IPAddress("10.0.0.2"),
+        src_port=1, dst_port=2, flags=TCPFlags.SYN,
+    )
+    a.send_resolved(frame)
+    env.run(until=0.5)
+    assert len(got) == 1
+    assert got[0].dst_mac == b.nic.mac  # rewritten after resolution
+
+
+def test_send_resolved_drops_on_failure():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01", timeout_s=0.05, retries=1)
+
+    from repro.net.packet import Packet, TCPFlags
+
+    frame = Packet(
+        src_mac=a.nic.mac, dst_mac=MACAddress.broadcast(),
+        src_ip=IPAddress("10.0.0.1"), dst_ip=IPAddress("10.0.0.99"),
+        src_port=1, dst_port=2, flags=TCPFlags.SYN,
+    )
+    a.send_resolved(frame)
+    env.run(until=1.0)  # must not crash; frame silently dropped
+    assert a.failures == 1
+
+
+def test_non_arp_traffic_passes_through():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01")
+    b = host(env, switch, "10.0.0.2", "02:00:00:00:00:02")
+    got = []
+    b._passthrough = got.append
+
+    from repro.net.packet import Packet, TCPFlags
+
+    a.nic.transmit(Packet(
+        src_mac=a.nic.mac, dst_mac=b.nic.mac,
+        src_ip=IPAddress("10.0.0.1"), dst_ip=IPAddress("10.0.0.2"),
+        src_port=1, dst_port=2, flags=TCPFlags.ACK,
+    ))
+    env.run()
+    assert len(got) == 1
+
+
+def test_validation():
+    env = Environment()
+    switch = Switch(env, ports=4)
+    nic = NIC(env, MACAddress(1), name="x")
+    switch.attach(nic.iface)
+    with pytest.raises(ValueError):
+        ArpService(env, nic, IPAddress("10.0.0.1"), timeout_s=0)
+    with pytest.raises(ValueError):
+        ArpService(env, nic, IPAddress("10.0.0.1"), retries=0)
+
+
+def test_cluster_end_to_end_with_dynamic_arp():
+    """Clients discover the cluster VIP via ARP; requests still complete."""
+    from repro.core import GageCluster, Subscriber
+    from repro.workload import SyntheticWorkload
+
+    env = Environment()
+    subs = [Subscriber("a", 100)]
+    workload = SyntheticWorkload(rates={"a": 20.0}, duration_s=2.0, file_bytes=2000)
+    cluster = GageCluster(
+        env,
+        subs,
+        {"a": workload.site_files("a")},
+        num_rpns=2,
+        fidelity="packet",
+        dynamic_arp=True,
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(4.0)
+    stats = cluster.fleet.stats
+    assert stats.completed == stats.issued
+    assert stats.failed == 0
+    for stack in cluster.fleet.stacks:
+        assert stack.arp_service.lookup(cluster.cluster_ip) == cluster.rdn.nic.mac

@@ -1,0 +1,122 @@
+"""Tests for TCP splicing sequence/address remapping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IPAddress, MACAddress, Packet, SpliceRule, TCPFlags
+from repro.net.conn import Quadruple
+from repro.net.packet import SEQ_SPACE
+
+CLIENT_IP = IPAddress("10.0.0.1")
+CLUSTER_IP = IPAddress("10.0.0.100")
+RPN_IP = IPAddress("10.0.1.4")
+CLIENT_MAC = MACAddress("02:00:00:00:00:01")
+RPN_MAC = MACAddress("02:00:00:00:01:04")
+
+
+def make_rule(rdn_isn=5000, rpn_isn=1000):
+    return SpliceRule(
+        client_quad=Quadruple(CLIENT_IP, 30000, CLUSTER_IP, 80),
+        cluster_ip=CLUSTER_IP,
+        rpn_ip=RPN_IP,
+        rdn_isn=rdn_isn,
+        rpn_isn=rpn_isn,
+        client_mac=CLIENT_MAC,
+        rpn_mac=RPN_MAC,
+    )
+
+
+def incoming_packet(ack=1001, flags=TCPFlags.ACK):
+    """A client -> cluster packet as seen on the wire."""
+    return Packet(
+        src_mac=CLIENT_MAC,
+        dst_mac=MACAddress("02:00:00:00:00:64"),
+        src_ip=CLIENT_IP,
+        dst_ip=CLUSTER_IP,
+        src_port=30000,
+        dst_port=80,
+        seq=777,
+        ack=ack,
+        flags=flags,
+    )
+
+
+def outgoing_packet(seq=1001):
+    """An RPN -> client packet as the RPN's stack emits it."""
+    return Packet(
+        src_mac=RPN_MAC,
+        dst_mac=CLIENT_MAC,
+        src_ip=RPN_IP,
+        dst_ip=CLIENT_IP,
+        src_port=80,
+        dst_port=30000,
+        seq=seq,
+        ack=778,
+        flags=TCPFlags.ACK,
+        payload_len=100,
+    )
+
+
+def test_seq_delta():
+    assert make_rule(rdn_isn=5000, rpn_isn=1000).seq_delta == 4000
+    # Delta wraps when the RPN ISN is numerically larger.
+    assert make_rule(rdn_isn=10, rpn_isn=20).seq_delta == SEQ_SPACE - 10
+
+
+def test_outgoing_remap_impersonates_cluster():
+    rule = make_rule()
+    out = rule.remap_outgoing(outgoing_packet(seq=1001))
+    assert out.src_ip == CLUSTER_IP
+    assert out.seq == 5001  # 1001 + delta(4000)
+    assert out.ack == 778  # client-side numbers untouched
+    assert out.dst_mac == CLIENT_MAC
+    assert rule.outgoing_remapped == 1
+
+
+def test_incoming_remap_redirects_to_rpn():
+    rule = make_rule()
+    inp = rule.remap_incoming(incoming_packet(ack=5001))
+    assert inp.dst_ip == RPN_IP
+    assert inp.dst_mac == RPN_MAC
+    assert inp.ack == 1001  # 5001 - delta(4000)
+    assert inp.seq == 777  # client sequence unchanged
+    assert rule.incoming_remapped == 1
+
+
+def test_incoming_without_ack_flag_keeps_ack_field():
+    rule = make_rule()
+    inp = rule.remap_incoming(incoming_packet(ack=0, flags=TCPFlags.NONE))
+    assert inp.ack == 0
+
+
+def test_match_predicates():
+    rule = make_rule()
+    assert rule.matches_incoming(incoming_packet())
+    assert not rule.matches_incoming(outgoing_packet())
+    assert rule.matches_outgoing(outgoing_packet())
+    assert not rule.matches_outgoing(incoming_packet())
+
+
+def test_remap_does_not_mutate_original():
+    rule = make_rule()
+    original = outgoing_packet(seq=1001)
+    rule.remap_outgoing(original)
+    assert original.seq == 1001
+    assert original.src_ip == RPN_IP
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rdn_isn=st.integers(0, SEQ_SPACE - 1),
+    rpn_isn=st.integers(0, SEQ_SPACE - 1),
+    seq=st.integers(0, SEQ_SPACE - 1),
+)
+def test_remap_roundtrip_property(rdn_isn, rpn_isn, seq):
+    """Outgoing seq shift and incoming ack shift are exact inverses:
+    if the RPN sends seq S, the client ACKs S' = S + delta, and the
+    incoming remap returns exactly S for the RPN's stack."""
+    rule = make_rule(rdn_isn=rdn_isn, rpn_isn=rpn_isn)
+    out = rule.remap_outgoing(outgoing_packet(seq=seq))
+    client_ack = out.seq  # client echoes what it saw
+    back = rule.remap_incoming(incoming_packet(ack=client_ack))
+    assert back.ack == seq

@@ -1,0 +1,134 @@
+"""Tests for the packet tracer and interface failure injection."""
+
+import pytest
+
+from repro.net import NIC, IPAddress, MACAddress, Packet, TCPFlags
+from repro.net.tracer import PacketTracer
+from repro.sim import Environment
+
+from .conftest import TwoHostNet
+
+
+def test_tracer_captures_delivered_frames(env, net):
+    received = []
+
+    def serve(conn):
+        def server(env):
+            received.append((yield conn.receive()))
+        env.process(server(env))
+
+    net.b.stack.listen(80, serve)
+    all_ifaces = [net.a.nic.iface, net.b.nic.iface]
+    with PacketTracer(env, all_ifaces) as tracer:
+        def client(env):
+            conn = net.a.stack.connect(net.b.ip, 80)
+            yield conn.established
+            yield conn.send(100, payload="req")
+
+        env.run(until=env.process(client(env)))
+        env.run()
+    # SYN-ACK to a; SYN, ACK, data, and an ACK of the data at/from b.
+    assert len(tracer) >= 4
+    syns = tracer.matching(lambda p: TCPFlags.SYN in p.flags)
+    assert len(syns) == 2  # SYN at b, SYN-ACK at a
+    b_frames = tracer.on_interface(net.b.nic.iface.name)
+    assert all(entry.packet.dst_ip == net.b.ip for entry in b_frames)
+
+
+def test_tracer_filter_and_limit(env, net):
+    tracer = PacketTracer(
+        env,
+        [net.b.nic.iface],
+        packet_filter=lambda p: p.payload_len > 0,
+        max_packets=1,
+    )
+    net.b.stack.listen(80, lambda conn: None)
+    tracer.attach()
+
+    def client(env):
+        conn = net.a.stack.connect(net.b.ip, 80)
+        yield conn.established
+        yield conn.send(3000, payload="big")  # 3 segments, limit is 1
+
+    env.run(until=env.process(client(env)))
+    env.run()
+    tracer.detach()
+    assert len(tracer) == 1
+    assert tracer.dropped_over_limit >= 1
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_tracer_detach_restores_hooks(env, net):
+    iface = net.b.nic.iface
+    original = iface.on_receive
+    tracer = PacketTracer(env, [iface])
+    tracer.attach()
+    assert iface.on_receive is not original
+    tracer.detach()
+    assert iface.on_receive is original
+    tracer.detach()  # idempotent
+
+
+def test_tracer_double_attach_rejected(env, net):
+    tracer = PacketTracer(env, [net.a.nic.iface])
+    tracer.attach()
+    with pytest.raises(RuntimeError):
+        tracer.attach()
+
+
+def test_tracer_validation(env, net):
+    with pytest.raises(ValueError):
+        PacketTracer(env, [], max_packets=0)
+
+
+def test_interface_down_drops_frames(env, net):
+    """A downed NIC blackholes traffic; TCP recovers after it comes up."""
+    received = []
+
+    def serve(conn):
+        def server(env):
+            total = 0
+            while total < 2000:
+                _p, length = yield conn.receive()
+                total += length
+            received.append(total)
+        env.process(server(env))
+
+    net.b.stack.listen(80, serve)
+
+    def client(env):
+        conn = net.a.stack.connect(net.b.ip, 80)
+        yield conn.established
+        net.b.nic.iface.up = False  # outage begins
+        yield conn.send(2000, payload="data")
+
+    def repair(env):
+        yield env.timeout(0.5)
+        net.b.nic.iface.up = True
+
+    env.process(repair(env))
+    env.run(until=env.process(client(env)))
+    env.run()
+    assert received == [2000]
+    assert net.b.nic.iface.dropped_loss > 0
+
+
+def test_interface_down_stops_transmit_too():
+    env = Environment()
+    from repro.net import Interface
+
+    a = Interface(env, "a")
+    b = Interface(env, "b")
+    a.connect(b)
+    hits = []
+    b.on_receive = lambda p, i: hits.append(p)
+    a.up = False
+    a.send(Packet(
+        src_mac=MACAddress(1), dst_mac=MACAddress(2),
+        src_ip=IPAddress("10.0.0.1"), dst_ip=IPAddress("10.0.0.2"),
+        src_port=1, dst_port=2,
+    ))
+    env.run()
+    assert hits == []
+    assert a.dropped_loss == 1

@@ -1,0 +1,39 @@
+"""Tests for the proxy demo CLI."""
+
+import pytest
+
+from repro.proxy.__main__ import build_parser, main, parse_subscriber
+
+
+def test_parse_subscriber_triple():
+    host, grps, rate = parse_subscriber("a.com:120:60")
+    assert host == "a.com"
+    assert grps == 120.0
+    assert rate == 60.0
+
+
+def test_parse_subscriber_rejects_malformed():
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_subscriber("a.com:120")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.duration == 4.0
+    assert args.backends == 2
+    assert args.subscriber is None
+
+
+def test_cli_end_to_end(capsys):
+    exit_code = main([
+        "--duration", "1.0",
+        "--time-scale", "0.05",
+        "--backends", "1",
+        "--subscriber", "a.com:1000:30",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "a.com" in out
+    assert "reservation" in out

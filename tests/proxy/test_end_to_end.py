@@ -1,0 +1,151 @@
+"""End-to-end tests of the asyncio deployment on localhost sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.core import GageConfig, Subscriber
+from repro.proxy import BackendServer, GageProxy
+from repro.proxy.demo import run_demo
+from repro.proxy.http import read_response_head
+
+
+async def _get(port, site, path="/index.html"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        "GET {} HTTP/1.0\r\nHost: {}\r\n\r\n".format(path, site).encode("latin-1")
+    )
+    await writer.drain()
+    head = await read_response_head(reader)
+    body = b""
+    while len(body) < head.content_length:
+        chunk = await reader.read(65536)
+        if not chunk:
+            break
+        body += chunk
+    writer.close()
+    return head, body
+
+
+def test_backend_serves_files_with_usage_header():
+    async def main():
+        backend = BackendServer(
+            {"a.com": {"/index.html": 1234}}, time_scale=0.0
+        )
+        port = await backend.start()
+        head, body = await _get(port, "a.com")
+        await backend.stop()
+        return head, body
+
+    head, body = asyncio.run(main())
+    assert head.status == 200
+    assert len(body) == 1234
+    cpu, disk, net = head.usage()
+    assert cpu > 0
+    assert net == 1234
+
+
+def test_backend_404_for_unknown_path():
+    async def main():
+        backend = BackendServer({"a.com": {"/index.html": 10}}, time_scale=0.0)
+        port = await backend.start()
+        head, _body = await _get(port, "a.com", path="/missing")
+        await backend.stop()
+        return head
+
+    head = asyncio.run(main())
+    assert head.status == 404
+
+
+def test_proxy_relays_and_strips_usage_header():
+    async def main():
+        backend = BackendServer({"a.com": {"/index.html": 5000}}, time_scale=0.0)
+        backend_port = await backend.start()
+        proxy = GageProxy(
+            [Subscriber("a.com", 1000)],
+            {"backend0": ("127.0.0.1", backend_port)},
+        )
+        port = await proxy.start()
+        head, body = await _get(port, "a.com")
+        stats = proxy.stats
+        await proxy.stop()
+        await backend.stop()
+        return head, body, stats
+
+    head, body, stats = asyncio.run(main())
+    assert head.status == 200
+    assert len(body) == 5000
+    assert head.usage() is None  # the proxy strips the accounting header
+    assert stats.completed == 1
+    assert stats.bytes_relayed == 5000
+
+
+def test_proxy_rejects_unknown_host():
+    async def main():
+        backend = BackendServer({"a.com": {"/index.html": 10}}, time_scale=0.0)
+        backend_port = await backend.start()
+        proxy = GageProxy(
+            [Subscriber("a.com", 1000)],
+            {"backend0": ("127.0.0.1", backend_port)},
+        )
+        port = await proxy.start()
+        head, _ = await _get(port, "unknown.com")
+        stats = proxy.stats
+        await proxy.stop()
+        await backend.stop()
+        return head, stats
+
+    head, stats = asyncio.run(main())
+    assert head.status == 404
+    assert stats.rejected_unknown_host == 1
+
+
+def test_proxy_feeds_usage_into_accounting():
+    async def main():
+        backend = BackendServer({"a.com": {"/index.html": 2000}}, time_scale=0.0)
+        backend_port = await backend.start()
+        config = GageConfig(accounting_cycle_s=0.05)
+        proxy = GageProxy(
+            [Subscriber("a.com", 1000)],
+            {"backend0": ("127.0.0.1", backend_port)},
+            config=config,
+        )
+        port = await proxy.start()
+        for _ in range(5):
+            await _get(port, "a.com")
+        await asyncio.sleep(0.15)  # two accounting cycles
+        account = proxy.accounting.account("a.com")
+        await proxy.stop()
+        await backend.stop()
+        return account
+
+    account = asyncio.run(main())
+    assert account.reported_complete == 5
+    assert account.measured_usage_total.net_bytes == 5 * 2000
+
+
+def test_demo_isolation_under_overload():
+    """The real-socket deployment preserves the QoS property: a site
+    within its reservation is unaffected by an overloaded neighbour."""
+    result = asyncio.run(
+        run_demo(
+            reservations={"gold.com": 120.0, "flood.com": 20.0},
+            rates={"gold.com": 50.0, "flood.com": 120.0},
+            duration_s=2.5,
+            num_backends=2,
+            time_scale=0.2,
+            queue_capacity=64,
+        )
+    )
+    gold_done = result.completed.get("gold.com", 0)
+    gold_issued = result.issued.get("gold.com", 1)
+    # gold (under its reservation) completes essentially everything.
+    assert gold_done >= 0.95 * gold_issued
+    # flood (6x its reservation) is throttled: completions + refusals
+    # bounded; its latency exceeds gold's (queueing behind its credit).
+    assert result.mean_latency_s("flood.com") > result.mean_latency_s("gold.com")
+
+
+def test_proxy_requires_backends():
+    with pytest.raises(ValueError):
+        GageProxy([Subscriber("a.com", 10)], {})

@@ -1,0 +1,113 @@
+"""Tests for the minimal HTTP head parser."""
+
+import asyncio
+
+import pytest
+
+from repro.proxy.http import (
+    HTTPError,
+    HTTPRequestHead,
+    HTTPResponseHead,
+    USAGE_HEADER,
+    read_request_head,
+    read_response_head,
+    render_request_head,
+    render_response_head,
+)
+
+
+def parse_request(data: bytes):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request_head(reader)
+
+    return asyncio.run(main())
+
+
+def parse_response(data: bytes):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_response_head(reader)
+
+    return asyncio.run(main())
+
+
+def test_parse_request_head():
+    raw = b"GET /index.html HTTP/1.0\r\nHost: site1.example.com:8080\r\nContent-Length: 12\r\n\r\n"
+    head = parse_request(raw)
+    assert head.method == "GET"
+    assert head.path == "/index.html"
+    assert head.version == "HTTP/1.0"
+    assert head.host == "site1.example.com"  # port stripped
+    assert head.content_length == 12
+
+
+def test_parse_request_without_host():
+    raw = b"GET / HTTP/1.0\r\n\r\n"
+    head = parse_request(raw)
+    assert head.host is None
+    assert head.content_length == 0
+
+
+def test_parse_request_malformed_request_line():
+    with pytest.raises(HTTPError):
+        parse_request(b"GARBAGE\r\n\r\n")
+
+
+def test_parse_request_malformed_header():
+    with pytest.raises(HTTPError):
+        parse_request(b"GET / HTTP/1.0\r\nbadheader\r\n\r\n")
+
+
+def test_parse_response_head_with_usage():
+    raw = (
+        b"HTTP/1.0 200 OK\r\nContent-Length: 2000\r\n"
+        b"X-Gage-Usage: 0.010000,0.009000,2000\r\n\r\n"
+    )
+    head = parse_response(raw)
+    assert head.status == 200
+    assert head.reason == "OK"
+    assert head.content_length == 2000
+    cpu, disk, net = head.usage()
+    assert cpu == pytest.approx(0.010)
+    assert disk == pytest.approx(0.009)
+    assert net == 2000
+
+
+def test_response_without_usage_header():
+    raw = b"HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+    head = parse_response(raw)
+    assert head.usage() is None
+
+
+def test_response_malformed_usage_header():
+    raw = b"HTTP/1.0 200 OK\r\nX-Gage-Usage: 1,2\r\n\r\n"
+    head = parse_response(raw)
+    with pytest.raises(HTTPError):
+        head.usage()
+
+
+def test_render_request_roundtrip():
+    head = HTTPRequestHead(
+        method="GET", path="/x", version="HTTP/1.0", headers={"host": "a.com"}
+    )
+    back = parse_request(render_request_head(head))
+    assert back.method == "GET"
+    assert back.host == "a.com"
+
+
+def test_render_response_strips_usage():
+    head = HTTPResponseHead(
+        version="HTTP/1.0",
+        status=200,
+        reason="OK",
+        headers={"content-length": "5", USAGE_HEADER: "1,2,3"},
+    )
+    wire = render_response_head(head, drop_usage=True)
+    assert b"x-gage-usage" not in wire.lower()
+    kept = render_response_head(head, drop_usage=False)
+    assert b"x-gage-usage" in kept.lower()

@@ -1,0 +1,81 @@
+"""Tests for the asyncio byte relay."""
+
+import asyncio
+
+import pytest
+
+from repro.proxy.splice import relay_exactly, relay_until_eof
+
+
+class SinkWriter:
+    """A StreamWriter stand-in collecting written bytes."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk):
+        self.data.extend(chunk)
+
+    async def drain(self):
+        pass
+
+
+def feed(data: bytes, eof=True) -> asyncio.StreamReader:
+    """Build a pre-filled StreamReader (call from inside a running loop)."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def test_relay_exactly_copies_n_bytes():
+    async def main():
+        sink = SinkWriter()
+        copied = await relay_exactly(feed(b"abcdefgh"), sink, 5)
+        return copied, bytes(sink.data)
+
+    copied, data = asyncio.run(main())
+    assert copied == 5
+    assert data == b"abcde"
+
+
+def test_relay_exactly_large_payload_chunked():
+    payload = b"z" * 300_000
+
+    async def main():
+        sink = SinkWriter()
+        copied = await relay_exactly(feed(payload), sink, len(payload))
+        return copied, bytes(sink.data)
+
+    copied, data = asyncio.run(main())
+    assert copied == 300_000
+    assert data == payload
+
+
+def test_relay_exactly_short_source_raises():
+    async def main():
+        sink = SinkWriter()
+        await relay_exactly(feed(b"abc"), sink, 10)
+
+    with pytest.raises(asyncio.IncompleteReadError):
+        asyncio.run(main())
+
+
+def test_relay_until_eof():
+    async def main():
+        sink = SinkWriter()
+        copied = await relay_until_eof(feed(b"hello world"), sink)
+        return copied, bytes(sink.data)
+
+    copied, data = asyncio.run(main())
+    assert copied == 11
+    assert data == b"hello world"
+
+
+def test_relay_zero_bytes():
+    async def main():
+        sink = SinkWriter()
+        return await relay_exactly(feed(b""), sink, 0)
+
+    assert asyncio.run(main()) == 0

@@ -1,0 +1,91 @@
+"""Determinism guarantees of the simulation kernel and full cluster."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_event_order_reproducible(delays):
+    """Two runs over the same schedule produce identical event orders."""
+
+    def run_once():
+        env = Environment()
+        order = []
+        for index, delay in enumerate(delays):
+            env.call_later(delay, lambda i=index: order.append((env.now, i)))
+        env.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 5.0, allow_nan=False), min_size=2, max_size=20)
+)
+def test_equal_time_events_fifo(delays):
+    """Events at identical times fire in scheduling order."""
+    env = Environment()
+    order = []
+    when = 1.0
+    for index in range(len(delays)):
+        env.call_later(when, lambda i=index: order.append(i))
+    env.run()
+    assert order == list(range(len(delays)))
+
+
+def test_call_later_passes_arguments():
+    env = Environment()
+    seen = []
+    env.call_later(0.5, seen.append, "payload")
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_full_cluster_run_is_deterministic():
+    """Two identical cluster runs produce identical completion logs."""
+    from repro.core import GageCluster, Subscriber
+    from repro.workload import SyntheticWorkload
+
+    def run_once():
+        env = Environment()
+        subs = [Subscriber("a", 80), Subscriber("b", 40)]
+        workload = SyntheticWorkload(
+            rates={"a": 70.0, "b": 90.0}, duration_s=3.0, file_bytes=2000, seed=5
+        )
+        cluster = GageCluster(
+            env, subs, {n: workload.site_files(n) for n in ("a", "b")}, num_rpns=2
+        )
+        cluster.load_trace(workload.generate())
+        cluster.run(3.0)
+        return cluster.completions
+
+    assert run_once() == run_once()
+
+
+def test_packet_mode_run_is_deterministic():
+    from repro.core import GageCluster, Subscriber
+    from repro.workload import SyntheticWorkload
+
+    def run_once():
+        env = Environment()
+        subs = [Subscriber("a", 100)]
+        workload = SyntheticWorkload(rates={"a": 20.0}, duration_s=1.5, file_bytes=2000)
+        cluster = GageCluster(
+            env, subs, {"a": workload.site_files("a")}, num_rpns=2, fidelity="packet"
+        )
+        cluster.load_trace(workload.generate())
+        cluster.run(3.0)
+        stats = cluster.fleet.stats
+        return (stats.completed, tuple(stats.latencies_s))
+
+    assert run_once() == run_once()

@@ -1,0 +1,131 @@
+"""Tests for the simulation event loop."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.5)
+        assert env.now == 1.5
+        yield env.timeout(0.5)
+        assert env.now == 2.0
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 2.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    orphan = env.event()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=orphan)
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ["a", "b", "c", "d"]:
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-1.0)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-0.1)
+
+
+def test_step_with_empty_heap_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4.2)
+    assert env.peek() == pytest.approx(4.2)
+
+
+def test_unhandled_process_failure_propagates_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_run_to_completion_drains_heap():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(1)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [1]
+    assert env.peek() == float("inf")

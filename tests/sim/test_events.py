@@ -1,0 +1,149 @@
+"""Tests for primitive events and conditions."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, SimulationError
+
+
+def test_event_lifecycle_flags():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+    event.succeed(42)
+    assert event.triggered
+    assert not event.processed
+    env.run()
+    assert event.processed
+    assert event.ok
+    assert event.value == 42
+
+
+def test_event_value_unavailable_before_trigger():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError())
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_throws_into_waiter():
+    env = Environment()
+    event = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    event.fail(ValueError("bad"), delay=1.0)
+    env.run()
+    assert caught == ["bad"]
+
+
+def test_delayed_succeed():
+    env = Environment()
+    event = env.event()
+    seen = []
+
+    def proc(env):
+        value = yield event
+        seen.append((env.now, value))
+
+    env.process(proc(env))
+    event.succeed("late", delay=3.0)
+    env.run()
+    assert seen == [(3.0, "late")]
+
+
+def test_anyof_triggers_on_first():
+    env = Environment()
+
+    def proc(env):
+        first = env.timeout(1.0, value="fast")
+        second = env.timeout(5.0, value="slow")
+        result = yield first | second
+        assert env.now == 1.0
+        assert first in result
+        assert result[first] == "fast"
+        assert second not in result
+
+    env.run(until=env.process(proc(env)))
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        first = env.timeout(1.0, value="a")
+        second = env.timeout(5.0, value="b")
+        result = yield first & second
+        assert env.now == 5.0
+        assert result[first] == "a"
+        assert result[second] == "b"
+
+    env.run(until=env.process(proc(env)))
+
+
+def test_allof_empty_triggers_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    env.run()
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_anyof_propagates_failure():
+    env = Environment()
+    bad = env.event()
+
+    def proc(env):
+        with pytest.raises(RuntimeError):
+            yield AnyOf(env, [bad, env.timeout(10.0)])
+
+    env.process(proc(env))
+    bad.fail(RuntimeError("broken"), delay=1.0)
+    env.run()
+
+
+def test_condition_rejects_mixed_environments():
+    env_a = Environment()
+    env_b = Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env_a, [env_a.event(), env_b.event()])
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    values = []
+
+    def proc(env):
+        yield env.timeout(2.0)
+        value = yield done  # processed long ago
+        values.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert values == [(2.0, "early")]

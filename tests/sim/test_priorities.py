@@ -1,0 +1,91 @@
+"""Tests for event scheduling priorities and kernel internals."""
+
+import pytest
+
+from repro.sim import Environment, NORMAL_PRIORITY, URGENT_PRIORITY
+from repro.sim.events import Event
+
+
+def test_urgent_events_run_before_normal_at_same_instant():
+    env = Environment()
+    order = []
+
+    normal = Event(env)
+    normal._ok = True
+    normal._value = None
+    normal.callbacks.append(lambda e: order.append("normal"))
+    env.schedule(normal, delay=1.0, priority=NORMAL_PRIORITY)
+
+    urgent = Event(env)
+    urgent._ok = True
+    urgent._value = None
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    env.schedule(urgent, delay=1.0, priority=URGENT_PRIORITY)
+
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_resource_grant_preempts_same_time_user_events():
+    """Resource grants use the urgent priority so a releasing holder's
+    successor acquires before same-instant user timers observe state."""
+    from repro.sim import Resource
+
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    observations = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def waiter(env):
+        with resource.request() as req:
+            yield req
+            observations.append(("acquired", env.now))
+            yield env.timeout(1.0)  # hold while the observer looks
+
+    def observer(env):
+        yield env.timeout(1.0)
+        observations.append(("count", resource.count))
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.process(observer(env))
+    env.run()
+    # The waiter was granted at t=1.0 before the observer looked.
+    assert ("acquired", 1.0) in observations
+    assert ("count", 1) in observations
+
+
+def test_event_repr_states():
+    env = Environment()
+    event = env.event()
+    assert "untriggered" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    env.run()
+    assert "processed" in repr(event)
+
+
+def test_environment_repr():
+    env = Environment()
+    env.timeout(1.0)
+    text = repr(env)
+    assert "pending=1" in text
+
+
+def test_process_repr_and_waiting_on():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    p = env.process(proc(env))
+    assert "alive" in repr(p)
+    env.run(until=1.0)
+    assert p.waiting_on is not None
+    env.run()
+    assert "finished" in repr(p)
+    assert p.waiting_on is None

@@ -1,0 +1,154 @@
+"""Tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Process, SimulationError
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        Process(env, lambda: None)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 99
+
+    assert env.run(until=env.process(proc(env))) == 99
+
+
+def test_process_waits_on_other_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        assert value == "child-result"
+        assert env.now == 2.0
+        return "parent-done"
+
+    assert env.run(until=env.process(parent(env))) == "parent-done"
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(1.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+    failures = []
+
+    def selfish(env):
+        yield env.timeout(0.1)
+        me = env.active_process
+        try:
+            me.interrupt()
+        except SimulationError:
+            failures.append(True)
+
+    env.process(selfish(env))
+    env.run()
+    assert failures == [True]
+
+
+def test_interrupted_process_can_resume_waiting():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        remaining = 10.0
+        started = env.now
+        try:
+            yield env.timeout(remaining)
+        except Interrupt:
+            elapsed = env.now - started
+            yield env.timeout(remaining - elapsed)
+        log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(4.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    # Total sleep time is still 10s: 4s before interrupt + 6s after.
+    assert log == [10.0]
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("gone")
+
+    def parent(env):
+        with pytest.raises(KeyError):
+            yield env.process(bad(env))
+        return "handled"
+
+    assert env.run(until=env.process(parent(env))) == "handled"
+
+
+def test_yield_non_event_raises_in_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # not an Event
+
+    proc = env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run(until=proc)
+
+
+def test_is_alive_tracking():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_interrupt_cause_accessible():
+    exc = Interrupt({"reason": "test"})
+    assert exc.cause == {"reason": "test"}

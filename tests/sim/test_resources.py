@@ -1,0 +1,289 @@
+"""Tests for Resource, PriorityResource, Container, and Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def user(env, name, hold):
+        with resource.request() as req:
+            yield req
+            log.append(("acquire", name, env.now))
+            yield env.timeout(hold)
+        log.append(("release", name, env.now))
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.run()
+    assert log == [
+        ("acquire", "a", 0.0),
+        ("release", "a", 2.0),
+        ("acquire", "b", 2.0),
+        ("release", "b", 3.0),
+    ]
+
+
+def test_resource_parallel_capacity():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def user(env, name):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        finished.append((name, env.now))
+
+    for name in ["a", "b", "c"]:
+        env.process(user(env, name))
+    env.run()
+    assert finished == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_resource_counters():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            assert resource.count == 1
+            yield env.timeout(1.0)
+
+    def waiter(env):
+        yield env.timeout(0.5)
+        req = resource.request()
+        assert resource.queue_length == 1
+        yield req
+        resource.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    granted = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def impatient(env):
+        yield env.timeout(0.1)
+        req = resource.request()
+        yield env.timeout(1.0)
+        req.cancel()
+        granted.append(req.triggered)
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.run()
+    assert granted == [False]
+    assert resource.queue_length == 0
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def user(env, name, priority, delay):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as req:
+            yield req
+            order.append(name)
+
+    env.process(holder(env))
+    env.process(user(env, "low", 5, 0.1))
+    env.process(user(env, "high", 1, 0.2))  # arrives later, higher priority
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def user(env, name, delay):
+        yield env.timeout(delay)
+        with resource.request(priority=3) as req:
+            yield req
+            order.append(name)
+
+    env.process(holder(env))
+    env.process(user(env, "first", 0.1))
+    env.process(user(env, "second", 0.2))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=5.0)
+    assert tank.level == 5.0
+
+    def proc(env):
+        yield tank.get(3.0)
+        assert tank.level == 2.0
+        yield tank.put(4.0)
+        assert tank.level == 6.0
+
+    env.run(until=env.process(proc(env)))
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=0.0)
+    log = []
+
+    def consumer(env):
+        yield tank.get(5.0)
+        log.append(("got", env.now))
+
+    def producer(env):
+        yield env.timeout(2.0)
+        yield tank.put(5.0)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [("got", 2.0)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=4.0, init=4.0)
+    log = []
+
+    def producer(env):
+        yield tank.put(2.0)
+        log.append(("put", env.now))
+
+    def consumer(env):
+        yield env.timeout(3.0)
+        yield tank.get(2.0)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put", 3.0)]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in ["x", "y", "z"]:
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_get_blocks_when_empty():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer(env):
+        item = yield store.get()
+        log.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(2.5)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [("late", 2.5)]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        yield store.put("b")
+        log.append(("second-put", env.now))
+
+    def consumer(env):
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("second-put", 4.0)]
+
+
+def test_store_try_put_respects_capacity():
+    env = Environment()
+    store = Store(env, capacity=2)
+    assert store.try_put("a")
+    assert store.try_put("b")
+    assert not store.try_put("c")
+    env.run()
+    assert store.items == ["a", "b"]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2

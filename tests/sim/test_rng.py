@@ -1,0 +1,48 @@
+"""Tests for seeded random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(seed=7).stream("arrivals")
+    b = RandomStreams(seed=7).stream("arrivals")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=7)
+    a = [streams.stream("arrivals").random() for _ in range(10)]
+    b = [streams.stream("sizes").random() for _ in range(10)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draw_order_does_not_perturb_other_streams():
+    # Stream "b" must produce the same numbers whether or not "a" was used.
+    lone = RandomStreams(seed=3)
+    b_alone = [lone.stream("b").random() for _ in range(5)]
+
+    mixed = RandomStreams(seed=3)
+    mixed.stream("a").random()
+    mixed.stream("a").random()
+    b_mixed = [mixed.stream("b").random() for _ in range(5)]
+    assert b_alone == b_mixed
+
+
+def test_fork_changes_streams():
+    parent = RandomStreams(seed=5)
+    child = parent.fork("worker-1")
+    assert child.seed != parent.seed
+    a = [parent.stream("x").random() for _ in range(5)]
+    b = [child.stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_fork_deterministic():
+    a = RandomStreams(seed=5).fork("w").stream("x").random()
+    b = RandomStreams(seed=5).fork("w").stream("x").random()
+    assert a == b

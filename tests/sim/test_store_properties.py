@@ -1,0 +1,87 @@
+"""Property-based tests for Store and Container invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Environment, Store
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=40),
+    capacity=st.integers(1, 10),
+)
+def test_store_is_fifo_under_bounded_capacity(items, capacity):
+    """Whatever the capacity, items come out in the order they went in."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    amounts=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20),
+    capacity=st.floats(10.0, 100.0),
+)
+def test_container_level_bounded(amounts, capacity):
+    """The level never exceeds capacity nor goes negative."""
+    env = Environment()
+    tank = Container(env, capacity=capacity)
+    levels = []
+
+    def producer(env):
+        for amount in amounts:
+            if tank.level + amount <= capacity:
+                yield tank.put(amount)
+            levels.append(tank.level)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        yield env.timeout(0.05)
+        for amount in amounts:
+            if tank.level >= amount:
+                yield tank.get(amount)
+            levels.append(tank.level)
+            yield env.timeout(0.1)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert all(0 <= level <= capacity + 1e-9 for level in levels)
+
+
+@settings(max_examples=40, deadline=None)
+@given(holds=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10))
+def test_resource_never_exceeds_capacity(holds):
+    from repro.sim import Resource
+
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    over_capacity = []
+
+    def user(env, hold):
+        with resource.request() as req:
+            yield req
+            if resource.count > resource.capacity:
+                over_capacity.append(resource.count)
+            yield env.timeout(hold)
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert over_capacity == []
+    assert resource.count == 0

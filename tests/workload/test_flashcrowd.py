@@ -1,0 +1,110 @@
+"""Tests for time-varying load profiles."""
+
+import pytest
+
+from repro.workload.flashcrowd import LoadProfile, ProfiledWorkload
+
+
+def test_constant_profile():
+    profile = LoadProfile.constant(50.0)
+    assert profile.rate_at(0.0) == 50.0
+    assert profile.rate_at(100.0) == 50.0
+    assert profile.peak_rate == 50.0
+    with pytest.raises(ValueError):
+        LoadProfile.constant(-1)
+
+
+def test_flash_crowd_phases():
+    profile = LoadProfile.flash_crowd(
+        base_rate=10.0, peak_rate=110.0, start_s=5.0, ramp_s=2.0, hold_s=3.0, decay_s=4.0
+    )
+    assert profile.rate_at(0.0) == 10.0
+    assert profile.rate_at(4.99) == 10.0
+    assert profile.rate_at(6.0) == pytest.approx(60.0)  # mid-ramp
+    assert profile.rate_at(8.0) == 110.0  # holding
+    assert profile.rate_at(12.0) == pytest.approx(60.0)  # mid-decay
+    assert profile.rate_at(20.0) == 10.0  # back to base
+    with pytest.raises(ValueError):
+        LoadProfile.flash_crowd(10, 5, 0, 1, 1, 1)
+    with pytest.raises(ValueError):
+        LoadProfile.flash_crowd(10, 20, 0, -1, 1, 1)
+
+
+def test_diurnal_profile():
+    profile = LoadProfile.diurnal(mean_rate=100.0, amplitude=50.0, period_s=20.0)
+    assert profile.rate_at(0.0) == pytest.approx(100.0)
+    assert profile.rate_at(5.0) == pytest.approx(150.0)  # quarter period
+    assert profile.rate_at(15.0) == pytest.approx(50.0)
+    assert profile.peak_rate == 150.0
+    with pytest.raises(ValueError):
+        LoadProfile.diurnal(100, 200, 20)
+    with pytest.raises(ValueError):
+        LoadProfile.diurnal(100, 50, 0)
+
+
+def test_profiled_workload_matches_rate_windows():
+    profile = LoadProfile.flash_crowd(
+        base_rate=20.0, peak_rate=200.0, start_s=10.0, ramp_s=0.0, hold_s=10.0, decay_s=0.0
+    )
+    workload = ProfiledWorkload({"a": profile}, duration_s=30.0, seed=1)
+    records = workload.generate()
+    before = sum(1 for r in records if r.at_s < 10.0)
+    during = sum(1 for r in records if 10.0 <= r.at_s < 20.0)
+    after = sum(1 for r in records if r.at_s >= 20.0)
+    assert before == pytest.approx(200, rel=0.25)
+    assert during == pytest.approx(2000, rel=0.1)
+    assert after == pytest.approx(200, rel=0.25)
+    # Sorted and referencing real files.
+    times = [r.at_s for r in records]
+    assert times == sorted(times)
+    files = workload.site_files("a")
+    assert all(r.path.lstrip("/") in files for r in records[:50])
+
+
+def test_profiled_workload_deterministic():
+    profile = LoadProfile.constant(100.0)
+    a = ProfiledWorkload({"a": profile}, duration_s=5.0, seed=9).generate()
+    b = ProfiledWorkload({"a": profile}, duration_s=5.0, seed=9).generate()
+    assert [r.at_s for r in a] == [r.at_s for r in b]
+
+
+def test_profiled_workload_validation():
+    with pytest.raises(ValueError):
+        ProfiledWorkload({}, duration_s=0)
+    with pytest.raises(ValueError):
+        ProfiledWorkload({}, duration_s=1, files_per_site=0)
+    empty = ProfiledWorkload({"a": LoadProfile.constant(0.0)}, duration_s=1)
+    assert empty.generate() == []
+
+
+def test_flash_crowd_against_cluster():
+    """End-to-end: the victim's flash crowd never dents the neighbour."""
+    from repro.core import GageCluster, Subscriber
+    from repro.sim import Environment
+
+    env = Environment()
+    profiles = {
+        "steady": LoadProfile.constant(90.0),
+        "victim": LoadProfile.flash_crowd(
+            base_rate=20.0, peak_rate=400.0, start_s=4.0,
+            ramp_s=1.0, hold_s=4.0, decay_s=1.0,
+        ),
+    }
+    workload = ProfiledWorkload(profiles, duration_s=12.0, seed=3)
+    subs = [
+        Subscriber("steady", 100, queue_capacity=128),
+        Subscriber("victim", 50, queue_capacity=128),
+    ]
+    cluster = GageCluster(
+        env, subs, {n: workload.site_files(n) for n in profiles}, num_rpns=2
+    )
+    cluster.prewarm_caches()
+    cluster.load_trace(workload.generate())
+    cluster.run(12.0)
+    # During the crowd, steady still gets its full offered load...
+    steady = cluster.service_report("steady", 5.0, 9.0)
+    assert steady.served_rate == pytest.approx(90.0, rel=0.12)
+    # ...while the victim is throttled to reservation + spare and drops.
+    victim = cluster.service_report("victim", 5.0, 9.0)
+    assert victim.served_rate < 180.0
+    assert victim.dropped > 0

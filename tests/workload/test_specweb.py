@@ -1,0 +1,89 @@
+"""Tests for the SPECWeb99-shaped workload generator."""
+
+import pytest
+
+from repro.workload import SpecWeb99Config, SpecWeb99Workload
+from repro.workload.specweb import FILES_PER_CLASS, zipf_weights
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    weights = zipf_weights(9)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+    with pytest.raises(ValueError):
+        zipf_weights(0)
+
+
+def test_file_sizes_match_specweb_classes():
+    config = SpecWeb99Config()
+    # class 0: 0.1-0.9 KB, class 3: 100-900 KB.
+    assert config.file_size(0, 0) == pytest.approx(102, abs=1)
+    assert config.file_size(0, 8) == pytest.approx(921, abs=1)
+    assert config.file_size(3, 0) == pytest.approx(102_400, abs=1)
+    assert config.file_size(3, 8) == pytest.approx(921_600, abs=1)
+    with pytest.raises(ValueError):
+        config.file_size(4, 0)
+    with pytest.raises(ValueError):
+        config.file_size(0, 9)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SpecWeb99Config(directories=0)
+    with pytest.raises(ValueError):
+        SpecWeb99Config(class_probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_site_files_structure():
+    workload = SpecWeb99Workload(SpecWeb99Config(directories=3))
+    files = workload.site_files()
+    assert len(files) == 3 * 4 * FILES_PER_CLASS
+    assert "dir00000/class0_0" in files
+    assert files["dir00002/class3_8"] == SpecWeb99Config.file_size(3, 8)
+
+
+def test_class_mix_approximates_probabilities():
+    workload = SpecWeb99Workload(SpecWeb99Config(directories=5), seed=1)
+    records = workload.generate("site", rate=1000.0, duration_s=10.0)
+    counts = [0, 0, 0, 0]
+    for record in records:
+        class_index = int(record.path.split("class")[1][0])
+        counts[class_index] += 1
+    total = sum(counts)
+    assert counts[0] / total == pytest.approx(0.35, abs=0.03)
+    assert counts[1] / total == pytest.approx(0.50, abs=0.03)
+    assert counts[2] / total == pytest.approx(0.14, abs=0.02)
+    assert counts[3] / total == pytest.approx(0.01, abs=0.01)
+
+
+def test_requests_reference_existing_files():
+    workload = SpecWeb99Workload(SpecWeb99Config(directories=2), seed=0)
+    files = workload.site_files()
+    for record in workload.generate("site", 100.0, 1.0):
+        assert record.path.lstrip("/") in files
+        assert record.size_bytes == files[record.path.lstrip("/")]
+
+
+def test_mean_request_bytes_consistent_with_sample():
+    workload = SpecWeb99Workload(SpecWeb99Config(directories=5), seed=2)
+    analytic = workload.mean_request_bytes()
+    records = workload.generate("site", rate=3000.0, duration_s=10.0)
+    empirical = sum(r.size_bytes for r in records) / len(records)
+    assert empirical == pytest.approx(analytic, rel=0.15)
+
+
+def test_generation_deterministic_per_seed():
+    a = SpecWeb99Workload(seed=7).generate("s", 100.0, 2.0)
+    b = SpecWeb99Workload(seed=7).generate("s", 100.0, 2.0)
+    assert [(r.at_s, r.path) for r in a] == [(r.at_s, r.path) for r in b]
+
+
+def test_generate_validation():
+    workload = SpecWeb99Workload()
+    with pytest.raises(ValueError):
+        workload.generate("s", -1.0, 1.0)
+    with pytest.raises(ValueError):
+        workload.generate("s", 1.0, 0.0)
+    with pytest.raises(ValueError):
+        workload.generate("s", 1.0, 1.0, arrival="bogus")
+    assert workload.generate("s", 0.0, 1.0) == []

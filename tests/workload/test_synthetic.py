@@ -1,0 +1,102 @@
+"""Tests for the synthetic constant-rate workload generator."""
+
+import pytest
+
+from repro.workload import SyntheticWorkload
+from repro.workload.request import CostModel, WebRequest
+
+
+def test_constant_rate_spacing():
+    workload = SyntheticWorkload(rates={"a": 10.0}, duration_s=2.0)
+    records = workload.generate()
+    assert len(records) == 19  # first at 0.1, last at 1.9
+    gaps = [b.at_s - a.at_s for a, b in zip(records, records[1:])]
+    assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+
+def test_multiple_hosts_merged_sorted():
+    workload = SyntheticWorkload(rates={"a": 5.0, "b": 20.0}, duration_s=2.0)
+    records = workload.generate()
+    times = [r.at_s for r in records]
+    assert times == sorted(times)
+    hosts = {r.host for r in records}
+    assert hosts == {"a", "b"}
+    a_count = sum(1 for r in records if r.host == "a")
+    b_count = sum(1 for r in records if r.host == "b")
+    assert b_count == pytest.approx(4 * a_count, abs=4)
+
+
+def test_poisson_arrivals_reproducible():
+    a = SyntheticWorkload(rates={"a": 50.0}, duration_s=5.0, arrival="poisson", seed=3)
+    b = SyntheticWorkload(rates={"a": 50.0}, duration_s=5.0, arrival="poisson", seed=3)
+    assert [r.at_s for r in a.generate()] == [r.at_s for r in b.generate()]
+    c = SyntheticWorkload(rates={"a": 50.0}, duration_s=5.0, arrival="poisson", seed=4)
+    assert [r.at_s for r in a.generate()] != [r.at_s for r in c.generate()]
+
+
+def test_poisson_rate_approximately_met():
+    workload = SyntheticWorkload(
+        rates={"a": 100.0}, duration_s=20.0, arrival="poisson", seed=1
+    )
+    records = workload.generate()
+    assert len(records) == pytest.approx(2000, rel=0.1)
+
+
+def test_paths_cycle_over_file_set():
+    workload = SyntheticWorkload(rates={"a": 10.0}, duration_s=1.0, files_per_site=3)
+    records = workload.generate()
+    paths = [r.path for r in records[:6]]
+    assert paths == [
+        "/page0000.html", "/page0001.html", "/page0002.html",
+        "/page0000.html", "/page0001.html", "/page0002.html",
+    ]
+
+
+def test_site_files_match_requests():
+    workload = SyntheticWorkload(rates={"a": 10.0}, duration_s=1.0, files_per_site=4)
+    files = workload.site_files("a")
+    assert len(files) == 4
+    for record in workload.generate():
+        assert record.path.lstrip("/") in files
+
+
+def test_zero_rate_host():
+    workload = SyntheticWorkload(rates={"a": 0.0}, duration_s=5.0)
+    assert workload.generate() == []
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SyntheticWorkload(rates={"a": 1.0}, duration_s=0)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(rates={"a": -1.0}, duration_s=1)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(rates={"a": 1.0}, duration_s=1, arrival="bursty")
+    with pytest.raises(ValueError):
+        SyntheticWorkload(rates={"a": 1.0}, duration_s=1, files_per_site=0)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(rates={"a": 1.0}, duration_s=1, file_bytes=-1)
+
+
+def test_cost_model_generic_request_identity():
+    """A 2000-byte cache-missing page costs exactly one generic request."""
+    model = CostModel()
+    request = WebRequest("a", "/x", 2000)
+    assert model.cpu_seconds(request) == pytest.approx(0.010, rel=0.01)
+    assert model.disk_seconds(request) == pytest.approx(0.010, rel=0.02)
+
+
+def test_cost_model_cpu_extra():
+    model = CostModel()
+    plain = WebRequest("a", "/x", 2000)
+    cgi = WebRequest("a", "/cgi", 2000, cpu_extra_s=0.050)
+    assert model.cpu_seconds(cgi) == pytest.approx(model.cpu_seconds(plain) + 0.050)
+
+
+def test_request_record_roundtrip():
+    workload = SyntheticWorkload(rates={"a": 10.0}, duration_s=1.0)
+    record = workload.generate()[0]
+    request = record.to_request()
+    assert request.host == record.host
+    assert request.size_bytes == record.size_bytes
+    assert request.issued_at == record.at_s
