@@ -8,8 +8,6 @@ crossovers fall — is the reproduction target, and each benchmark asserts
 it.
 """
 
-import pytest
-
 
 def print_banner(title: str) -> None:
     print()

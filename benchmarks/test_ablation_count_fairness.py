@@ -13,12 +13,9 @@ evaporates into its oversized responses.  Under Gage both receive equal
 *resources*: the heavy subscriber gets proportionally fewer requests.
 """
 
-import pytest
-
 from repro.baselines.countfair import CountFairDispatcher
 from repro.cluster import Machine, WebServer
-from repro.core import GageCluster, GageConfig, Subscriber
-from repro.resources import ResourceVector
+from repro.core import GageCluster, Subscriber
 from repro.sim import Environment
 from repro.workload import SyntheticWorkload
 

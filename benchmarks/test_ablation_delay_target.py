@@ -9,8 +9,6 @@ throughput stays at the sustainable rate (what changes is *which*
 requests are refused, not how many are served).
 """
 
-import pytest
-
 from repro.core import GageCluster, Subscriber
 from repro.harness import Sweep
 from repro.sim import Environment

@@ -15,8 +15,6 @@ against averaging intervals of 1-10 s.  Key claims:
   intervals ≥ 4 s.
 """
 
-import pytest
-
 from repro.harness import run_deviation_experiment
 
 from .conftest import print_banner

@@ -1,0 +1,136 @@
+"""Recovery dynamics — how fast the cluster reacts to a node death.
+
+The paper argues (§3.7) that the accounting stream doubles as a failure
+detector: a node that misses K accounting cycles is declared dead and
+its share is redistributed through the spare pool.  This benchmark
+measures the two latencies that story promises:
+
+* **time-to-detect** — crash until the RDN records the death, bounded
+  by (K+1) accounting cycles plus one scheduler cycle of slack;
+* **time-to-restore-isolation** — crash until the reserved subscribers
+  are again served at their offered rates out of the surviving
+  capacity (the spare subscriber absorbs the entire capacity loss).
+
+Measured with the harness :class:`Recorder` sampling per-subscriber
+completions and the dead node's dispatch counter every 100 ms.
+"""
+
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.faults import FaultSchedule
+from repro.harness import Recorder, format_table
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+from .conftest import print_banner
+
+CRASH_AT = 4.0
+RESTART_AT = 8.0
+K = 3
+CYCLE = 0.100
+#: Sliding window for the restored-rate criterion.
+WINDOW_S = 1.0
+RATES = {"a": 115.0, "b": 85.0, "c": 200.0}
+
+
+class _HostCompletions:
+    """Gauge: cumulative completions of one subscriber's site."""
+
+    def __init__(self, cluster, host):
+        self.cluster = cluster
+        self.host = host
+        self._index = 0
+        self._count = 0
+
+    def __call__(self):
+        completions = self.cluster.completions
+        while self._index < len(completions):
+            if completions[self._index][1] == self.host:
+                self._count += 1
+            self._index += 1
+        return float(self._count)
+
+
+def run_recovery():
+    env = Environment()
+    subs = [
+        Subscriber("a", reservation_grps=120, queue_capacity=256),
+        Subscriber("b", reservation_grps=90, queue_capacity=256),
+        Subscriber("c", reservation_grps=60, queue_capacity=256),
+    ]
+    workload = SyntheticWorkload(rates=RATES, duration_s=12.0, file_bytes=2000)
+    cluster = GageCluster(
+        env,
+        subs,
+        {name: workload.site_files(name) for name in RATES},
+        num_rpns=4,
+        fidelity="flow",
+        config=GageConfig(heartbeat_miss_limit=K, accounting_cycle_s=CYCLE),
+    )
+    cluster.load_trace(workload.generate())
+    cluster.install_faults(FaultSchedule.crash_restart("rpn3", CRASH_AT, RESTART_AT - CRASH_AT))
+
+    recorder = Recorder(env, period_s=0.1)
+    recorder.add_gauge("rpn3_up", lambda: 1.0 if cluster.rdn.node_scheduler.node("rpn3").up else 0.0)
+    recorder.add_gauge("rpn3_dispatched", lambda: float(cluster.rdn.node_scheduler.node("rpn3").dispatched))
+    for host in ("a", "b"):
+        recorder.add_gauge("completed_{}".format(host), _HostCompletions(cluster, host))
+    cluster.run(12.0)
+    return cluster, recorder
+
+
+def _windowed_rate(series, t, window_s):
+    """Completions per second over (t - window_s, t] of a cumulative series."""
+    before = [v for s, v in series if s <= t - window_s]
+    at = [v for s, v in series if s <= t]
+    if not before or not at:
+        return 0.0
+    return (at[-1] - before[-1]) / window_s
+
+
+def time_to_restore_isolation(recorder):
+    """First post-crash instant when a and b are back at offered rate."""
+    samples = [t for t, _v in recorder.series("completed_a")]
+    for t in samples:
+        if t < CRASH_AT + WINDOW_S:
+            continue
+        rate_a = _windowed_rate(recorder.series("completed_a"), t, WINDOW_S)
+        rate_b = _windowed_rate(recorder.series("completed_b"), t, WINDOW_S)
+        if rate_a >= 0.85 * RATES["a"] and rate_b >= 0.85 * RATES["b"]:
+            return t - CRASH_AT
+    return None
+
+
+def test_recovery_time(benchmark):
+    cluster, recorder = benchmark.pedantic(run_recovery, rounds=1, iterations=1)
+
+    detect_s = cluster.rdn.failures.detection_latency_s(CRASH_AT, "rpn3")
+    restore_s = time_to_restore_isolation(recorder)
+
+    print_banner("Recovery time: node death detection and isolation restore")
+    print(format_table(
+        ["Metric", "Seconds", "Bound"],
+        [
+            ("time-to-detect", round(detect_s, 3), "(K+1) cycles = {:.1f}".format((K + 1) * CYCLE)),
+            ("time-to-restore-isolation", round(restore_s, 3), "<= 2.0"),
+        ],
+        "Measured (K={}, cycle={} ms):".format(K, int(CYCLE * 1000)),
+    ))
+
+    # Detection within K+1 accounting cycles (+1 scheduler cycle slack).
+    assert detect_s is not None
+    assert detect_s <= (K + 1) * CYCLE + CYCLE
+    # Reserved subscribers are whole again within two seconds of the crash.
+    assert restore_s is not None
+    assert restore_s <= 2.0
+    # Isolation held: not one dispatch to the dead node between detection
+    # and restart.
+    dispatched = recorder.series("rpn3_dispatched")
+    detect_at = CRASH_AT + detect_s
+    frozen = [v for t, v in dispatched if detect_at < t < RESTART_AT]
+    assert frozen and len(set(frozen)) == 1
+    # And the node really was marked down for that whole stretch.
+    down_flags = [v for t, v in recorder.series("rpn3_up") if detect_at + 0.1 < t < RESTART_AT]
+    assert down_flags and set(down_flags) == {0.0}
+
+    benchmark.extra_info["time_to_detect_ms"] = round(detect_s * 1000.0, 1)
+    benchmark.extra_info["time_to_restore_isolation_s"] = round(restore_s, 3)

@@ -19,8 +19,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.machine import Machine
 from repro.cluster.procs import SimProcess
 from repro.resources import ResourceVector
-from repro.net.tcp import Connection
-from repro.sim.events import Event
+from repro.net.tcp import Connection, ConnectionError_
 from repro.sim.resources import Resource
 from repro.workload.request import CostModel, WebRequest, WebResponse
 
@@ -186,7 +185,16 @@ class WebServer:
             yield self.machine.cpu.execute(worker, cpu_total * 0.4)
             response = WebResponse(request, size_bytes=size)
             if conn is not None:
-                yield conn.send(size, payload=response)
+                try:
+                    yield conn.send(size, payload=response)
+                except ConnectionError_:
+                    # The connection died mid-service (client gone, link
+                    # cut, or the front end reset it).  The CPU and disk
+                    # already spent are charged to the site's subtree; the
+                    # undeliverable response is an error, not a completion.
+                    site.busy -= 1
+                    site.errors += 1
+                    return response
             worker.charge_net(size)
         site.busy -= 1
         site.completed += 1
@@ -200,5 +208,8 @@ class WebServer:
     def _respond_error(self, request: WebRequest, conn: Optional[Connection], status: int):
         response = WebResponse(request, size_bytes=self.error_response_bytes, status=status)
         if conn is not None:
-            yield conn.send(self.error_response_bytes, payload=response)
+            try:
+                yield conn.send(self.error_response_bytes, payload=response)
+            except ConnectionError_:
+                pass  # nobody left to read the error page
         return response

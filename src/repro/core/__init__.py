@@ -19,7 +19,13 @@ from repro.core.conntable import ConnectionTable
 from repro.core.estimator import UsageEstimator
 from repro.core.feedback import AccountingMessage, RPNUsageReport
 from repro.core.grps import GENERIC_REQUEST, ResourceVector, grps
-from repro.core.metrics import DeviationReport, ServiceReport, deviation_from_reservation
+from repro.core.metrics import (
+    DeviationReport,
+    FailureEvent,
+    FailureLog,
+    ServiceReport,
+    deviation_from_reservation,
+)
 from repro.core.control import DelegateHandshake, DispatchOrder, HandshakeComplete
 from repro.core.node_scheduler import NodeScheduler, RPNStatus
 from repro.core.queues import RequestQueue, SubscriberQueues
@@ -37,6 +43,8 @@ __all__ = [
     "DelegateHandshake",
     "DeviationReport",
     "DispatchOrder",
+    "FailureEvent",
+    "FailureLog",
     "GageCluster",
     "GageConfig",
     "GENERIC_REQUEST",

@@ -16,7 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
 from repro.core.subscriber import Subscriber
 
@@ -151,6 +151,28 @@ class RDNAccounting:
             if self.keep_usage_log:
                 self.usage_log.append((message.cycle_end_s, name, report.usage))
         return backed_out
+
+    def forget_rpn(self, rpn_id: str) -> Dict[str, ResourceVector]:
+        """Back out every in-flight prediction charged against one RPN.
+
+        Called when the failure detector declares the node dead: the
+        dispatched requests will never be reported complete by it, so
+        their predicted usage is restored to the balances (the requests
+        themselves are re-enqueued by the RDN and will be charged again
+        at re-dispatch).  Returns the per-subscriber restored usage.
+        """
+        restored: Dict[str, ResourceVector] = {}
+        for name, account in self._accounts.items():
+            queue = account.pending.pop(rpn_id, None)
+            account.estimated.pop(rpn_id, None)
+            if not queue:
+                continue
+            total = ResourceVector.ZERO
+            for predicted in queue:
+                total = total + predicted
+            account.balance = account.balance + total
+            restored[name] = total
+        return restored
 
     @staticmethod
     def _pop_predictions(

@@ -53,6 +53,30 @@ class GageConfig:
         The design choices evaluated by ablations A1-A3.
     estimator_alpha:
         EWMA weight of the newest usage sample.
+    heartbeat_miss_limit:
+        The failure detector's ``K``: an RPN that has previously reported
+        accounting messages and then stays silent for more than ``K``
+        accounting cycles is declared dead — its outstanding requests are
+        re-enqueued and its capacity leaves the spare pool.  ``None``
+        disables detection.
+    delegate_timeout_s:
+        How long the primary RDN waits for a secondary's
+        ``HandshakeComplete`` before emulating the handshake itself.
+    secondary_failure_limit:
+        Consecutive delegation timeouts after which a secondary RDN is
+        removed from the delegation rotation until revived.
+    proxy_connect_timeout_s, proxy_response_timeout_s:
+        Real-socket front end: bounds on backend connect and
+        response-head wait, so a dead or hung backend can never wedge a
+        client forever.
+    proxy_retry_backoff_s:
+        Base delay before retrying a failed dispatch on an alternate
+        healthy backend (doubled per attempt).
+    proxy_failure_threshold:
+        Consecutive backend failures after which the proxy ejects the
+        backend from rotation and starts probing it.
+    proxy_probe_interval_s:
+        How often an ejected backend is probed for re-admission.
     """
 
     scheduling_cycle_s: float = 0.010
@@ -68,6 +92,14 @@ class GageConfig:
     #: RDN's connection-table entry, the LSM's splice rule) lingers so
     #: retransmitted teardown packets still route; then it is reclaimed.
     conntable_linger_s: float = 2.0
+    heartbeat_miss_limit: Optional[int] = 3
+    delegate_timeout_s: float = 0.25
+    secondary_failure_limit: int = 2
+    proxy_connect_timeout_s: float = 1.0
+    proxy_response_timeout_s: float = 5.0
+    proxy_retry_backoff_s: float = 0.05
+    proxy_failure_threshold: int = 3
+    proxy_probe_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -95,3 +127,17 @@ class GageConfig:
             raise ValueError("estimator alpha must lie in (0, 1]")
         if self.conntable_linger_s < 0:
             raise ValueError("linger must be non-negative")
+        if self.heartbeat_miss_limit is not None and self.heartbeat_miss_limit < 1:
+            raise ValueError("heartbeat miss limit must be at least 1 (or None)")
+        if self.delegate_timeout_s <= 0:
+            raise ValueError("delegate timeout must be positive")
+        if self.secondary_failure_limit < 1:
+            raise ValueError("secondary failure limit must be at least 1")
+        if self.proxy_connect_timeout_s <= 0 or self.proxy_response_timeout_s <= 0:
+            raise ValueError("proxy timeouts must be positive")
+        if self.proxy_retry_backoff_s < 0:
+            raise ValueError("retry backoff must be non-negative")
+        if self.proxy_failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.proxy_probe_interval_s <= 0:
+            raise ValueError("probe interval must be positive")

@@ -12,7 +12,7 @@ client are routed to the corresponding RPN."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.net.addresses import MACAddress
 from repro.net.conn import Quadruple
@@ -56,6 +56,19 @@ class ConnectionTable:
     def remove(self, quad: Quadruple) -> Optional[ConnectionEntry]:
         """Drop one connection's entry (at teardown)."""
         return self._entries.pop(quad, None)
+
+    def remove_rpn(self, rpn_id: str) -> "List[Quadruple]":
+        """Drop every connection bridged to one RPN (node failure).
+
+        Returns the removed quadruples so the caller can reset or
+        re-route the affected clients.
+        """
+        quads = [
+            quad for quad, entry in self._entries.items() if entry.rpn_id == rpn_id
+        ]
+        for quad in quads:
+            del self._entries[quad]
+        return quads
 
     def clear(self) -> None:
         """Drop every entry."""

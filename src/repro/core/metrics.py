@@ -1,16 +1,23 @@
-"""Experiment metrics: service rates and deviation from reservation.
+"""Experiment metrics: service rates, deviation from reservation, and
+failure/recovery event accounting.
 
 The deviation metric reproduces §4.1 / Figure 3: "we measure the deviation
 of resource usage by each subscriber from its reservation over different
 time intervals, and then compute an overall average among all
 subscribers."
+
+:class:`FailureLog` is the availability-side ledger: every detector and
+recovery transition (node suspected dead, node re-admitted, requests
+re-enqueued, backend ejected/probed back in) is recorded as a timestamped
+event, so experiments can measure time-to-detect and time-to-restore
+rather than just end-of-run aggregates.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.resources import GENERIC_REQUEST, ResourceVector
 
@@ -68,6 +75,78 @@ class DeviationReport:
     def series(self) -> List[Tuple[float, float]]:
         """(interval, deviation %) pairs sorted by interval."""
         return sorted(self.by_interval.items())
+
+
+#: Event kinds recorded by the RDN's failure detector.
+NODE_DOWN = "node_down"
+NODE_UP = "node_up"
+REQUESTS_REQUEUED = "requests_requeued"
+CONNECTIONS_RESET = "connections_reset"
+DELEGATE_TIMEOUT = "delegate_timeout"
+SECONDARY_DOWN = "secondary_down"
+SECONDARY_UP = "secondary_up"
+#: Event kinds recorded by the real-socket proxy's health layer.
+BACKEND_EJECTED = "backend_ejected"
+BACKEND_READMITTED = "backend_readmitted"
+REQUEST_SHED = "request_shed"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure-handling transition."""
+
+    at_s: float
+    kind: str
+    target: str
+    #: Kind-specific magnitude (e.g. how many requests were re-enqueued).
+    detail: float = 0.0
+
+
+class FailureLog:
+    """Timestamped ledger of failure detection and recovery transitions."""
+
+    def __init__(self) -> None:
+        self.events: List[FailureEvent] = []
+        self._counts: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return "<FailureLog events={} kinds={}>".format(
+            len(self.events), sorted(self._counts)
+        )
+
+    def record(self, at_s: float, kind: str, target: str, detail: float = 0.0) -> None:
+        """Append one transition."""
+        self.events.append(FailureEvent(at_s, kind, target, detail))
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were recorded."""
+        return self._counts.get(kind, 0)
+
+    def events_of(self, kind: str, target: Optional[str] = None) -> List[FailureEvent]:
+        """All events of ``kind`` (optionally for one target), in order."""
+        return [
+            event
+            for event in self.events
+            if event.kind == kind and (target is None or event.target == target)
+        ]
+
+    def first(self, kind: str, target: Optional[str] = None) -> Optional[FailureEvent]:
+        """The earliest event of ``kind``, or None."""
+        matches = self.events_of(kind, target)
+        return matches[0] if matches else None
+
+    def detection_latency_s(self, failed_at_s: float, target: str) -> Optional[float]:
+        """Seconds from an injected failure to the detector marking
+        ``target`` down — the time-to-detect metric of the recovery
+        benchmarks.  None if the failure was never detected."""
+        for event in self.events:
+            if event.kind == NODE_DOWN and event.target == target and event.at_s >= failed_at_s:
+                return event.at_s - failed_at_s
+        return None
 
 
 def windowed_rates(

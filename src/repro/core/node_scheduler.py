@@ -56,6 +56,13 @@ class RPNStatus:
     #: Summed predicted usage of dispatched, not-yet-reported requests.
     outstanding: ResourceVector = field(default_factory=lambda: ResourceVector.ZERO)
     dispatched: int = 0
+    #: Health state: a down node receives no dispatches and contributes
+    #: no capacity to the spare pool until re-admitted.
+    up: bool = True
+    #: When the failure detector marked the node down (None while up).
+    down_since: Optional[float] = None
+    #: How many times this node has been declared dead over the run.
+    failures: int = 0
 
     def load_seconds(self) -> float:
         """Outstanding work expressed as seconds of the busiest resource."""
@@ -105,16 +112,54 @@ class NodeScheduler:
         """The status record for one node."""
         return self._nodes[rpn_id]
 
+    def get(self, rpn_id: str) -> Optional[RPNStatus]:
+        """The status record for one node, or None if unregistered."""
+        return self._nodes.get(rpn_id)
+
     def nodes(self) -> List[RPNStatus]:
         """All nodes in registration order."""
         return list(self._nodes.values())
 
+    def up_nodes(self) -> List[RPNStatus]:
+        """Nodes currently considered alive, in registration order."""
+        return [status for status in self._nodes.values() if status.up]
+
     def total_capacity_per_s(self) -> ResourceVector:
-        """Cluster-wide capacity per second."""
+        """Cluster-wide capacity per second, *surviving nodes only*.
+
+        A dead node's capacity leaving this sum is what re-distributes
+        its share: the spare pool (capacity minus reservations) shrinks,
+        and the spare pass splits what remains among the still-backlogged
+        subscribers in reservation proportion — the same path that
+        distributes spare in the healthy cluster.
+        """
         total = ResourceVector.ZERO
         for status in self._nodes.values():
-            total = total + status.capacity_per_s
+            if status.up:
+                total = total + status.capacity_per_s
         return total
+
+    # -- health transitions --------------------------------------------------
+
+    def mark_down(self, rpn_id: str, at_s: float = 0.0) -> None:
+        """Take a node out of rotation and forget its outstanding load."""
+        status = self._nodes[rpn_id]
+        if not status.up:
+            return
+        status.up = False
+        status.down_since = at_s
+        status.failures += 1
+        # The predictions behind this load are backed out by the caller
+        # (RDNAccounting.forget_rpn); keeping them here would poison the
+        # load ranking on re-admission.
+        status.outstanding = ResourceVector.ZERO
+
+    def mark_up(self, rpn_id: str) -> None:
+        """Re-admit a recovered node with a drained (empty) load state."""
+        status = self._nodes[rpn_id]
+        status.up = True
+        status.down_since = None
+        status.outstanding = ResourceVector.ZERO
 
     # -- selection -----------------------------------------------------------
 
@@ -131,7 +176,7 @@ class NodeScheduler:
         eligible = [
             status
             for status in self._nodes.values()
-            if status.has_headroom(predicted, self.window_s)
+            if status.up and status.has_headroom(predicted, self.window_s)
         ]
         if not eligible:
             return None

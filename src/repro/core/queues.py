@@ -23,6 +23,7 @@ class RequestQueue:
         self.arrived = 0
         self.dropped = 0
         self.dispatched = 0
+        self.requeued = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -49,6 +50,17 @@ class RequestQueue:
             return False
         self._items.append(request)
         return True
+
+    def requeue(self, request: object) -> None:
+        """Return a dispatched-but-unserviced request to the queue head.
+
+        Used by node-failure recovery: the request was already admitted
+        (and counted) once, so it bypasses the admission bound and does
+        not increment ``arrived`` — dropping it here would turn a
+        back-end crash into a silent QoS violation.
+        """
+        self.requeued += 1
+        self._items.appendleft(request)
 
     def peek(self) -> Optional[object]:
         """The request at the head, without removing it."""

@@ -16,8 +16,9 @@ The same class serves both transports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.accounting import RDNAccounting
 from repro.core.classifier import PacketClass, RequestClassifier
@@ -32,6 +33,16 @@ from repro.core.control import (
 )
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
+from repro.core.metrics import (
+    CONNECTIONS_RESET,
+    DELEGATE_TIMEOUT,
+    NODE_DOWN,
+    NODE_UP,
+    REQUESTS_REQUEUED,
+    SECONDARY_DOWN,
+    SECONDARY_UP,
+    FailureLog,
+)
 from repro.core.node_scheduler import NodeScheduler
 from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
@@ -67,6 +78,15 @@ class PendingRequest:
     rdn_isn: int
     client_mac: MACAddress
     enqueued_at: float
+
+
+@dataclass
+class _Delegation:
+    """One handshake pushed to a secondary RDN, awaiting completion."""
+
+    mac: MACAddress
+    client_isn: int
+    client_mac: MACAddress
 
 
 @dataclass
@@ -124,9 +144,23 @@ class PrimaryRDN:
         #: Secondary RDNs available for handshake offload, by MAC.
         self._secondaries: List[MACAddress] = []
         self._next_secondary = 0
-        self._delegated: Dict[Quadruple, MACAddress] = {}
+        self._delegated: Dict[Quadruple, _Delegation] = {}
+        #: Consecutive delegation timeouts per secondary; reset on any
+        #: completed handshake, ejection at ``secondary_failure_limit``.
+        self._secondary_failures: Dict[MACAddress, int] = {}
         #: URL requests that raced ahead of their HandshakeComplete.
         self._awaiting_handshake: Dict[Quadruple, Packet] = {}
+        #: Failure-detection and recovery event ledger.
+        self.failures = FailureLog()
+        #: Last accounting-message arrival per RPN.  A node enters the
+        #: heartbeat watch only after its *first* message — so clusters
+        #: run without accounting agents (many unit tests) never
+        #: false-positive.
+        self._last_feedback: Dict[str, float] = {}
+        #: Dispatched-but-unreported requests per (rpn, subscriber), in
+        #: dispatch order, so a node death can re-enqueue exactly the
+        #: requests that died with it.
+        self._in_flight: Dict[str, Dict[str, Deque[object]]] = {}
         #: Completion log fed by accounting messages: (time, subscriber, count).
         self.completion_log: List[Tuple[float, str, int]] = []
         for subscriber in subscribers:
@@ -172,7 +206,64 @@ class PrimaryRDN:
     def _scheduler_loop(self):
         while True:
             yield self.env.timeout(self.config.scheduling_cycle_s)
+            self._check_heartbeats()
             self.scheduler.run_cycle()
+
+    # -- failure detection (heartbeat on the accounting stream) ----------------
+
+    def _check_heartbeats(self) -> None:
+        """Declare dead any RPN silent for ``heartbeat_miss_limit`` cycles.
+
+        The accounting messages double as heartbeats: a healthy node
+        reports every ``accounting_cycle_s`` even when idle, so more than
+        K consecutive missed reports means the node (or its link) is
+        gone, not merely unloaded.
+        """
+        limit = self.config.heartbeat_miss_limit
+        if limit is None:
+            return
+        threshold = limit * self.config.accounting_cycle_s
+        now = self.env.now
+        for status in self.node_scheduler.up_nodes():
+            last = self._last_feedback.get(status.rpn_id)
+            if last is not None and now - last > threshold:
+                self._on_node_death(status.rpn_id, silent_for_s=now - last)
+
+    def _on_node_death(self, rpn_id: str, silent_for_s: float = 0.0) -> None:
+        """Tear one dead RPN out of the dispatch path.
+
+        Everything charged against the node is unwound: its outstanding
+        predictions are restored to the subscriber balances, its in-flight
+        requests return to the heads of their queues (oldest first), and
+        its spliced connections are dropped from the bridge table.  The
+        node's capacity leaves ``total_capacity_per_s`` implicitly, which
+        re-distributes its spare share across the survivors.
+        """
+        now = self.env.now
+        self.node_scheduler.mark_down(rpn_id, at_s=now)
+        self.failures.record(now, NODE_DOWN, rpn_id, detail=silent_for_s)
+        self.accounting.forget_rpn(rpn_id)
+        requeued = 0
+        for name, items in self._in_flight.pop(rpn_id, {}).items():
+            queue = self.queues.get(name)
+            if queue is None:
+                continue
+            # appendleft-ing in reverse keeps FIFO order at the head.
+            for item in reversed(items):
+                queue.requeue(item)
+            requeued += len(items)
+        if requeued:
+            self.failures.record(now, REQUESTS_REQUEUED, rpn_id, detail=float(requeued))
+        dropped = self.conntable.remove_rpn(rpn_id)
+        if dropped:
+            self.failures.record(
+                now, CONNECTIONS_RESET, rpn_id, detail=float(len(dropped))
+            )
+
+    def _on_node_recovery(self, rpn_id: str) -> None:
+        """Re-admit a node whose accounting stream resumed."""
+        self.node_scheduler.mark_up(rpn_id)
+        self.failures.record(self.env.now, NODE_UP, rpn_id)
 
     def _next_isn(self) -> int:
         self._isn = (self._isn + 128_000) % SEQ_SPACE
@@ -264,10 +355,12 @@ class PrimaryRDN:
         # OTHER: packets of connections whose handshake was delegated are
         # relayed to the owning secondary; bare ACKs completing a locally
         # emulated handshake are absorbed; the rest is dropped.
-        secondary = self._delegated.get(quad)
-        if secondary is not None:
+        delegation = self._delegated.get(quad)
+        if delegation is not None:
             self.ops.forwards += 1
-            self.nic.transmit(packet.copy(dst_mac=secondary, src_mac=self.nic.mac))
+            self.nic.transmit(
+                packet.copy(dst_mac=delegation.mac, src_mac=self.nic.mac)
+            )
             return
         half = self._half_open.get(quad)
         if half is not None:
@@ -284,16 +377,24 @@ class PrimaryRDN:
     # -- handshake emulation (§3.3: "emulating the three-way hand-shake") ------
 
     def _emulate_handshake(self, packet: Packet, quad: Quadruple) -> None:
-        if self._secondaries:
+        # A connection already emulated locally (including after a failed
+        # delegation) stays local: a duplicate SYN re-sends the SYN-ACK.
+        if self._secondaries and quad not in self._half_open:
             self._delegate_handshake(packet, quad)
             return
+        self._emulate_local(quad, packet.seq, packet.src_mac)
+
+    def _emulate_local(
+        self, quad: Quadruple, client_isn: int, client_mac: MACAddress
+    ) -> None:
+        """Answer the handshake from the primary itself (no offload)."""
         half = self._half_open.get(quad)
         if half is None:
             half = HalfOpenConnection(
                 quad=quad,
-                client_isn=packet.seq,
+                client_isn=client_isn,
                 rdn_isn=self._next_isn(),
-                client_mac=packet.src_mac,
+                client_mac=client_mac,
             )
             self._half_open[quad] = half
             self.ops.connection_setups += 1
@@ -314,11 +415,17 @@ class PrimaryRDN:
     def _delegate_handshake(self, packet: Packet, quad: Quadruple) -> None:
         """Asymmetric RDN cluster: push handshake work to a secondary."""
         if quad in self._delegated:
-            target = self._delegated[quad]
+            delegation = self._delegated[quad]
         else:
             target = self._secondaries[self._next_secondary % len(self._secondaries)]
             self._next_secondary += 1
-            self._delegated[quad] = target
+            delegation = _Delegation(
+                mac=target, client_isn=packet.seq, client_mac=packet.src_mac
+            )
+            self._delegated[quad] = delegation
+            self.env.call_later(
+                self.config.delegate_timeout_s, self._check_delegation, quad, target
+            )
         order = DelegateHandshake(
             quad=quad, client_isn=packet.seq, client_mac=packet.src_mac
         )
@@ -326,7 +433,7 @@ class PrimaryRDN:
         self.nic.transmit(
             Packet(
                 src_mac=self.nic.mac,
-                dst_mac=target,
+                dst_mac=delegation.mac,
                 src_ip=self.cluster_ip,
                 dst_ip=self.cluster_ip,
                 src_port=CONTROL_PORT,
@@ -335,6 +442,36 @@ class PrimaryRDN:
                 payload_len=CONTROL_PAYLOAD_LEN,
             )
         )
+
+    def _check_delegation(self, quad: Quadruple, mac: MACAddress) -> None:
+        """Delegation timeout: the secondary never reported back.
+
+        Fires ``delegate_timeout_s`` after each delegation.  If the
+        handshake is still outstanding with the same secondary, the
+        secondary takes a strike (``secondary_failure_limit`` consecutive
+        strikes ejects it from the offload rotation) and the primary
+        takes the handshake over itself — it beats the client's SYN
+        retransmission, so the client sees nothing but a slower SYN-ACK.
+        """
+        delegation = self._delegated.get(quad)
+        if delegation is None or delegation.mac != mac or quad in self._half_open:
+            return
+        now = self.env.now
+        self.failures.record(now, DELEGATE_TIMEOUT, str(mac))
+        strikes = self._secondary_failures.get(mac, 0) + 1
+        self._secondary_failures[mac] = strikes
+        if strikes >= self.config.secondary_failure_limit and mac in self._secondaries:
+            self._secondaries.remove(mac)
+            self.failures.record(now, SECONDARY_DOWN, str(mac), detail=float(strikes))
+        del self._delegated[quad]
+        self._emulate_local(quad, delegation.client_isn, delegation.client_mac)
+
+    def revive_secondary(self, mac: MACAddress) -> None:
+        """Return an ejected secondary to the offload rotation."""
+        self._secondary_failures[mac] = 0
+        if mac not in self._secondaries:
+            self._secondaries.append(mac)
+            self.failures.record(self.env.now, SECONDARY_UP, str(mac))
 
     def _on_handshake_complete(self, done: HandshakeComplete) -> None:
         half = HalfOpenConnection(
@@ -345,7 +482,11 @@ class PrimaryRDN:
             established=True,
         )
         self._half_open[done.quad] = half
-        self._delegated.pop(done.quad, None)
+        delegation = self._delegated.pop(done.quad, None)
+        if delegation is not None:
+            # A completed handshake clears the secondary's strike count:
+            # ejection requires *consecutive* timeouts.
+            self._secondary_failures[delegation.mac] = 0
         self.ops.connection_setups += 1
         raced = self._awaiting_handshake.pop(done.quad, None)
         if raced is not None:
@@ -400,6 +541,9 @@ class PrimaryRDN:
 
     def _dispatch(self, item: object, rpn_id: str, subscriber: str) -> None:
         self.ops.dispatches += 1
+        self._in_flight.setdefault(rpn_id, {}).setdefault(subscriber, deque()).append(
+            item
+        )
         if isinstance(item, PendingRequest):
             self._dispatch_packet_mode(item, rpn_id)
         elif self.flow_dispatch is not None:
@@ -437,9 +581,25 @@ class PrimaryRDN:
     # -- feedback ----------------------------------------------------------------
 
     def on_feedback(self, message: AccountingMessage) -> None:
-        """Apply an RPN accounting message (both transports)."""
+        """Apply an RPN accounting message (both transports).
+
+        The message doubles as the node's heartbeat: its arrival updates
+        the failure detector's watch, and a message from a node currently
+        marked down re-admits it (with drained state) first, so the
+        feedback below lands on a live account.
+        """
+        status = self.node_scheduler.get(message.rpn_id)
+        if status is not None and not status.up:
+            self._on_node_recovery(message.rpn_id)
+        self._last_feedback[message.rpn_id] = self.env.now
         self.scheduler.apply_feedback(message)
+        per_node = self._in_flight.get(message.rpn_id)
         for name, report in message.per_subscriber.items():
+            if per_node is not None and report.completed:
+                items = per_node.get(name)
+                if items:
+                    for _ in range(min(report.completed, len(items))):
+                        items.popleft()
             if report.completed:
                 self.completion_log.append(
                     (message.cycle_end_s, name, report.completed)

@@ -212,6 +212,10 @@ class RPNAccountingAgent:
         self.send_fn = send_fn
         #: Nodes do not tick in lockstep; each agent's cycle is offset.
         self.phase_offset_s = phase_offset_s
+        #: Health flag driven by fault injection: a crashed or hung node
+        #: sends no accounting messages — the silence is exactly what the
+        #: RDN's failure detector keys on.
+        self.up = True
         self.messages_sent = 0
         self._last_usage: Dict[str, ResourceVector] = {}
         self._last_completed: Dict[str, int] = {}
@@ -223,9 +227,25 @@ class RPNAccountingAgent:
             yield self.env.timeout(self.phase_offset_s)
         while True:
             yield self.env.timeout(self.cycle_s)
+            if not self.up:
+                continue
             message = self.collect()
             self.send_fn(message)
             self.messages_sent += 1
+
+    def resync(self) -> None:
+        """Re-baseline the usage counters at the current instant.
+
+        Called when a crashed node restarts: whatever usage and
+        completions accumulated before/during the outage must never be
+        reported — the RDN already backed those requests out and
+        re-dispatched them elsewhere, so reporting them again would
+        double-charge the subscribers.
+        """
+        for host, site in self.webserver.sites.items():
+            self._last_usage[host] = site.master.subtree_usage()
+            self._last_completed[host] = site.completed
+        self._last_total = self.webserver.machine.procs.total_usage()
 
     def collect(self) -> AccountingMessage:
         """Walk the process tree and build this cycle's report."""

@@ -18,7 +18,7 @@ in a cyclic fashion:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.accounting import RDNAccounting
 from repro.core.config import (

@@ -51,6 +51,10 @@ class SecondaryRDN:
         self._isns: Dict[Quadruple, int] = {}
         self.handshakes_started = 0
         self.handshakes_completed = 0
+        #: Health flag driven by fault injection: a dead secondary drops
+        #: every frame, so its delegated handshakes never complete and the
+        #: primary's delegation timeout fires.
+        self.up = True
         self.nic: Optional[NIC] = None
 
     def __repr__(self) -> str:
@@ -65,8 +69,20 @@ class SecondaryRDN:
         self._isn = (self._isn + 128_000) % SEQ_SPACE
         return self._isn
 
+    def fail(self) -> None:
+        """Crash this secondary: drop all in-progress handshake state."""
+        self.up = False
+        self._pending.clear()
+        self._isns.clear()
+
+    def recover(self) -> None:
+        """Bring the secondary back with clean state."""
+        self.up = True
+
     def handle_packet(self, packet: Packet) -> None:
         """Process delegation orders and the delegated clients' ACKs."""
+        if not self.up:
+            return
         payload = packet.payload
         if isinstance(payload, DelegateHandshake):
             self._start(payload)

@@ -18,7 +18,7 @@ Two fidelities drive the *same* Gage core:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.machine import Machine
 from repro.cluster.webserver import WebServer
@@ -109,6 +109,26 @@ class GageCluster:
         #: (completion_time, host, end-to-end latency) per completion.
         self.latencies: List[Tuple[float, str, float]] = []
 
+        # -- fault-injection state (driven by repro.faults) ------------------
+        #: RPNs whose process is dead: dispatches and completions vanish.
+        self.down_rpns: Set[str] = set()
+        #: RPNs that are wedged: dispatches are held, not serviced.
+        self.hung_rpns: Set[str] = set()
+        #: Held dispatches of hung nodes, delivered (or discarded) on resume.
+        self._hold_buffers: Dict[str, List[object]] = {}
+        #: Requests lost to dead nodes (dispatched there, never serviced,
+        #: plus completions suppressed by a crash).
+        self.lost_in_flight = 0
+        #: (time, kind, target) of every fault applied to this cluster.
+        self.fault_log: List[Tuple[float, str, str]] = []
+        self._servers: Dict[str, WebServer] = {}
+        self._agent_by_id: Dict[str, RPNAccountingAgent] = {}
+        self._secondary_by_name: Dict[str, SecondaryRDN] = {}
+        self._secondary_macs: Dict[str, MACAddress] = {}
+        #: Per-target network interface (packet mode only).
+        self._iface_by_target: Dict[str, object] = {}
+        self._base_cpu_speed = rpn_cpu_speed
+
         capacity = default_rpn_capacity(rpn_cpu_speed)
         if fidelity == "packet":
             self._build_packet_mode(
@@ -161,10 +181,27 @@ class GageCluster:
             server.host_site(
                 subscriber.name, files=site_files.get(subscriber.name, {})
             )
-        server.on_complete.append(self._on_complete)
+        rpn_id = "rpn{}".format(index)
+        server.on_complete.append(
+            lambda host, request, usage, at, _rpn=rpn_id: self._on_complete_from(
+                _rpn, host, request, usage, at
+            )
+        )
+        self._servers[rpn_id] = server
         self.machines.append(machine)
         self.webservers.append(server)
         return server
+
+    def _on_complete_from(
+        self, rpn_id: str, host: str, request: WebRequest, usage, at: float
+    ) -> None:
+        if rpn_id in self.down_rpns:
+            # A dead node produces no results; whatever was in flight on
+            # it when it crashed is lost (the RDN re-enqueues it once the
+            # failure detector fires).
+            self.lost_in_flight += 1
+            return
+        self._on_complete(host, request, usage, at)
 
     def _on_complete(self, host: str, request: WebRequest, usage, at: float) -> None:
         self.completions.append((at, host))
@@ -192,22 +229,30 @@ class GageCluster:
             rpn_id = "rpn{}".format(index)
             servers[rpn_id] = server
             self.rdn.add_rpn(rpn_id, capacity)
-            self.agents.append(
-                RPNAccountingAgent(
-                    self.env,
-                    rpn_id,
-                    server,
-                    cycle_s=self.config.accounting_cycle_s,
-                    send_fn=self._flow_feedback,
-                    phase_offset_s=(
-                        self.config.accounting_cycle_s * index / num_rpns
-                        if self.stagger_accounting
-                        else 0.0
-                    ),
-                )
+            agent = RPNAccountingAgent(
+                self.env,
+                rpn_id,
+                server,
+                cycle_s=self.config.accounting_cycle_s,
+                send_fn=self._flow_feedback,
+                phase_offset_s=(
+                    self.config.accounting_cycle_s * index / num_rpns
+                    if self.stagger_accounting
+                    else 0.0
+                ),
             )
+            self.agents.append(agent)
+            self._agent_by_id[rpn_id] = agent
 
         def flow_dispatch(request: object, rpn_id: str, _subscriber: str) -> None:
+            if rpn_id in self.down_rpns:
+                # Dispatched into the void: lost until the RDN's failure
+                # detector re-enqueues the node's in-flight requests.
+                self.lost_in_flight += 1
+                return
+            if rpn_id in self.hung_rpns:
+                self._hold_buffers.setdefault(rpn_id, []).append(request)
+                return
             server = servers[rpn_id]
             self.env.call_later(
                 self._flow_dispatch_latency_s,
@@ -267,20 +312,21 @@ class GageCluster:
             stack.listen(80, server.acceptor)
             self.lsms.append(lsm)
             self.rdn.add_rpn(rpn_id, capacity, mac=rpn_mac, ip=rpn_ip)
-            self.agents.append(
-                RPNAccountingAgent(
-                    self.env,
-                    rpn_id,
-                    server,
-                    cycle_s=self.config.accounting_cycle_s,
-                    send_fn=self._packet_feedback_sender(nic, rpn_ip, rdn_mac),
-                    phase_offset_s=(
-                        self.config.accounting_cycle_s * index / num_rpns
-                        if self.stagger_accounting
-                        else 0.0
-                    ),
-                )
+            self._iface_by_target[rpn_id] = nic.iface
+            agent = RPNAccountingAgent(
+                self.env,
+                rpn_id,
+                server,
+                cycle_s=self.config.accounting_cycle_s,
+                send_fn=self._packet_feedback_sender(nic, rpn_ip, rdn_mac),
+                phase_offset_s=(
+                    self.config.accounting_cycle_s * index / num_rpns
+                    if self.stagger_accounting
+                    else 0.0
+                ),
             )
+            self.agents.append(agent)
+            self._agent_by_id[rpn_id] = agent
 
         # Secondary RDNs.
         for index in range(num_secondaries):
@@ -297,6 +343,9 @@ class GageCluster:
             secondary.attach_nic(sec_nic)
             self.rdn.add_secondary(sec_mac)
             self.secondaries.append(secondary)
+            self._secondary_by_name[secondary.name] = secondary
+            self._secondary_macs[secondary.name] = sec_mac
+            self._iface_by_target[secondary.name] = sec_nic.iface
 
         # Clients.
         client_stacks: List[HostStack] = []
@@ -336,6 +385,132 @@ class GageCluster:
             )
 
         return send
+
+    # -- fault injection (repro.faults drives these) -----------------------------
+
+    def install_faults(self, schedule):
+        """Arm a :class:`~repro.faults.FaultSchedule` against this cluster.
+
+        Returns the :class:`~repro.faults.FaultInjector`, whose
+        ``applied`` log records what fired and when.
+        """
+        from repro.faults import FaultInjector
+
+        return FaultInjector(self.env, self, schedule)
+
+    def _log_fault(self, kind: str, target: str) -> None:
+        self.fault_log.append((self.env.now, kind, target))
+
+    def _agent_for(self, target: str) -> RPNAccountingAgent:
+        agent = self._agent_by_id.get(target)
+        if agent is None:
+            raise ValueError("unknown RPN target: {!r}".format(target))
+        return agent
+
+    def crash(self, target: str) -> None:
+        """Kill a node's process: servicing and reporting stop instantly.
+
+        For an RPN, everything in flight on the node is lost (and later
+        re-enqueued by the RDN's failure detector); in packet mode its
+        link also drops.  For a secondary RDN, pending handshake state is
+        discarded and delegation orders go unanswered, which is what the
+        primary's delegation timeout detects.
+        """
+        if target in self._secondary_by_name:
+            self._secondary_by_name[target].fail()
+            self._log_fault("crash", target)
+            return
+        agent = self._agent_for(target)
+        self.down_rpns.add(target)
+        self.hung_rpns.discard(target)
+        self.lost_in_flight += len(self._hold_buffers.pop(target, []))
+        agent.up = False
+        iface = self._iface_by_target.get(target)
+        if iface is not None:
+            iface.up = False
+        self._log_fault("crash", target)
+
+    def restore(self, target: str) -> None:
+        """Restart a crashed node with clean state.
+
+        The RPN's accounting agent re-baselines (``resync``) before its
+        first post-restart report, so usage and completions from before
+        the crash — already backed out and re-dispatched by the RDN —
+        are never reported.  The report itself is what re-admits the
+        node at the RDN.  A restored secondary re-enters the primary's
+        offload rotation immediately.
+        """
+        if target in self._secondary_by_name:
+            self._secondary_by_name[target].recover()
+            self.rdn.revive_secondary(self._secondary_macs[target])
+            self._log_fault("restart", target)
+            return
+        agent = self._agent_for(target)
+        self.down_rpns.discard(target)
+        iface = self._iface_by_target.get(target)
+        if iface is not None:
+            iface.up = True
+        agent.resync()
+        agent.up = True
+        self._log_fault("restart", target)
+
+    def hang(self, target: str) -> None:
+        """Wedge an RPN: new dispatches queue unserviced, reports stop."""
+        agent = self._agent_for(target)
+        self.hung_rpns.add(target)
+        agent.up = False
+        self._log_fault("hang", target)
+
+    def resume(self, target: str) -> None:
+        """Un-wedge a hung RPN.
+
+        Held dispatches are serviced late — unless the RDN already
+        declared the node dead and re-enqueued them, in which case the
+        held copies are discarded to avoid double service.
+        """
+        agent = self._agent_for(target)
+        self.hung_rpns.discard(target)
+        held = self._hold_buffers.pop(target, [])
+        status = self.rdn.node_scheduler.get(target)
+        if status is not None and not status.up:
+            self.lost_in_flight += len(held)
+        else:
+            server = self._servers[target]
+            for request in held:
+                self.env.process(server.service_request(request))
+        agent.up = True
+        self._log_fault("resume", target)
+
+    def slow(self, target: str, factor: float = 1.0) -> None:
+        """Degrade an RPN's CPU to ``factor`` of nominal (1.0 restores)."""
+        if factor <= 0:
+            raise ValueError("slow factor must be positive")
+        server = self._servers.get(target)
+        if server is None:
+            raise ValueError("unknown RPN target: {!r}".format(target))
+        server.machine.cpu.speed = self._base_cpu_speed * factor
+        self._log_fault("slow", target)
+
+    def partition(self, target: str) -> None:
+        """Cut a node's network link (packet mode only)."""
+        iface = self._iface_by_target.get(target)
+        if iface is None:
+            raise ValueError(
+                "no link to partition for {!r} (flow mode has no links; "
+                "use crash/hang instead)".format(target)
+            )
+        iface.up = False
+        self._log_fault("partition", target)
+
+    def heal(self, target: str) -> None:
+        """Bring a partitioned link back up (packet mode only)."""
+        iface = self._iface_by_target.get(target)
+        if iface is None:
+            raise ValueError(
+                "no link to heal for {!r} (flow mode has no links)".format(target)
+            )
+        iface.up = True
+        self._log_fault("heal", target)
 
     # -- driving workloads ------------------------------------------------------
 

@@ -18,7 +18,6 @@ from repro.cluster.webserver import WebServer
 from repro.core.config import GageConfig
 from repro.core.metrics import (
     ServiceReport,
-    deviation_from_reservation,
     deviation_from_reservation_vectors,
 )
 from repro.core.simulation import GageCluster

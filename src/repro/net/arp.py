@@ -12,7 +12,7 @@ how every client's traffic lands on the front end in the first place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.net.addresses import IPAddress, MACAddress
 from repro.net.nic import NIC
@@ -89,6 +89,8 @@ class ArpService:
         self.requests_sent = 0
         self.replies_sent = 0
         self.failures = 0
+        #: Queued frames discarded because their destination never resolved.
+        self.dropped_unresolved = 0
         self._passthrough = nic.receive_handler
         nic.receive_handler = self._on_packet
 
@@ -182,5 +184,6 @@ class ArpService:
         try:
             mac = yield self.resolve(packet.dst_ip)
         except ArpError:
+            self.dropped_unresolved += 1
             return
         self.nic.transmit(packet.copy(dst_mac=mac))

@@ -19,13 +19,20 @@ instead of simulated processes:
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.accounting import RDNAccounting
 from repro.core.classifier import RequestClassifier
 from repro.core.config import GageConfig
 from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.metrics import (
+    BACKEND_EJECTED,
+    BACKEND_READMITTED,
+    REQUEST_SHED,
+    FailureLog,
+)
 from repro.core.node_scheduler import NodeScheduler
 from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
@@ -53,6 +60,12 @@ class ProxyStats:
     completed: int = 0
     failed: int = 0
     bytes_relayed: int = 0
+    #: Backend reads that exceeded the response timeout (504s sent).
+    timed_out: int = 0
+    #: Dispatches re-attempted on an alternate backend after a failure.
+    retried: int = 0
+    #: Requests refused with 503 because no healthy backend existed.
+    shed_no_backend: int = 0
 
 
 @dataclass
@@ -112,6 +125,15 @@ class GageProxy:
         self._buckets: Dict[str, Dict[str, List[object]]] = {
             backend_id: {} for backend_id in backends
         }
+        #: Ejection/re-admission/shedding ledger (loop-clock timestamps).
+        self.failures = FailureLog()
+        #: Consecutive failures per backend; any success resets to zero,
+        #: ``proxy_failure_threshold`` in a row ejects the backend.
+        self._consecutive_failures: Dict[str, int] = {
+            backend_id: 0 for backend_id in backends
+        }
+        #: Backends with a probe task in flight (no duplicate probes).
+        self._probing: Set[str] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
@@ -155,6 +177,33 @@ class GageProxy:
         while not self._stopping:
             await asyncio.sleep(self.config.scheduling_cycle_s)
             self.scheduler.run_cycle()
+            if not self.node_scheduler.up_nodes():
+                self._shed_queued()
+
+    def _shed_queued(self) -> None:
+        """503 every queued connection while no backend is healthy.
+
+        Without this, connections admitted just before the last backend
+        was ejected would sit in their queues indefinitely (``pick``
+        returns None) and their clients would hang instead of failing
+        fast.
+        """
+        for queue in self.queues:
+            while queue.backlogged:
+                pending = queue.take()
+                self.stats.shed_no_backend += 1
+                self.failures.record(
+                    self._now(), REQUEST_SHED, pending.subscriber
+                )
+                task = asyncio.ensure_future(
+                    self._refuse(
+                        pending.writer,
+                        503,
+                        "Service Unavailable",
+                        retry_after_s=self._retry_after_s(),
+                    )
+                )
+                self._tasks.append(task)
 
     async def _accounting_loop(self) -> None:
         loop = asyncio.get_event_loop()
@@ -200,19 +249,39 @@ class GageProxy:
             self.stats.rejected_unknown_host += 1
             await self._refuse(writer, 404, "Not Found")
             return
+        if not self.node_scheduler.up_nodes():
+            # Load shedding: every backend is ejected, so queueing would
+            # only delay the inevitable — fail fast and tell the client
+            # when to come back.
+            self.stats.shed_no_backend += 1
+            self.failures.record(self._now(), REQUEST_SHED, subscriber)
+            await self._refuse(
+                writer, 503, "Service Unavailable", retry_after_s=self._retry_after_s()
+            )
+            return
         pending = _PendingConnection(head, reader, writer, subscriber)
         queue = self.queues.get(subscriber)
         if queue is None or not queue.offer(pending):
             self.stats.dropped_queue_full += 1
-            await self._refuse(writer, 503, "Service Unavailable")
+            await self._refuse(
+                writer, 503, "Service Unavailable", retry_after_s=1
+            )
             return
 
     @staticmethod
-    async def _refuse(writer: asyncio.StreamWriter, status: int, reason: str) -> None:
+    async def _refuse(
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        retry_after_s: Optional[int] = None,
+    ) -> None:
+        headers = ["content-length: 0", "connection: close"]
+        if retry_after_s is not None:
+            headers.append("retry-after: {}".format(retry_after_s))
         try:
             writer.write(
-                "HTTP/1.0 {} {}\r\ncontent-length: 0\r\n\r\n".format(
-                    status, reason
+                "HTTP/1.0 {} {}\r\n{}\r\n\r\n".format(
+                    status, reason, "\r\n".join(headers)
                 ).encode("latin-1")
             )
             await writer.drain()
@@ -220,6 +289,14 @@ class GageProxy:
             pass
         finally:
             writer.close()
+
+    def _retry_after_s(self) -> int:
+        """When a shed client should retry: one probe interval, >= 1 s."""
+        return max(1, int(math.ceil(self.config.proxy_probe_interval_s)))
+
+    @staticmethod
+    def _now() -> float:
+        return asyncio.get_event_loop().time()
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -233,17 +310,51 @@ class GageProxy:
     async def _serve(
         self, pending: _PendingConnection, backend_id: str, subscriber: str
     ) -> None:
+        """Proxy one dispatched connection, riding out backend failures.
+
+        A connect failure or timeout takes one retry (with exponential
+        backoff) against the least-loaded healthy backend not yet tried;
+        a backend that accepts but never answers is cut off by the
+        response timeout and the client gets a 504.  Usage is always
+        billed under ``backend_id`` — the backend the scheduler charged
+        at dispatch — even when an alternate physically served, so the
+        accounting's pending-prediction queues stay consistent.
+        """
         client_reader, client_writer = pending.reader, pending.writer
-        backend_host, backend_port = self.backends[backend_id]
-        try:
-            backend_reader, backend_writer = await asyncio.open_connection(
-                backend_host, backend_port
-            )
-        except OSError:
-            self.stats.failed += 1
-            self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
-            await self._refuse(client_writer, 502, "Bad Gateway")
-            return
+        tried: Set[str] = set()
+        current = backend_id
+        connection = None
+        for attempt in range(2):
+            tried.add(current)
+            try:
+                connection = await asyncio.wait_for(
+                    asyncio.open_connection(*self.backends[current]),
+                    timeout=self.config.proxy_connect_timeout_s,
+                )
+                break
+            except (OSError, asyncio.TimeoutError):
+                self._note_backend_failure(current)
+                alternate = self._pick_alternate(tried)
+                if attempt == 0 and alternate is not None:
+                    self.stats.retried += 1
+                    await asyncio.sleep(
+                        self.config.proxy_retry_backoff_s * (2 ** attempt)
+                    )
+                    current = alternate
+                    continue
+                self.stats.failed += 1
+                self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+                if self.node_scheduler.up_nodes():
+                    await self._refuse(client_writer, 502, "Bad Gateway")
+                else:
+                    await self._refuse(
+                        client_writer,
+                        503,
+                        "Service Unavailable",
+                        retry_after_s=self._retry_after_s(),
+                    )
+                return
+        backend_reader, backend_writer = connection
         try:
             backend_writer.write(render_request_head(pending.head))
             body_len = pending.head.content_length
@@ -251,12 +362,35 @@ class GageProxy:
                 await relay_exactly(client_reader, backend_writer, body_len)
             await backend_writer.drain()
 
-            response = await read_response_head(backend_reader)
+            try:
+                response = await asyncio.wait_for(
+                    read_response_head(backend_reader),
+                    timeout=self.config.proxy_response_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                self.stats.timed_out += 1
+                self.stats.failed += 1
+                self._note_backend_failure(current)
+                self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+                await self._refuse(client_writer, 504, "Gateway Timeout")
+                return
             usage_triple = response.usage()
             client_writer.write(render_response_head(response, drop_usage=True))
-            relayed = await relay_exactly(
-                backend_reader, client_writer, response.content_length
-            )
+            try:
+                relayed = await asyncio.wait_for(
+                    relay_exactly(
+                        backend_reader, client_writer, response.content_length
+                    ),
+                    timeout=self.config.proxy_response_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                # The response head already reached the client, so no
+                # error status can follow; just cut the stalled transfer.
+                self.stats.timed_out += 1
+                self.stats.failed += 1
+                self._note_backend_failure(current)
+                self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+                return
             await client_writer.drain()
             self.stats.completed += 1
             self.stats.bytes_relayed += relayed
@@ -266,12 +400,66 @@ class GageProxy:
                 else ResourceVector(0.0, 0.0, float(relayed))
             )
             self._record(backend_id, subscriber, usage, completed=1)
+            self._consecutive_failures[current] = 0
         except (HTTPError, ConnectionError, asyncio.IncompleteReadError):
             self.stats.failed += 1
+            self._note_backend_failure(current)
             self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
         finally:
             backend_writer.close()
             client_writer.close()
+
+    # -- backend health ----------------------------------------------------------
+
+    def _pick_alternate(self, tried: Set[str]) -> Optional[str]:
+        """The least-loaded healthy backend outside ``tried``, if any."""
+        candidates = [
+            status
+            for status in self.node_scheduler.up_nodes()
+            if status.rpn_id not in tried
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.load_seconds()).rpn_id
+
+    def _note_backend_failure(self, backend_id: str) -> None:
+        """Count one failure; eject the backend at the threshold."""
+        count = self._consecutive_failures.get(backend_id, 0) + 1
+        self._consecutive_failures[backend_id] = count
+        status = self.node_scheduler.get(backend_id)
+        if (
+            status is not None
+            and status.up
+            and count >= self.config.proxy_failure_threshold
+        ):
+            now = self._now()
+            self.node_scheduler.mark_down(backend_id, at_s=now)
+            self.failures.record(now, BACKEND_EJECTED, backend_id, detail=float(count))
+            if backend_id not in self._probing:
+                self._probing.add(backend_id)
+                task = asyncio.ensure_future(self._probe_loop(backend_id))
+                self._tasks.append(task)
+
+    async def _probe_loop(self, backend_id: str) -> None:
+        """Re-admit an ejected backend once a probe connect succeeds."""
+        host, port = self.backends[backend_id]
+        try:
+            while not self._stopping:
+                await asyncio.sleep(self.config.proxy_probe_interval_s)
+                try:
+                    _reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(host, port),
+                        timeout=self.config.proxy_connect_timeout_s,
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    continue
+                writer.close()
+                self._consecutive_failures[backend_id] = 0
+                self.node_scheduler.mark_up(backend_id)
+                self.failures.record(self._now(), BACKEND_READMITTED, backend_id)
+                return
+        finally:
+            self._probing.discard(backend_id)
 
     def _record(
         self, backend_id: str, subscriber: str, usage: ResourceVector, completed: int

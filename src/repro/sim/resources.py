@@ -14,11 +14,9 @@ These model the three kinds of sharing the cluster simulation needs:
 
 from __future__ import annotations
 
-import heapq
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, List
 
 from repro.sim.engine import URGENT_PRIORITY
-from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.net.addresses import IPAddress
 from repro.net.tcp import Connection, ConnectionError_, HostStack
 from repro.sim.engine import Environment
-from repro.workload.request import RequestRecord, WebRequest, WebResponse
+from repro.workload.request import RequestRecord, WebResponse
 
 
 @dataclass

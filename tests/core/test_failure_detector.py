@@ -1,0 +1,140 @@
+"""Unit tests of the RDN's heartbeat failure detector (flow transport).
+
+The accounting stream doubles as the heartbeat: K consecutive missed
+accounting cycles declare a node dead.  Detection must unwind the dead
+node's accounting state, re-enqueue its in-flight requests, and re-admit
+the node when its reports resume.
+"""
+
+from repro.core import GageConfig, PrimaryRDN, Subscriber
+from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.grps import ResourceVector
+from repro.core.metrics import NODE_DOWN, NODE_UP, REQUESTS_REQUEUED
+from repro.core.simulation import default_rpn_capacity
+from repro.net import IPAddress
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+CLUSTER_IP = IPAddress("10.0.0.100")
+K = 2
+CYCLE = 0.1
+GENERIC = ResourceVector(0.010, 0.010, 2000.0)
+
+
+def build_rdn(env, num_rpns=1, heartbeat_miss_limit=K):
+    config = GageConfig(
+        heartbeat_miss_limit=heartbeat_miss_limit, accounting_cycle_s=CYCLE
+    )
+    rdn = PrimaryRDN(
+        env, config, CLUSTER_IP, [Subscriber("a", 100, queue_capacity=64)]
+    )
+    dispatched = []
+    rdn.flow_dispatch = lambda req, rpn, sub: dispatched.append((rpn, req))
+    for index in range(num_rpns):
+        rdn.add_rpn("rpn{}".format(index), default_rpn_capacity())
+    return rdn, dispatched
+
+
+def message(rpn_id, at_s, completed=0, usage=ResourceVector.ZERO):
+    per_subscriber = (
+        {"a": RPNUsageReport(usage, completed)} if completed else {}
+    )
+    return AccountingMessage(
+        rpn_id=rpn_id,
+        cycle_start_s=at_s - CYCLE,
+        cycle_end_s=at_s,
+        total_usage=usage,
+        per_subscriber=per_subscriber,
+    )
+
+
+def test_node_that_never_reported_is_never_suspected():
+    env = Environment()
+    rdn, _dispatched = build_rdn(env)
+    env.run(until=2.0)  # way past K cycles of silence
+    assert rdn.node_scheduler.node("rpn0").up
+    assert rdn.failures.count(NODE_DOWN) == 0
+
+
+def test_detector_disabled_when_limit_is_none():
+    env = Environment()
+    rdn, _dispatched = build_rdn(env, heartbeat_miss_limit=None)
+    env.call_later(0.1, rdn.on_feedback, message("rpn0", 0.1))
+    env.run(until=2.0)
+    assert rdn.node_scheduler.node("rpn0").up
+    assert rdn.failures.count(NODE_DOWN) == 0
+
+
+def test_silence_after_first_report_declares_death():
+    env = Environment()
+    rdn, _dispatched = build_rdn(env)
+    env.call_later(0.1, rdn.on_feedback, message("rpn0", 0.1))
+    env.run(until=1.0)
+    status = rdn.node_scheduler.node("rpn0")
+    assert not status.up
+    down = rdn.failures.first(NODE_DOWN, "rpn0")
+    assert down is not None
+    # Last report at 0.1; death no earlier than K cycles of silence and
+    # no later than K+1 cycles (plus one scheduling cycle of slack).
+    assert 0.1 + K * CYCLE < down.at_s <= 0.1 + (K + 1) * CYCLE + 0.011
+
+
+def test_death_requeues_in_flight_and_restores_balances():
+    env = Environment()
+    rdn, dispatched = build_rdn(env)
+    for _ in range(3):
+        rdn.submit_request("a", WebRequest("a", "/x.html", 2000))
+    env.run(until=0.06)
+    assert len(dispatched) == 3  # all dispatched to the only node
+    # One request completes; then the node goes silent forever.
+    rdn.on_feedback(message("rpn0", 0.1, completed=1, usage=GENERIC))
+    env.run(until=1.0)
+    assert not rdn.node_scheduler.node("rpn0").up
+    queue = rdn.queues.get("a")
+    assert queue.requeued == 2  # the two unfinished requests came back
+    assert len(queue) == 2  # and stay queued: no healthy node exists
+    requeue_event = rdn.failures.first(REQUESTS_REQUEUED, "rpn0")
+    assert requeue_event is not None and requeue_event.detail == 2
+    account = rdn.accounting.account("a")
+    # Every prediction charged against the dead node was backed out.
+    assert account.pending.get("rpn0") in (None, [])
+    assert account.estimated.get("rpn0", ResourceVector.ZERO) == ResourceVector.ZERO
+    assert not (account.balance - GENERIC).any_negative  # credit restored
+    assert len(dispatched) == 3  # nothing dispatched while down
+
+
+def test_resumed_reports_readmit_node_and_work_drains():
+    env = Environment()
+    rdn, dispatched = build_rdn(env)
+    for _ in range(3):
+        rdn.submit_request("a", WebRequest("a", "/x.html", 2000))
+    env.call_later(0.1, rdn.on_feedback, message("rpn0", 0.1, completed=1, usage=GENERIC))
+    env.run(until=1.0)
+    assert not rdn.node_scheduler.node("rpn0").up
+    before = len(dispatched)
+    # The node restarts and reports again (an empty, idle-cycle report).
+    rdn.on_feedback(message("rpn0", 1.0))
+    assert rdn.node_scheduler.node("rpn0").up
+    assert rdn.failures.first(NODE_UP, "rpn0") is not None
+    env.run(until=1.5)
+    assert len(dispatched) > before  # requeued work re-dispatched
+
+
+def test_healthy_reporting_node_stays_up():
+    env = Environment()
+    rdn, _dispatched = build_rdn(env)
+    for tick in range(1, 20):
+        env.call_later(tick * CYCLE, rdn.on_feedback, message("rpn0", tick * CYCLE))
+    env.run(until=2.0)
+    assert rdn.node_scheduler.node("rpn0").up
+    assert rdn.failures.count(NODE_DOWN) == 0
+
+
+def test_detection_latency_helper():
+    env = Environment()
+    rdn, _dispatched = build_rdn(env)
+    env.call_later(0.1, rdn.on_feedback, message("rpn0", 0.1))
+    env.run(until=1.0)
+    latency = rdn.failures.detection_latency_s(0.1, "rpn0")
+    assert latency is not None
+    assert latency <= (K + 1) * CYCLE + 0.011

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Machine, WebServer
-from repro.core import LocalServiceManager, RPNAccountingAgent, Subscriber
+from repro.core import LocalServiceManager, RPNAccountingAgent
 from repro.core.control import DispatchOrder
 from repro.net import IPAddress, MACAddress, NIC, Packet, Switch, TCPFlags
 from repro.net.conn import Quadruple

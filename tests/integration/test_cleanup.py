@@ -1,7 +1,5 @@
 """Tests that per-connection state is reclaimed after teardown."""
 
-import pytest
-
 from repro.core import GageCluster, GageConfig, Subscriber
 from repro.sim import Environment
 from repro.workload import SyntheticWorkload

@@ -7,7 +7,7 @@ remapping in both directions, and L2 bridging via the connection table.
 
 import pytest
 
-from repro.core import GageCluster, GageConfig, Subscriber
+from repro.core import GageCluster, Subscriber
 from repro.sim import Environment
 from repro.workload import SyntheticWorkload
 

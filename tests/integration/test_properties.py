@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import GageCluster, GageConfig, Subscriber
+from repro.core import GageCluster, Subscriber
 from repro.sim import Environment
 from repro.workload import SyntheticWorkload
 
@@ -38,8 +38,11 @@ def test_isolation_invariant(res_a, res_b, overload):
     cluster.run(5.0)
     report = cluster.service_report("a", 2.0, 5.0)
     assert report.served_rate >= 0.9 * rate_a
-    # And b never exceeds what physics allows.
-    report_b = cluster.service_report("b", 2.0, 5.0)
+    # And b never exceeds what physics allows.  Measured over the full
+    # run: inside a sub-window, draining backlog queued *before* the
+    # window can legitimately push served above the arrival rate.
+    report_b = cluster.service_report("b", 0.0, 5.0)
+    assert report_b.served <= report_b.arrived
     assert report_b.served_rate <= rate_b + 1
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import NIC, IPAddress, MACAddress, Switch
-from repro.net.arp import ArpError, ArpRequest, ArpService
+from repro.net.arp import ArpError, ArpService
 from repro.sim import Environment
 
 

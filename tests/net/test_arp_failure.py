@@ -1,0 +1,90 @@
+"""ARP behaviour when the network eats every frame (total link loss).
+
+The loss model (`Interface.loss_rate`) deliberately forbids 1.0, so a
+100%-lossy link is expressed the way it happens in practice: the
+interface goes *down* (``iface.up = False``).  A downed interface
+neither transmits nor delivers — exactly a dead cable.
+"""
+
+from repro.net import NIC, IPAddress, MACAddress, Switch
+from repro.net.arp import ArpError, ArpService
+from repro.net.packet import Packet
+from repro.sim import Environment
+
+
+def host(env, switch, ip, mac, **kw):
+    nic = NIC(env, MACAddress(mac), name="h-{}".format(ip))
+    switch.attach(nic.iface)
+    return ArpService(env, nic, IPAddress(ip), **kw)
+
+
+def build(env, **kw):
+    switch = Switch(env, ports=4)
+    a = host(env, switch, "10.0.0.1", "02:00:00:00:00:01", **kw)
+    b = host(env, switch, "10.0.0.2", "02:00:00:00:00:02", **kw)
+    return a, b
+
+
+def test_resolution_fails_after_retries_when_link_dead():
+    env = Environment()
+    a, _b = build(env, timeout_s=0.05, retries=3)
+    a.nic.iface.up = False  # our side of the cable is dead
+    failures = []
+
+    def run(env):
+        try:
+            yield a.resolve(IPAddress("10.0.0.2"))
+        except ArpError as exc:
+            failures.append(exc)
+
+    env.run(until=env.process(run(env)))
+    assert len(failures) == 1
+    assert a.requests_sent == 3  # every retry was attempted
+    assert a.failures == 1
+    assert a.lookup(IPAddress("10.0.0.2")) is None
+
+
+def test_queued_packets_dropped_and_counted_not_leaked():
+    env = Environment()
+    a, b = build(env, timeout_s=0.05, retries=2)
+    b.nic.iface.up = False  # the target is unreachable: requests vanish
+
+    data = Packet(
+        src_mac=a.nic.mac,
+        dst_mac=MACAddress.broadcast(),
+        src_ip=IPAddress("10.0.0.1"),
+        dst_ip=IPAddress("10.0.0.2"),
+        src_port=1234,
+        dst_port=80,
+        payload=b"payload",
+        payload_len=7,
+    )
+    for _ in range(3):
+        a.send_resolved(data)
+    env.run(until=1.0)
+    # All three held frames were discarded once resolution failed...
+    assert a.dropped_unresolved == 3
+    assert a.failures == 1  # one shared resolution attempt for the IP
+    # ...and no waiter or queue state leaked behind them.
+    assert a._waiters == {}
+    assert b.replies_sent == 0
+
+
+def test_recovery_after_link_heals():
+    env = Environment()
+    a, b = build(env, timeout_s=0.05, retries=2)
+    a.nic.iface.up = False
+    outcomes = []
+
+    def attempt(env):
+        try:
+            yield a.resolve(IPAddress("10.0.0.2"))
+            outcomes.append("ok")
+        except ArpError:
+            outcomes.append("fail")
+
+    env.run(until=env.process(attempt(env)))
+    a.nic.iface.up = True  # cable replaced
+    env.run(until=env.process(attempt(env)))
+    assert outcomes == ["fail", "ok"]
+    assert a.lookup(IPAddress("10.0.0.2")) == b.nic.mac

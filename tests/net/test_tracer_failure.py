@@ -6,8 +6,6 @@ from repro.net import NIC, IPAddress, MACAddress, Packet, TCPFlags
 from repro.net.tracer import PacketTracer
 from repro.sim import Environment
 
-from .conftest import TwoHostNet
-
 
 def test_tracer_captures_delivered_frames(env, net):
     received = []

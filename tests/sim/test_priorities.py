@@ -1,7 +1,5 @@
 """Tests for event scheduling priorities and kernel internals."""
 
-import pytest
-
 from repro.sim import Environment, NORMAL_PRIORITY, URGENT_PRIORITY
 from repro.sim.events import Event
 
