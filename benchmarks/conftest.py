@@ -6,7 +6,16 @@ expected to match (the substrate is a simulator, not the authors'
 Celeron/P-III testbed); the *shape* — who wins, by what factor, where
 crossovers fall — is the reproduction target, and each benchmark asserts
 it.
+
+Running with ``--benchstore DIR`` additionally serializes each module's
+results into ``DIR/BENCH_<suite>.json`` (see
+:mod:`repro.harness.benchstore`); CI diffs those against the committed
+baselines in ``benchmarks/baselines/``.
 """
+
+import pytest
+
+from repro.harness import benchstore
 
 
 def print_banner(title: str) -> None:
@@ -14,3 +23,48 @@ def print_banner(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchstore",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="serialize benchmark results into DIR/BENCH_<suite>.json",
+    )
+
+
+def _suite_name(item) -> str:
+    """test_fig3_deviation.py -> 'fig3_deviation'."""
+    stem = item.path.stem
+    return stem[len("test_"):] if stem.startswith("test_") else stem
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item, nextitem):
+    yield
+    directory = item.config.getoption("--benchstore", default=None)
+    if not directory:
+        return
+    bench = getattr(item, "funcargs", {}).get("benchmark")
+    if bench is None or bench.stats is None:
+        return
+    suites = item.config.stash.setdefault(_BENCHSTORE_KEY, {})
+    suites.setdefault(_suite_name(item), []).append(
+        benchstore.record_benchmark(bench)
+    )
+
+
+_BENCHSTORE_KEY = pytest.StashKey()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    directory = config.getoption("--benchstore", default=None)
+    if not directory:
+        return
+    suites = config.stash.get(_BENCHSTORE_KEY, {})
+    for suite, records in sorted(suites.items()):
+        path = benchstore.write_suite(directory, suite, records)
+        print("benchstore: wrote {} ({} benchmarks)".format(path, len(records)))

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Diff two benchstore documents (or directories of them) for CI gating.
+
+Usage::
+
+    python scripts/bench_compare.py OLD NEW [--tolerance 0.2]
+
+``OLD`` and ``NEW`` are either two ``BENCH_*.json`` files or two
+directories containing them (matched by filename).  Exit status:
+
+- 0 — every common benchmark is within tolerance;
+- 1 — a timing regressed or a reported figure drifted past tolerance,
+  or a baseline benchmark/suite vanished from NEW;
+- 2 — usage or unreadable/invalid input.
+
+Gating rules, per benchmark:
+
+- **timing**: ``median_s`` in NEW may not exceed OLD by more than the
+  tolerance fraction (faster is always fine);
+- **figures**: every numeric ``extra_info`` value (the paper-figure
+  numbers the benchmarks export, e.g. deviation percentages) may not
+  drift — in either direction — by more than the tolerance fraction of
+  the old magnitude.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# The script must run from a checkout without installation.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.harness.benchstore import load_suite  # noqa: E402
+
+
+def _load(path):
+    try:
+        return load_suite(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print("error: cannot read {}: {}".format(path, exc), file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _pair_paths(old, new):
+    """Resolve (old, new) into a list of (label, old_path, new_path)."""
+    if os.path.isdir(old) != os.path.isdir(new):
+        print("error: OLD and NEW must both be files or both be directories",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not os.path.isdir(old):
+        return [(os.path.basename(old), old, new)], []
+    pairs, missing = [], []
+    for old_path in sorted(glob.glob(os.path.join(old, "BENCH_*.json"))):
+        name = os.path.basename(old_path)
+        new_path = os.path.join(new, name)
+        if os.path.exists(new_path):
+            pairs.append((name, old_path, new_path))
+        else:
+            missing.append(name)
+    if not pairs and not missing:
+        print("error: no BENCH_*.json files under {}".format(old), file=sys.stderr)
+        raise SystemExit(2)
+    return pairs, missing
+
+
+def compare_suites(old_doc, new_doc, tolerance):
+    """Compare two suite documents; returns a list of problem strings."""
+    problems = []
+    old_benches = old_doc["benchmarks"]
+    new_benches = new_doc["benchmarks"]
+    for name in sorted(old_benches):
+        old_rec = old_benches[name]
+        new_rec = new_benches.get(name)
+        if new_rec is None:
+            problems.append("{}: missing from NEW".format(name))
+            continue
+        old_median = float(old_rec["median_s"])
+        new_median = float(new_rec["median_s"])
+        limit = old_median * (1.0 + tolerance)
+        status = "ok"
+        if new_median > limit and old_median > 0:
+            status = "REGRESSED"
+            problems.append(
+                "{}: median {:.6f}s -> {:.6f}s (+{:.1f}%, limit +{:.0f}%)".format(
+                    name,
+                    old_median,
+                    new_median,
+                    100.0 * (new_median - old_median) / old_median,
+                    100.0 * tolerance,
+                )
+            )
+        print(
+            "  {:<40} median {:>10.6f}s -> {:>10.6f}s  {}".format(
+                name, old_median, new_median, status
+            )
+        )
+        old_extra = old_rec.get("extra_info", {})
+        new_extra = new_rec.get("extra_info", {})
+        for key in sorted(old_extra):
+            old_value = old_extra[key]
+            if isinstance(old_value, bool) or not isinstance(old_value, (int, float)):
+                continue
+            new_value = new_extra.get(key)
+            if not isinstance(new_value, (int, float)) or isinstance(new_value, bool):
+                problems.append("{}: extra_info {!r} missing from NEW".format(name, key))
+                continue
+            drift = abs(float(new_value) - float(old_value))
+            allowed = tolerance * max(abs(float(old_value)), 1e-9)
+            if drift > allowed:
+                problems.append(
+                    "{}: extra_info {!r} drifted {} -> {} (allowed ±{:.4g})".format(
+                        name, key, old_value, new_value, allowed
+                    )
+                )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("new", help="candidate BENCH_*.json file or directory")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drift (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be non-negative")
+
+    pairs, missing_files = _pair_paths(args.old, args.new)
+    problems = ["{}: missing from NEW".format(name) for name in missing_files]
+    for label, old_path, new_path in pairs:
+        print("{} (tolerance {:.0f}%):".format(label, 100.0 * args.tolerance))
+        problems.extend(
+            compare_suites(_load(old_path), _load(new_path), args.tolerance)
+        )
+
+    if problems:
+        print()
+        print("bench_compare: {} problem(s):".format(len(problems)))
+        for problem in problems:
+            print("  - " + problem)
+        return 1
+    print("bench_compare: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ class Disk:
         self._channel = Resource(env, capacity=1)
         self.busy_s = 0.0
         self.io_count = 0
+        self._started_at = env.now
 
     def __repr__(self) -> str:
         return "<Disk ios={} busy={:.3f}s>".format(self.io_count, self.busy_s)
@@ -49,6 +50,18 @@ class Disk:
     def io_time(self, nbytes: int) -> float:
         """Channel time one I/O of ``nbytes`` occupies."""
         return self.seek_s + nbytes / self.transfer_bps
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the channel spent busy."""
+        elapsed = self.env.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / elapsed)
+
+    def reset_utilization(self) -> None:
+        """Restart the utilization window at the current instant."""
+        self.busy_s = 0.0
+        self._started_at = self.env.now
 
     @property
     def queue_length(self) -> int:

@@ -12,6 +12,7 @@ from repro.cluster.procs import ProcessTable
 from repro.net.addresses import MACAddress
 from repro.net.nic import NIC
 from repro.sim.engine import Environment
+from repro.telemetry.registry import get_registry
 
 
 class Machine:
@@ -42,11 +43,29 @@ class Machine:
         self.fs = fs if fs is not None else FileSystem()
         self.procs = ProcessTable()
         self.nics: List[NIC] = []
+        registry = get_registry()
+        self._tm_cpu_util = registry.gauge(
+            "repro.cluster.cpu_utilization", machine=name
+        )
+        self._tm_disk_util = registry.gauge(
+            "repro.cluster.disk_utilization", machine=name
+        )
+        self._tm_disk_ios = registry.gauge("repro.cluster.disk_ios", machine=name)
 
     def __repr__(self) -> str:
         return "<Machine {} nics={} procs={}>".format(
             self.name, len(self.nics), len(self.procs)
         )
+
+    def telemetry_sample(self) -> None:
+        """Export the current CPU/disk utilization to the metric registry.
+
+        Called from the RPN accounting agent's walk, so the gauges track
+        the same cadence as the §3.5 usage reports.
+        """
+        self._tm_cpu_util.set(self.cpu.utilization())
+        self._tm_disk_util.set(self.disk.utilization())
+        self._tm_disk_ios.set(float(self.disk.io_count))
 
     def add_nic(self, mac: MACAddress, **nic_kwargs: object) -> NIC:
         """Attach a NIC to this machine."""

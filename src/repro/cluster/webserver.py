@@ -18,8 +18,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cluster.machine import Machine
 from repro.cluster.procs import SimProcess
-from repro.resources import ResourceVector
 from repro.net.tcp import Connection, ConnectionError_
+from repro.resources import ResourceVector
 from repro.sim.resources import Resource
 from repro.workload.request import CostModel, WebRequest, WebResponse
 

@@ -18,6 +18,7 @@ from repro.core.config import GageConfig
 from repro.core.conntable import ConnectionTable
 from repro.core.estimator import UsageEstimator
 from repro.core.feedback import AccountingMessage, RPNUsageReport
+from repro.core.control import DelegateHandshake, DispatchOrder, HandshakeComplete
 from repro.core.grps import GENERIC_REQUEST, ResourceVector, grps
 from repro.core.metrics import (
     DeviationReport,
@@ -26,7 +27,6 @@ from repro.core.metrics import (
     ServiceReport,
     deviation_from_reservation,
 )
-from repro.core.control import DelegateHandshake, DispatchOrder, HandshakeComplete
 from repro.core.node_scheduler import NodeScheduler, RPNStatus
 from repro.core.queues import RequestQueue, SubscriberQueues
 from repro.core.rdn import PendingRequest, PrimaryRDN, RDNOpCounters

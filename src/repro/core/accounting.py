@@ -19,6 +19,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
 from repro.core.subscriber import Subscriber
+from repro.telemetry.registry import get_registry
 
 
 @dataclass
@@ -54,6 +55,9 @@ class RDNAccounting:
         #: (time, subscriber, usage) samples, for deviation analysis.
         self.usage_log: List[Tuple[float, str, ResourceVector]] = []
         self.keep_usage_log = True
+        registry = get_registry()
+        self._tm_messages = registry.counter("repro.core.accounting_messages")
+        self._tm_completions = registry.counter("repro.core.completions_reported")
 
     def __len__(self) -> int:
         return len(self._accounts)
@@ -135,6 +139,7 @@ class RDNAccounting:
         the node scheduler uses to shrink the RPN's outstanding load.
         """
         backed_out: Dict[str, ResourceVector] = {}
+        self._tm_messages.inc()
         for name, report in message.per_subscriber.items():
             account = self._accounts.get(name)
             if account is None:
@@ -146,6 +151,7 @@ class RDNAccounting:
             element = account.estimated.get(message.rpn_id, ResourceVector.ZERO)
             account.estimated[message.rpn_id] = (element - removed).clamped_min(0.0)
             account.reported_complete += report.completed
+            self._tm_completions.inc(report.completed)
             account.measured_usage_total = account.measured_usage_total + report.usage
             backed_out[name] = removed
             if self.keep_usage_log:

@@ -44,6 +44,16 @@ class AccountingMessage:
         """Duration the message covers."""
         return self.cycle_end_s - self.cycle_start_s
 
+    def age_s(self, now: float) -> float:
+        """Report lag: how stale the covered cycle is on arrival.
+
+        Measured from the end of the reported cycle to ``now`` (transit
+        plus queueing delay); the telemetry layer histograms this as
+        ``repro.core.report_lag_s``, the staleness that drives Figure 3's
+        deviation-vs-cycle behaviour.
+        """
+        return max(0.0, now - self.cycle_end_s)
+
     def __repr__(self) -> str:
         return "<AccountingMessage {} [{:.3f},{:.3f}] subs={}>".format(
             self.rpn_id, self.cycle_start_s, self.cycle_end_s, len(self.per_subscriber)

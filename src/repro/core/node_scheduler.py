@@ -204,7 +204,7 @@ class NodeScheduler:
         key = locality_key(request) if request is not None else None
         if key is None or not self._nodes:
             return None
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        digest = hashlib.sha256(key.encode()).digest()
         ordered = list(self._nodes.values())
         return ordered[int.from_bytes(digest[:4], "big") % len(ordered)]
 

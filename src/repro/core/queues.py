@@ -12,6 +12,7 @@ from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.core.subscriber import Subscriber
+from repro.telemetry.registry import get_registry
 
 
 class RequestQueue:
@@ -24,6 +25,16 @@ class RequestQueue:
         self.dropped = 0
         self.dispatched = 0
         self.requeued = 0
+        registry = get_registry()
+        self._occupancy = registry.gauge(
+            "repro.core.queue_occupancy", subscriber=subscriber.name
+        )
+        self._drop_counter = registry.counter(
+            "repro.core.queue_drops", subscriber=subscriber.name
+        )
+        self._arrival_counter = registry.counter(
+            "repro.core.queue_arrivals", subscriber=subscriber.name
+        )
 
     def __len__(self) -> int:
         return len(self._items)
@@ -45,10 +56,13 @@ class RequestQueue:
         in any delay-bounded admission target.
         """
         self.arrived += 1
+        self._arrival_counter.inc()
         if len(self._items) >= self.subscriber.effective_queue_capacity:
             self.dropped += 1
+            self._drop_counter.inc()
             return False
         self._items.append(request)
+        self._occupancy.set(len(self._items))
         return True
 
     def requeue(self, request: object) -> None:
@@ -61,6 +75,7 @@ class RequestQueue:
         """
         self.requeued += 1
         self._items.appendleft(request)
+        self._occupancy.set(len(self._items))
 
     def peek(self) -> Optional[object]:
         """The request at the head, without removing it."""
@@ -71,7 +86,9 @@ class RequestQueue:
         if not self._items:
             raise IndexError("queue {} is empty".format(self.subscriber.name))
         self.dispatched += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        self._occupancy.set(len(self._items))
+        return item
 
 
 class SubscriberQueues:

@@ -52,6 +52,8 @@ from repro.net.conn import Quadruple
 from repro.net.nic import NIC
 from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
 from repro.sim.engine import Environment
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.registry import get_registry
 
 
 @dataclass
@@ -163,6 +165,15 @@ class PrimaryRDN:
         self._in_flight: Dict[str, Dict[str, Deque[object]]] = {}
         #: Completion log fed by accounting messages: (time, subscriber, count).
         self.completion_log: List[Tuple[float, str, int]] = []
+        registry = get_registry()
+        self._tm_packets = registry.counter("repro.core.rdn_packets")
+        self._tm_dispatches = registry.counter("repro.core.rdn_dispatches")
+        self._tm_feedback = registry.counter("repro.core.feedback_messages")
+        self._tm_node_down = registry.counter("repro.core.node_down")
+        self._tm_node_up = registry.counter("repro.core.node_up")
+        self._tm_report_lag = registry.histogram("repro.core.report_lag_s")
+        #: Per-subscriber queue-wait histograms, created on first dispatch.
+        self._tm_dispatch_latency: Dict[str, Histogram] = {}
         for subscriber in subscribers:
             self.queues.register(subscriber)
             self.accounting.register(subscriber)
@@ -204,10 +215,12 @@ class PrimaryRDN:
     # -- the scheduler polling loop (§3.4) ------------------------------------
 
     def _scheduler_loop(self):
+        registry = get_registry()
         while True:
             yield self.env.timeout(self.config.scheduling_cycle_s)
             self._check_heartbeats()
             self.scheduler.run_cycle()
+            registry.tick()
 
     # -- failure detection (heartbeat on the accounting stream) ----------------
 
@@ -242,6 +255,10 @@ class PrimaryRDN:
         now = self.env.now
         self.node_scheduler.mark_down(rpn_id, at_s=now)
         self.failures.record(now, NODE_DOWN, rpn_id, detail=silent_for_s)
+        self._tm_node_down.inc()
+        get_registry().emit(
+            {"event": "node_down", "target": rpn_id, "at": now, "silent_for_s": silent_for_s}
+        )
         self.accounting.forget_rpn(rpn_id)
         requeued = 0
         for name, items in self._in_flight.pop(rpn_id, {}).items():
@@ -264,6 +281,10 @@ class PrimaryRDN:
         """Re-admit a node whose accounting stream resumed."""
         self.node_scheduler.mark_up(rpn_id)
         self.failures.record(self.env.now, NODE_UP, rpn_id)
+        self._tm_node_up.inc()
+        get_registry().emit(
+            {"event": "node_up", "target": rpn_id, "at": self.env.now}
+        )
 
     def _next_isn(self) -> int:
         self._isn = (self._isn + 128_000) % SEQ_SPACE
@@ -285,6 +306,7 @@ class PrimaryRDN:
     def handle_packet(self, packet: Packet) -> None:
         """Classify and act on one inbound frame (§3.3)."""
         self.ops.packets += 1
+        self._tm_packets.inc()
         payload = packet.payload
 
         # Feedback and secondary-RDN control traffic.
@@ -541,6 +563,8 @@ class PrimaryRDN:
 
     def _dispatch(self, item: object, rpn_id: str, subscriber: str) -> None:
         self.ops.dispatches += 1
+        self._tm_dispatches.inc()
+        self._note_dispatch_latency(item, subscriber)
         self._in_flight.setdefault(rpn_id, {}).setdefault(subscriber, deque()).append(
             item
         )
@@ -550,6 +574,21 @@ class PrimaryRDN:
             self.flow_dispatch(item, rpn_id, subscriber)
         else:
             raise RuntimeError("no flow_dispatch installed for flow-mode request")
+
+    def _note_dispatch_latency(self, item: object, subscriber: str) -> None:
+        """Histogram the queue-wait of one dispatched request."""
+        enqueued = getattr(item, "enqueued_at", None)
+        if enqueued is None:
+            enqueued = getattr(item, "issued_at", None)
+        if enqueued is None:
+            return
+        histogram = self._tm_dispatch_latency.get(subscriber)
+        if histogram is None:
+            histogram = get_registry().histogram(
+                "repro.core.dispatch_latency_s", subscriber=subscriber
+            )
+            self._tm_dispatch_latency[subscriber] = histogram
+        histogram.observe(max(0.0, self.env.now - enqueued))
 
     def _dispatch_packet_mode(self, pending: PendingRequest, rpn_id: str) -> None:
         rpn_mac = self._rpn_macs[rpn_id]
@@ -592,6 +631,8 @@ class PrimaryRDN:
         if status is not None and not status.up:
             self._on_node_recovery(message.rpn_id)
         self._last_feedback[message.rpn_id] = self.env.now
+        self._tm_feedback.inc()
+        self._tm_report_lag.observe(message.age_s(self.env.now))
         self.scheduler.apply_feedback(message)
         per_node = self._in_flight.get(message.rpn_id)
         for name, report in message.per_subscriber.items():

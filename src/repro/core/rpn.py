@@ -250,6 +250,7 @@ class RPNAccountingAgent:
     def collect(self) -> AccountingMessage:
         """Walk the process tree and build this cycle's report."""
         now = self.env.now
+        self.webserver.machine.telemetry_sample()
         per_subscriber: Dict[str, RPNUsageReport] = {}
         for host, site in self.webserver.sites.items():
             usage = site.master.subtree_usage()

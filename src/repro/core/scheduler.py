@@ -31,9 +31,13 @@ from repro.core.estimator import UsageEstimator
 from repro.core.grps import ResourceVector
 from repro.core.node_scheduler import NodeScheduler
 from repro.core.queues import RequestQueue, SubscriberQueues
+from repro.telemetry.registry import get_registry
 
 #: Invoked for every dispatched request as (request, rpn_id, subscriber).
 DispatchFn = Callable[[object, str, str], None]
+
+#: Bucket bounds for the prediction-error histogram, in percent.
+PREDICTION_ERROR_BUCKETS_PCT = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0]
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,17 @@ class RequestScheduler:
         self.cycles = 0
         self.reserved_dispatches = 0
         self.spare_dispatches = 0
+        registry = get_registry()
+        self._cycle_counter = registry.counter("repro.core.wrr_cycles")
+        self._reserved_counter = registry.counter(
+            "repro.core.dispatches", credit="reserved"
+        )
+        self._spare_counter = registry.counter("repro.core.dispatches", credit="spare")
+        self._spare_round_counter = registry.counter("repro.core.spare_rounds")
+        self._prediction_error = registry.histogram(
+            "repro.core.prediction_error_pct", bounds=PREDICTION_ERROR_BUCKETS_PCT
+        )
+        self._balance_gauges: Dict[str, object] = {}
 
     def estimator(self, name: str) -> UsageEstimator:
         """The usage estimator for one subscriber's queue."""
@@ -86,6 +101,7 @@ class RequestScheduler:
     def run_cycle(self) -> List[ScheduleDecision]:
         """Execute one 10-ms scheduling cycle; returns the dispatches made."""
         self.cycles += 1
+        self._cycle_counter.inc()
         cycle = self.config.scheduling_cycle_s
         decisions: List[ScheduleDecision] = []
 
@@ -108,6 +124,7 @@ class RequestScheduler:
             cap = credit.scaled(self.config.credit_cap_cycles).max(predicted.scaled(1.5))
             self.accounting.refill(subscriber.name, credit, cap)
             decisions.extend(self._drain_reserved(queue))
+            self._note_balance(subscriber.name)
 
         # Pass 2: spare resource for still-backlogged queues.
         if self.config.spare_policy != SPARE_NONE:
@@ -132,8 +149,20 @@ class RequestScheduler:
             self.node_scheduler.on_dispatch(rpn_id, predicted)
             self.dispatch_fn(request, rpn_id, name)
             self.reserved_dispatches += 1
+            self._reserved_counter.inc()
             decisions.append(ScheduleDecision(name, rpn_id, predicted, spare=False))
         return decisions
+
+    def _note_balance(self, name: str) -> None:
+        """Export one subscriber's post-cycle credit balance, in GRPS."""
+        gauge = self._balance_gauges.get(name)
+        if gauge is None:
+            gauge = get_registry().gauge(
+                "repro.core.credit_balance_grps", subscriber=name
+            )
+            self._balance_gauges[name] = gauge
+        balance = self.accounting.account(name).balance
+        gauge.set(balance.in_generic_requests(self.config.generic_request))
 
     # -- spare resource allocation ---------------------------------------------
 
@@ -185,6 +214,7 @@ class RequestScheduler:
             backlogged = self.queues.backlogged()
             if not backlogged:
                 break
+            self._spare_round_counter.inc()
             weights = self._spare_weights(backlogged)
             consumed_total = ResourceVector.ZERO
             for queue in backlogged:
@@ -227,6 +257,7 @@ class RequestScheduler:
                     self.node_scheduler.on_dispatch(rpn_id, predicted)
                     self.dispatch_fn(request, rpn_id, name)
                     self.spare_dispatches += 1
+                    self._spare_counter.inc()
                     decisions.append(
                         ScheduleDecision(name, rpn_id, predicted, spare=True)
                     )
@@ -250,9 +281,20 @@ class RequestScheduler:
 
     def apply_feedback(self, message) -> None:
         """Apply an accounting message: balances, estimators, node loads."""
+        generic = self.config.generic_request
         for name, report in message.per_subscriber.items():
             if name in self.queues:
-                self.estimator(name).observe_cycle(report.usage, report.completed)
+                estimator = self.estimator(name)
+                if report.completed > 0:
+                    # Prediction error: how far the dispatch-time estimate
+                    # was from the measured per-request usage this cycle.
+                    predicted_g = estimator.predict().in_generic_requests(generic)
+                    measured_g = report.per_request().in_generic_requests(generic)
+                    if predicted_g > 0:
+                        self._prediction_error.observe(
+                            100.0 * abs(measured_g - predicted_g) / predicted_g
+                        )
+                estimator.observe_cycle(report.usage, report.completed)
         backed_out = self.accounting.apply_message(message)
         total = ResourceVector.ZERO
         for vec in backed_out.values():

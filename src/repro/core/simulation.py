@@ -34,6 +34,7 @@ from repro.net.addresses import IPAddress, MACAddress
 from repro.net.switch import Switch
 from repro.net.tcp import HostStack
 from repro.sim.engine import Environment
+from repro.telemetry.registry import get_registry
 from repro.workload.client import ClientFleet
 from repro.workload.request import CostModel, RequestRecord, WebRequest
 
@@ -553,6 +554,10 @@ class GageCluster:
     def run(self, duration_s: float) -> None:
         """Advance the simulation to ``duration_s``."""
         self.env.run(until=duration_s)
+        registry = get_registry()
+        registry.tick()
+        if registry.sinks:
+            registry.flush(now=self.env.now)
 
     # -- results -------------------------------------------------------------------
 

@@ -21,6 +21,7 @@ The injector is duck-typed against the cluster (it only calls
 exposing those methods can be fault-tested.
 """
 
+from repro.faults.injector import FaultInjector
 from repro.faults.schedule import (
     CRASH,
     FAULT_KINDS,
@@ -33,7 +34,6 @@ from repro.faults.schedule import (
     FaultAction,
     FaultSchedule,
 )
-from repro.faults.injector import FaultInjector
 
 __all__ = [
     "CRASH",

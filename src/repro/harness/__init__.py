@@ -6,15 +6,15 @@ cluster, drives the workload, and returns structured results; the
 print the paper's rows next to the measured ones.
 """
 
+from repro.harness.charts import line_chart
 from repro.harness.experiment import (
     DeviationCurve,
     ScalabilityPoint,
     run_deviation_experiment,
+    run_isolation,
     run_scalability,
     run_spare_allocation,
-    run_isolation,
 )
-from repro.harness.charts import line_chart
 from repro.harness.rdn_cost import RDNCostModel
 from repro.harness.recorder import Recorder
 from repro.harness.sweep import Sweep, SweepPoint

@@ -47,6 +47,7 @@ from repro.proxy.http import (
 )
 from repro.proxy.splice import relay_exactly
 from repro.resources import ResourceVector
+from repro.telemetry.registry import get_registry
 
 
 @dataclass
@@ -137,6 +138,14 @@ class GageProxy:
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
+        registry = get_registry()
+        self._tm_connect_latency = registry.histogram("repro.proxy.connect_latency_s")
+        self._tm_response_latency = registry.histogram("repro.proxy.response_latency_s")
+        self._tm_retries = registry.counter("repro.proxy.retries")
+        self._tm_shed = registry.counter("repro.proxy.shed_requests")
+        self._tm_timeouts = registry.counter("repro.proxy.timeouts")
+        self._tm_ejections = registry.counter("repro.proxy.ejections")
+        self._tm_readmissions = registry.counter("repro.proxy.readmissions")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,6 +186,7 @@ class GageProxy:
         while not self._stopping:
             await asyncio.sleep(self.config.scheduling_cycle_s)
             self.scheduler.run_cycle()
+            get_registry().tick()
             if not self.node_scheduler.up_nodes():
                 self._shed_queued()
 
@@ -192,6 +202,7 @@ class GageProxy:
             while queue.backlogged:
                 pending = queue.take()
                 self.stats.shed_no_backend += 1
+                self._tm_shed.inc()
                 self.failures.record(
                     self._now(), REQUEST_SHED, pending.subscriber
                 )
@@ -254,6 +265,7 @@ class GageProxy:
             # only delay the inevitable — fail fast and tell the client
             # when to come back.
             self.stats.shed_no_backend += 1
+            self._tm_shed.inc()
             self.failures.record(self._now(), REQUEST_SHED, subscriber)
             await self._refuse(
                 writer, 503, "Service Unavailable", retry_after_s=self._retry_after_s()
@@ -324,19 +336,23 @@ class GageProxy:
         tried: Set[str] = set()
         current = backend_id
         connection = None
+        started = self._now()
         for attempt in range(2):
             tried.add(current)
             try:
+                connect_started = self._now()
                 connection = await asyncio.wait_for(
                     asyncio.open_connection(*self.backends[current]),
                     timeout=self.config.proxy_connect_timeout_s,
                 )
+                self._tm_connect_latency.observe(self._now() - connect_started)
                 break
             except (OSError, asyncio.TimeoutError):
                 self._note_backend_failure(current)
                 alternate = self._pick_alternate(tried)
                 if attempt == 0 and alternate is not None:
                     self.stats.retried += 1
+                    self._tm_retries.inc()
                     await asyncio.sleep(
                         self.config.proxy_retry_backoff_s * (2 ** attempt)
                     )
@@ -369,6 +385,7 @@ class GageProxy:
                 )
             except asyncio.TimeoutError:
                 self.stats.timed_out += 1
+                self._tm_timeouts.inc()
                 self.stats.failed += 1
                 self._note_backend_failure(current)
                 self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
@@ -387,12 +404,14 @@ class GageProxy:
                 # The response head already reached the client, so no
                 # error status can follow; just cut the stalled transfer.
                 self.stats.timed_out += 1
+                self._tm_timeouts.inc()
                 self.stats.failed += 1
                 self._note_backend_failure(current)
                 self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
                 return
             await client_writer.drain()
             self.stats.completed += 1
+            self._tm_response_latency.observe(self._now() - started)
             self.stats.bytes_relayed += relayed
             usage = (
                 ResourceVector(*usage_triple)
@@ -434,6 +453,7 @@ class GageProxy:
         ):
             now = self._now()
             self.node_scheduler.mark_down(backend_id, at_s=now)
+            self._tm_ejections.inc()
             self.failures.record(now, BACKEND_EJECTED, backend_id, detail=float(count))
             if backend_id not in self._probing:
                 self._probing.add(backend_id)
@@ -456,6 +476,7 @@ class GageProxy:
                 writer.close()
                 self._consecutive_failures[backend_id] = 0
                 self.node_scheduler.mark_up(backend_id)
+                self._tm_readmissions.inc()
                 self.failures.record(self._now(), BACKEND_READMITTED, backend_id)
                 return
         finally:

@@ -3,17 +3,24 @@
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
+from repro.telemetry.registry import get_registry
 
 #: Priority for events scheduled by ordinary user actions.
 NORMAL_PRIORITY = 1
 #: Priority for kernel-internal events that must run before user events
 #: scheduled at the same instant (e.g. resource bookkeeping).
 URGENT_PRIORITY = 0
+
+#: Telemetry publication period, in processed events.  Power of two so
+#: the hot loop's check is a single mask; the amortized cost per event
+#: is a couple of integer operations.
+_PUBLISH_MASK = 4096 - 1
 
 _HeapItem = Tuple[float, int, int, Event]
 
@@ -36,6 +43,11 @@ class Environment:
         self._heap: List[_HeapItem] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Lifetime count of events processed by :meth:`step`.
+        self.events_dispatched = 0
+        #: Largest heap depth seen (telemetry: scheduling pressure).
+        self.queue_depth_peak = 0
+        self._events_published = 0
 
     def __repr__(self) -> str:
         return "<Environment t={:.6f} pending={}>".format(self._now, len(self._heap))
@@ -96,6 +108,12 @@ class Environment:
         """Process exactly one event from the heap."""
         if not self._heap:
             raise SimulationError("no events scheduled")
+        depth = len(self._heap)
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+        self.events_dispatched += 1
+        if not (self.events_dispatched & _PUBLISH_MASK):
+            self._publish_telemetry()
         when, _priority, _seq, event = heapq.heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
@@ -133,21 +151,55 @@ class Environment:
                 raise SimulationError(
                     "until={} is in the past (now={})".format(stop_at, self._now)
                 )
+        sim_start = self._now
+        wall_start = time.perf_counter()
         try:
-            while self._heap:
-                if stop_at is not None and self.peek() > stop_at:
-                    self._now = stop_at
-                    return None
-                self.step()
-        except StopSimulation as stop:
-            return stop.value
-        if wait_event is not None and not wait_event.processed:
-            raise SimulationError(
-                "run(until=event) finished before the event triggered"
-            )
-        if stop_at is not None:
-            self._now = stop_at
-        return None
+            try:
+                while self._heap:
+                    if stop_at is not None and self.peek() > stop_at:
+                        self._now = stop_at
+                        return None
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            if wait_event is not None and not wait_event.processed:
+                raise SimulationError(
+                    "run(until=event) finished before the event triggered"
+                )
+            if stop_at is not None:
+                self._now = stop_at
+            return None
+        finally:
+            self._note_run_speed(sim_start, wall_start)
+
+    def _note_run_speed(self, sim_start: float, wall_start: float) -> None:
+        """Publish the virtual-vs-wall time ratio of the finished run."""
+        wall_elapsed = time.perf_counter() - wall_start
+        sim_elapsed = self._now - sim_start
+        if wall_elapsed <= 0 or sim_elapsed <= 0:
+            return
+        get_registry().gauge("repro.sim.virtual_wall_ratio").set(
+            sim_elapsed / wall_elapsed
+        )
+        self._publish_telemetry()
+
+    def _publish_telemetry(self) -> None:
+        """Sync the cheap in-object counters into the metric registry.
+
+        Runs every ``_PUBLISH_MASK + 1`` processed events (and at the end
+        of each :meth:`run`), so the per-event hot path stays at plain
+        integer arithmetic while snapshots remain fresh.
+        """
+        registry = get_registry()
+        delta = self.events_dispatched - self._events_published
+        if delta:
+            registry.counter("repro.sim.events_dispatched").inc(delta)
+            self._events_published = self.events_dispatched
+        registry.gauge("repro.sim.queue_depth").set(len(self._heap))
+        peak = registry.gauge("repro.sim.queue_depth_peak")
+        if self.queue_depth_peak > peak.value:
+            peak.set(self.queue_depth_peak)
+        registry.tick()
 
     @staticmethod
     def _stop_on_event(event: Event) -> None:

@@ -33,7 +33,7 @@ class RandomStreams:
         """
         if name not in self._streams:
             digest = hashlib.sha256(
-                "{}:{}".format(self._seed, name).encode("utf-8")
+                "{}:{}".format(self._seed, name).encode()
             ).digest()
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
@@ -41,6 +41,6 @@ class RandomStreams:
     def fork(self, name: str) -> "RandomStreams":
         """Derive a child factory whose streams are independent of ours."""
         digest = hashlib.sha256(
-            "fork:{}:{}".format(self._seed, name).encode("utf-8")
+            "fork:{}:{}".format(self._seed, name).encode()
         ).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,74 @@
+"""``repro.telemetry`` — dependency-free metrics, tracing, and sinks.
+
+The observability layer every paper metric is derived from: counters,
+gauges, fixed-bucket histograms, and a span tracer, all registered in a
+process-wide :class:`MetricRegistry` with pluggable sinks (in-memory,
+JSONL, one-line console reporter).
+
+Metric names follow ``repro.<layer>.<name>`` (see docs/architecture.md
+§Telemetry).  Recording is always on and near-free; *exporting* only
+happens through explicitly attached sinks, and attaching sinks never
+changes simulation results — determinism is tested, not promised.
+
+Quick use::
+
+    from repro import telemetry
+
+    telemetry.counter("repro.demo.widgets").inc()
+    telemetry.get_registry().add_sink(telemetry.JSONLSink("run.jsonl"))
+    telemetry.get_registry().flush(now=env.now)
+    telemetry.reset()  # between tests
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    exponential_buckets,
+    label_key,
+)
+from repro.telemetry.registry import (
+    MetricRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    reset,
+    set_registry,
+)
+from repro.telemetry.sinks import (
+    ConsoleReporter,
+    InMemorySink,
+    JSONLSink,
+    Sink,
+    read_jsonl,
+)
+from repro.telemetry.tracer import Span, Tracer, sim_tracer, wall_tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "ConsoleReporter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JSONLSink",
+    "Metric",
+    "MetricRegistry",
+    "Sink",
+    "Span",
+    "Tracer",
+    "counter",
+    "exponential_buckets",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "label_key",
+    "read_jsonl",
+    "reset",
+    "set_registry",
+    "sim_tracer",
+    "wall_tracer",
+]

@@ -1,0 +1,223 @@
+"""Metric primitives: counters, gauges, and fixed-bucket histograms.
+
+Every metric is a plain in-process object — recording is a couple of
+attribute updates, never an allocation of simulation events, a read of
+the random stream, or any other interaction with the system under
+observation.  That property is load-bearing: the determinism tests
+assert that a fixed-seed simulation produces byte-identical accounting
+output with telemetry sinks on and off.
+
+Names follow the ``repro.<layer>.<name>`` convention (see
+docs/architecture.md §Telemetry); an optional label set distinguishes
+instances of the same metric (e.g. one queue-occupancy gauge per
+subscriber).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, str]) -> LabelPairs:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> List[float]:
+    """``count`` bucket upper bounds growing geometrically from ``start``."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    edge = float(start)
+    for _ in range(count):
+        bounds.append(edge)
+        edge *= factor
+    return bounds
+
+
+#: Default span/latency bucket bounds: 1 us .. ~16 s, powers of four.
+DEFAULT_LATENCY_BUCKETS_S = exponential_buckets(1e-6, 4.0, 13)
+
+
+class Metric:
+    """Common identity of every metric instance."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
+
+    def __repr__(self) -> str:
+        return "<{} {}{}>".format(
+            type(self).__name__, self.name, self.labels or ""
+        )
+
+    @property
+    def full_name(self) -> str:
+        """Name plus rendered labels, e.g. ``repro.q.depth{site=s1}``."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(
+            "{}={}".format(k, v) for k, v in sorted(self.labels.items())
+        )
+        return "{}{{{}}}".format(self.name, rendered)
+
+    def value_dict(self) -> Dict[str, object]:
+        """The metric's current value(s) as plain JSON-able data."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero the metric in place (registered instances stay valid)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up (amount={})".format(amount))
+        self.value += amount
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(Metric):
+    """A value that can go up and down; remembers its extremes."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.max_seen = float("-inf")
+        self.min_seen = float("inf")
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value < self.min_seen:
+            self.min_seen = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta``."""
+        self.set(self.value + delta)
+
+    def value_dict(self) -> Dict[str, object]:
+        observed = self.max_seen >= self.min_seen
+        return {
+            "value": self.value,
+            "max": self.max_seen if observed else None,
+            "min": self.min_seen if observed else None,
+        }
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.max_seen = float("-inf")
+        self.min_seen = float("inf")
+
+
+class Histogram(Metric):
+    """Fixed-boundary histogram with sum/count/min/max.
+
+    ``bounds`` are upper bucket edges; an observation lands in the first
+    bucket whose bound is >= the value, or in the implicit overflow
+    bucket past the last bound.  Bucket boundaries are frozen at
+    construction so snapshots from different runs are always comparable.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(name, labels)
+        chosen = list(bounds) if bounds is not None else list(DEFAULT_LATENCY_BUCKETS_S)
+        if not chosen:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(chosen) != chosen:
+            raise ValueError("bucket bounds must be sorted ascending")
+        if len(set(chosen)) != len(chosen):
+            raise ValueError("bucket bounds must be distinct")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in chosen)
+        #: One slot per bound plus the overflow bucket.
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min_seen = float("inf")
+        self.max_seen = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket counts.
+
+        Returns the upper bound of the bucket containing the q-th
+        observation (the last finite bound for the overflow bucket);
+        0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_seen
+        return self.max_seen
+
+    def value_dict(self) -> Dict[str, object]:
+        observed = self.count > 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min_seen if observed else None,
+            "max": self.max_seen if observed else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min_seen = float("inf")
+        self.max_seen = float("-inf")

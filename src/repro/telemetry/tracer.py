@@ -1,0 +1,123 @@
+"""Span-based tracing keyed on sim-time or wall-time.
+
+A :class:`Tracer` is bound to a clock — ``lambda: env.now`` for
+simulated time, :func:`time.perf_counter` for wall time — and produces
+:class:`Span` objects.  Closing a span records its duration into a
+histogram named after the span and, when the registry has sinks, emits
+one event per span so JSONL traces can be reconstructed offline.
+
+Spans never touch the clock they are *measuring with* beyond reading
+it, and reading ``env.now`` schedules nothing — tracing a simulation
+cannot perturb it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.registry import MetricRegistry, get_registry
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """One timed operation; use as a context manager or call :meth:`end`."""
+
+    __slots__ = ("tracer", "name", "labels", "started_at", "ended_at")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, labels: Dict[str, str], started_at: float
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.labels = labels
+        self.started_at = started_at
+        self.ended_at: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Span length; 0 while still open."""
+        if self.ended_at is None:
+            return 0.0
+        return self.ended_at - self.started_at
+
+    def end(self) -> float:
+        """Close the span, record it, and return the duration."""
+        if self.ended_at is not None:
+            return self.duration
+        self.ended_at = self.tracer.clock()
+        self.tracer._record(self)
+        return self.duration
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end()
+
+
+class Tracer:
+    """Produces spans against one clock, recording into one registry."""
+
+    def __init__(
+        self,
+        clock: Clock = time.perf_counter,
+        registry: Optional[MetricRegistry] = None,
+        bounds: Optional[Sequence[float]] = None,
+        clock_name: str = "wall",
+    ) -> None:
+        self.clock = clock
+        self.clock_name = clock_name
+        self._registry = registry
+        self._bounds = list(bounds) if bounds is not None else None
+        self.spans_recorded = 0
+
+    @property
+    def registry(self) -> MetricRegistry:
+        """The bound registry, or the process default."""
+        return self._registry if self._registry is not None else get_registry()
+
+    def span(self, name: str, **labels: str) -> Span:
+        """Open a span starting now."""
+        return Span(self, name, labels, self.clock())
+
+    def histogram_for(self, name: str, **labels: str) -> Histogram:
+        """The histogram a span named ``name`` records into."""
+        return self.registry.histogram(name, bounds=self._bounds, **labels)
+
+    def _record(self, span: Span) -> None:
+        self.spans_recorded += 1
+        self.histogram_for(span.name, **span.labels).observe(span.duration)
+        registry = self.registry
+        if registry.sinks:
+            event = {
+                "event": "span",
+                "name": span.name,
+                "clock": self.clock_name,
+                "start": span.started_at,
+                "end": span.ended_at,
+                "duration": span.duration,
+            }
+            if span.labels:
+                event["labels"] = dict(span.labels)
+            registry.emit(event)
+
+
+def sim_tracer(
+    env, registry: Optional[MetricRegistry] = None, bounds: Optional[Sequence[float]] = None
+) -> Tracer:
+    """A tracer keyed on a simulation environment's virtual clock."""
+    return Tracer(
+        clock=lambda: env.now, registry=registry, bounds=bounds, clock_name="sim"
+    )
+
+
+def wall_tracer(
+    registry: Optional[MetricRegistry] = None, bounds: Optional[Sequence[float]] = None
+) -> Tracer:
+    """A tracer keyed on the process's monotonic wall clock."""
+    return Tracer(
+        clock=time.perf_counter, registry=registry, bounds=bounds, clock_name="wall"
+    )

@@ -1,0 +1,14 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+from repro.telemetry import registry as telemetry_registry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Isolate every test's metrics: the process-wide registry is shared,
+    so counters bumped by one test must never leak into the next."""
+    telemetry_registry.reset()
+    yield
+    telemetry_registry.reset()

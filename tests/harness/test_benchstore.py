@@ -1,0 +1,138 @@
+"""Benchstore documents and the bench_compare gating script."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.benchstore import (
+    SCHEMA,
+    load_suite,
+    percentile,
+    suite_document,
+    validate_suite,
+    write_suite,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
+
+
+def record(name, median, extra=None):
+    return {
+        "name": name,
+        "group": None,
+        "rounds": 5,
+        "median_s": median,
+        "p95_s": median * 1.2,
+        "mean_s": median * 1.05,
+        "min_s": median * 0.9,
+        "max_s": median * 1.3,
+        "extra_info": extra or {},
+    }
+
+
+class TestPercentile:
+    def test_median_and_extremes(self):
+        data = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(data, 0.5) == 3.0
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 5.0
+
+    def test_interpolates(self):
+        assert percentile([1.0, 2.0], 0.5) == 1.5
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSuiteDocuments:
+    def test_write_load_round_trip(self, tmp_path):
+        path = write_suite(str(tmp_path), "demo", [record("test_a", 0.01)])
+        assert os.path.basename(path) == "BENCH_demo.json"
+        doc = load_suite(path)
+        assert doc["schema"] == SCHEMA
+        assert doc["suite"] == "demo"
+        assert doc["benchmarks"]["test_a"]["median_s"] == 0.01
+        assert "python" in doc["environment"]
+
+    def test_validate_rejects_wrong_schema(self):
+        doc = suite_document("demo", [record("test_a", 0.01)])
+        doc["schema"] = "repro.bench/999"
+        with pytest.raises(ValueError):
+            validate_suite(doc)
+
+    def test_validate_rejects_missing_stats(self):
+        bad = record("test_a", 0.01)
+        del bad["median_s"]
+        doc = suite_document("demo", [bad])
+        with pytest.raises(ValueError):
+            validate_suite(doc)
+
+
+def run_compare(*args):
+    return subprocess.run(
+        [sys.executable, COMPARE, *args], capture_output=True, text=True
+    )
+
+
+class TestBenchCompare:
+    def test_identical_inputs_exit_zero(self, tmp_path):
+        path = write_suite(
+            str(tmp_path), "demo", [record("test_a", 0.01, {"figure": 5.0})]
+        )
+        result = run_compare(path, path)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "within tolerance" in result.stdout
+
+    def test_timing_regression_fails(self, tmp_path):
+        old = write_suite(str(tmp_path / "old"), "demo", [record("test_a", 0.01)])
+        new = write_suite(str(tmp_path / "new"), "demo", [record("test_a", 0.02)])
+        result = run_compare(old, new, "--tolerance", "0.2")
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_speedup_within_tolerance(self, tmp_path):
+        old = write_suite(str(tmp_path / "old"), "demo", [record("test_a", 0.02)])
+        new = write_suite(str(tmp_path / "new"), "demo", [record("test_a", 0.005)])
+        assert run_compare(old, new).returncode == 0
+
+    def test_extra_info_drift_fails(self, tmp_path):
+        old = write_suite(
+            str(tmp_path / "old"), "demo", [record("test_a", 0.01, {"figure": 5.0})]
+        )
+        new = write_suite(
+            str(tmp_path / "new"), "demo", [record("test_a", 0.01, {"figure": 9.0})]
+        )
+        result = run_compare(old, new, "--tolerance", "0.2")
+        assert result.returncode == 1
+        assert "drifted" in result.stdout
+
+    def test_missing_benchmark_fails(self, tmp_path):
+        old = write_suite(
+            str(tmp_path / "old"),
+            "demo",
+            [record("test_a", 0.01), record("test_b", 0.01)],
+        )
+        new = write_suite(str(tmp_path / "new"), "demo", [record("test_a", 0.01)])
+        result = run_compare(old, new)
+        assert result.returncode == 1
+        assert "missing from NEW" in result.stdout
+
+    def test_directory_mode(self, tmp_path):
+        old_dir, new_dir = str(tmp_path / "old"), str(tmp_path / "new")
+        write_suite(old_dir, "one", [record("test_a", 0.01)])
+        write_suite(new_dir, "one", [record("test_a", 0.011)])
+        assert run_compare(old_dir, new_dir).returncode == 0
+
+    def test_invalid_document_exits_two(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        good = write_suite(str(tmp_path / "ok"), "demo", [record("test_a", 0.01)])
+        result = run_compare(str(bad), good)
+        assert result.returncode == 2

@@ -1,0 +1,135 @@
+"""Metric primitives: counters, gauges, histogram bucket semantics."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    exponential_buckets,
+    label_key,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("repro.test.count")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("repro.test.count")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_reset(self):
+        counter = Counter("repro.test.count")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        gauge = Gauge("repro.test.depth")
+        gauge.set(4.0)
+        gauge.set(-2.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.max_seen == 4.0
+        assert gauge.min_seen == -2.0
+
+    def test_add_adjusts(self):
+        gauge = Gauge("repro.test.depth")
+        gauge.add(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+
+    def test_value_dict_before_any_set(self):
+        values = Gauge("repro.test.depth").value_dict()
+        assert values == {"value": 0.0, "max": None, "min": None}
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Bounds are inclusive upper edges: an observation exactly equal
+        # to a bound belongs to that bound's bucket, not the next one.
+        hist = Histogram("repro.test.latency", bounds=[1.0, 2.0, 4.0])
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.buckets == [1, 1, 1, 0]
+
+    def test_below_first_and_above_last(self):
+        hist = Histogram("repro.test.latency", bounds=[1.0, 2.0])
+        hist.observe(0.5)   # first bucket
+        hist.observe(1.5)   # second bucket
+        hist.observe(99.0)  # overflow bucket
+        assert hist.buckets == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.min_seen == 0.5
+        assert hist.max_seen == 99.0
+
+    def test_bounds_must_be_sorted_and_distinct(self):
+        with pytest.raises(ValueError):
+            Histogram("repro.test.bad", bounds=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("repro.test.bad", bounds=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("repro.test.bad", bounds=[])
+
+    def test_mean_and_sum(self):
+        hist = Histogram("repro.test.latency", bounds=[10.0])
+        assert hist.mean == 0.0
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.sum == 4.0
+        assert hist.mean == 2.0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        hist = Histogram("repro.test.latency", bounds=[1.0, 2.0, 4.0])
+        for value in [0.5, 0.6, 0.7, 0.8, 3.0]:
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.0) == 1.0
+
+    def test_quantile_overflow_bucket_reports_max_seen(self):
+        hist = Histogram("repro.test.latency", bounds=[1.0])
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 50.0
+
+    def test_quantile_empty_and_bad_q(self):
+        hist = Histogram("repro.test.latency", bounds=[1.0])
+        assert hist.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_reset_keeps_bounds(self):
+        hist = Histogram("repro.test.latency", bounds=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.buckets == [0, 0, 0]
+        assert hist.bounds == (1.0, 2.0)
+
+
+def test_exponential_buckets():
+    assert exponential_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+    with pytest.raises(ValueError):
+        exponential_buckets(0.0, 2.0, 4)
+    with pytest.raises(ValueError):
+        exponential_buckets(1.0, 1.0, 4)
+
+
+def test_label_key_is_order_insensitive():
+    assert label_key({"b": "2", "a": "1"}) == label_key({"a": "1", "b": "2"})
+    assert label_key({}) == ()
+
+
+def test_full_name_renders_sorted_labels():
+    gauge = Gauge("repro.test.depth", labels={"site": "s1", "kind": "web"})
+    assert gauge.full_name == "repro.test.depth{kind=web,site=s1}"
+    assert Counter("repro.test.plain").full_name == "repro.test.plain"

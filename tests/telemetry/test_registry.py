@@ -1,0 +1,123 @@
+"""Registry get-or-create semantics, sinks, snapshots, reset."""
+
+import pytest
+
+from repro.telemetry import (
+    InMemorySink,
+    MetricRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry import registry as registry_module
+
+
+class TestGetOrCreate:
+    def test_same_name_same_instance(self):
+        registry = MetricRegistry()
+        assert registry.counter("repro.x") is registry.counter("repro.x")
+
+    def test_labels_distinguish_instances(self):
+        registry = MetricRegistry()
+        a = registry.gauge("repro.q", subscriber="site1")
+        b = registry.gauge("repro.q", subscriber="site2")
+        assert a is not b
+        assert registry.gauge("repro.q", subscriber="site1") is a
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.counter("repro.x")
+        with pytest.raises(TypeError):
+            registry.gauge("repro.x")
+        with pytest.raises(TypeError):
+            registry.histogram("repro.x")
+
+    def test_histogram_bounds_frozen_at_creation(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("repro.h", bounds=[1.0, 2.0])
+        again = registry.histogram("repro.h", bounds=[9.0])
+        assert again is hist
+        assert hist.bounds == (1.0, 2.0)
+
+    def test_get_does_not_create(self):
+        registry = MetricRegistry()
+        assert registry.get("repro.absent") is None
+        assert len(registry) == 0
+
+
+def test_metrics_listing_sorted_and_filtered():
+    registry = MetricRegistry()
+    registry.counter("repro.b.two")
+    registry.counter("repro.a.one")
+    registry.gauge("other.metric")
+    names = [metric.full_name for metric in registry.metrics()]
+    assert names == ["other.metric", "repro.a.one", "repro.b.two"]
+    assert [m.full_name for m in registry.metrics(prefix="repro.")] == [
+        "repro.a.one",
+        "repro.b.two",
+    ]
+
+
+def test_snapshot_and_flush_fan_out():
+    registry = MetricRegistry(name="test")
+    registry.counter("repro.x").inc(3)
+    sink = registry.add_sink(InMemorySink())
+    snapshot = registry.flush(now=12.5)
+    assert registry.flushes == 1
+    assert snapshot["registry"] == "test"
+    assert snapshot["at"] == 12.5
+    assert snapshot["metrics"]["repro.x"]["value"] == 3.0
+    assert sink.snapshots == [snapshot]
+
+
+def test_emit_reaches_every_sink():
+    registry = MetricRegistry()
+    first, second = InMemorySink(), InMemorySink()
+    registry.add_sink(first)
+    registry.add_sink(second)
+    registry.emit({"event": "node_down", "target": "rpn3"})
+    assert first.events == second.events == [{"event": "node_down", "target": "rpn3"}]
+    registry.remove_sink(second)
+    registry.emit({"event": "node_up", "target": "rpn3"})
+    assert len(first.events) == 2
+    assert len(second.events) == 1
+
+
+def test_reset_clears_metrics_and_sinks():
+    registry = MetricRegistry()
+    registry.counter("repro.x").inc()
+    registry.add_sink(InMemorySink())
+    registry.reset()
+    assert len(registry) == 0
+    assert registry.sinks == []
+    assert registry.flushes == 0
+
+
+def test_reset_values_keeps_registrations():
+    registry = MetricRegistry()
+    counter = registry.counter("repro.x")
+    counter.inc(5)
+    registry.reset_values()
+    assert registry.counter("repro.x") is counter
+    assert counter.value == 0.0
+
+
+def test_default_registry_swap_and_reset():
+    original = get_registry()
+    replacement = MetricRegistry(name="swapped")
+    try:
+        previous = set_registry(replacement)
+        assert previous is original
+        assert get_registry() is replacement
+        # Module-level conveniences follow the swap.
+        registry_module.counter("repro.conv").inc()
+        assert replacement.get("repro.conv").value == 1.0
+    finally:
+        set_registry(original)
+    assert get_registry() is original
+
+
+def test_registry_reset_isolates_tests():
+    # The autouse fixture in tests/conftest.py resets the default
+    # registry around every test: whatever instrumented code recorded in
+    # other tests must not be visible here.
+    assert get_registry().get("repro.sim.events_dispatched") is None

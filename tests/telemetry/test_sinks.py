@@ -1,0 +1,100 @@
+"""Sink behavior: JSONL round-trip, console reporter rate limiting."""
+
+import io
+
+from repro.telemetry import (
+    ConsoleReporter,
+    JSONLSink,
+    MetricRegistry,
+    read_jsonl,
+)
+
+
+class TestJSONLSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        registry = MetricRegistry(name="rt")
+        registry.counter("repro.x").inc(2)
+        registry.histogram("repro.h", bounds=[1.0]).observe(0.5)
+        sink = registry.add_sink(JSONLSink(path))
+        registry.flush(now=3.0)
+        registry.emit({"event": "node_down", "target": "rpn1", "at": 3.5})
+        registry.flush(now=4.0)
+        sink.close()
+
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["snapshot", "event", "snapshot"]
+        first, event, second = records
+        assert first["at"] == 3.0
+        assert first["metrics"]["repro.x"] == {"kind": "counter", "value": 2.0}
+        assert first["metrics"]["repro.h"]["count"] == 1
+        assert first["metrics"]["repro.h"]["buckets"] == [1, 0]
+        assert event["target"] == "rpn1"
+        assert second["at"] == 4.0
+        assert sink.lines_written == 3
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        for round_number in range(2):
+            sink = JSONLSink(path)
+            sink.on_event({"round": round_number})
+            sink.close()
+        assert [r["round"] for r in read_jsonl(path)] == [0, 1]
+
+    def test_external_stream_not_closed(self):
+        stream = io.StringIO()
+        sink = JSONLSink(stream)
+        sink.on_event({"event": "mark"})
+        sink.close()
+        # close() must not close a stream it did not open.
+        assert not stream.closed
+        assert '"event": "mark"' in stream.getvalue()
+
+
+class TestConsoleReporter:
+    def test_rate_limited_by_wall_clock(self):
+        fake_now = [0.0]
+        out = io.StringIO()
+        reporter = ConsoleReporter(
+            interval_s=1.0, stream=out, clock=lambda: fake_now[0]
+        )
+        registry = MetricRegistry()
+        registry.counter("repro.x").inc(4)
+        registry.add_sink(reporter)
+
+        for _ in range(100):
+            registry.tick()  # same instant: nothing printed
+        assert reporter.reports == 0
+
+        fake_now[0] = 1.5
+        registry.tick()
+        assert reporter.reports == 1
+        registry.tick()  # interval not elapsed again
+        assert reporter.reports == 1
+
+        fake_now[0] = 3.0
+        registry.tick()
+        assert reporter.reports == 2
+        lines = out.getvalue().strip().splitlines()
+        assert lines == ["[telemetry] repro.x=4"] * 2
+
+    def test_prefix_filter_and_field_cap(self):
+        fake_now = [10.0]
+        out = io.StringIO()
+        reporter = ConsoleReporter(
+            interval_s=1.0,
+            prefixes=("repro.core.",),
+            max_fields=2,
+            stream=out,
+            clock=lambda: fake_now[0],
+        )
+        registry = MetricRegistry()
+        registry.counter("repro.core.a").inc()
+        registry.counter("repro.core.b").inc()
+        registry.counter("repro.core.c").inc()
+        registry.counter("repro.sim.hidden").inc()
+        registry.add_sink(reporter)
+        fake_now[0] = 20.0
+        registry.tick()
+        line = out.getvalue().strip()
+        assert line == "[telemetry] repro.core.a=1 repro.core.b=1"

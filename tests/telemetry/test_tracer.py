@@ -1,0 +1,62 @@
+"""Tracer spans on simulated and wall clocks."""
+
+from repro.sim import Environment
+from repro.telemetry import InMemorySink, MetricRegistry, sim_tracer, wall_tracer
+
+
+def test_sim_span_measures_virtual_time():
+    env = Environment()
+    registry = MetricRegistry()
+    tracer = sim_tracer(env, registry=registry, bounds=[0.1, 1.0, 10.0])
+
+    def proc():
+        with tracer.span("repro.test.op", site="s1"):
+            yield env.timeout(0.5)
+
+    env.process(proc())
+    env.run(until=2.0)
+
+    hist = registry.get("repro.test.op", site="s1")
+    assert hist is not None
+    assert hist.count == 1
+    assert abs(hist.sum - 0.5) < 1e-12
+    assert hist.buckets == [0, 1, 0, 0]
+    assert tracer.spans_recorded == 1
+
+
+def test_span_end_is_idempotent():
+    env = Environment()
+    registry = MetricRegistry()
+    tracer = sim_tracer(env, registry=registry)
+    span = tracer.span("repro.test.op")
+    first = span.end()
+    assert span.end() == first
+    assert registry.get("repro.test.op").count == 1
+
+
+def test_span_events_emitted_only_with_sinks():
+    env = Environment()
+    registry = MetricRegistry()
+    tracer = sim_tracer(env, registry=registry)
+    tracer.span("repro.test.quiet").end()
+
+    sink = registry.add_sink(InMemorySink())
+    with tracer.span("repro.test.loud", site="s1"):
+        pass
+    assert len(sink.events) == 1
+    event = sink.events[0]
+    assert event["event"] == "span"
+    assert event["name"] == "repro.test.loud"
+    assert event["clock"] == "sim"
+    assert event["labels"] == {"site": "s1"}
+
+
+def test_wall_tracer_measures_real_time():
+    registry = MetricRegistry()
+    tracer = wall_tracer(registry=registry)
+    with tracer.span("repro.test.wall"):
+        pass
+    hist = registry.get("repro.test.wall")
+    assert hist.count == 1
+    assert hist.sum >= 0.0
+    assert tracer.clock_name == "wall"
