@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Profile a named benchmark scenario and print its hot spots.
+
+Usage::
+
+    python scripts/profile_run.py SCENARIO [--top 25] [--sort cumulative]
+                                  [--out profile.pstats]
+
+Runs one of the named scenarios below under :mod:`cProfile` and prints
+the top-N entries, so a performance PR starts from data rather than
+guesses.  ``--out`` additionally saves the raw stats for later digging
+with ``pstats`` or ``snakeviz``.
+
+Scenarios mirror the benchmark suites: ``fig3-synthetic`` and
+``fig3-specweb`` are the Figure 3 deviation runs, ``golden`` is the
+committed golden-digest configuration, and ``engine`` is a pure
+event-loop stress (no cluster) isolating the simulator core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import os
+
+# The script must run from a checkout without installation.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def scenario_fig3_synthetic():
+    from repro.harness import run_deviation_experiment
+
+    run_deviation_experiment(
+        accounting_cycle_s=2.0, workload="synthetic", duration_s=20.0
+    )
+
+
+def scenario_fig3_specweb():
+    from repro.harness import run_deviation_experiment
+
+    run_deviation_experiment(
+        accounting_cycle_s=2.0, workload="specweb", duration_s=20.0
+    )
+
+
+def scenario_golden():
+    from repro.harness import golden_fig3_digest
+
+    golden_fig3_digest()
+
+
+def scenario_engine():
+    from repro.sim import Environment
+
+    env = Environment()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 400_000:
+            env.call_later(0.001, tick)
+
+    env.call_later(0.0, tick)
+    env.run()
+
+
+SCENARIOS = {
+    "fig3-synthetic": scenario_fig3_synthetic,
+    "fig3-specweb": scenario_fig3_specweb,
+    "golden": scenario_golden,
+    "engine": scenario_engine,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    parser.add_argument(
+        "--top", type=int, default=25, help="entries to print (default 25)"
+    )
+    parser.add_argument(
+        "--sort",
+        choices=SORT_KEYS,
+        default="cumulative",
+        help="stat column to rank by (default cumulative)",
+    )
+    parser.add_argument(
+        "--out", help="also dump raw pstats data to this path"
+    )
+    args = parser.parse_args(argv)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    SCENARIOS[args.scenario]()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("raw stats written to {}".format(args.out))
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,14 +5,29 @@ the amount of time that each physical disk I/O takes and charges it to the
 thread that issues the disk I/O request" (§3.5).  The channel services one
 I/O at a time (FIFO); each I/O costs a positioning overhead plus a
 size-proportional transfer time.
+
+The channel is driven by completion callbacks rather than a simulated
+process per I/O: a request either starts service immediately or joins the
+FIFO, and each I/O costs exactly one scheduled event.  Charge order and
+completion times match the process-per-I/O implementation bit for bit.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.cluster.procs import SimProcess
 from repro.sim.engine import Environment
 from repro.sim.events import Event
-from repro.sim.resources import Resource
+
+
+class _IO:
+    __slots__ = ("proc", "duration", "done")
+
+    def __init__(self, proc: SimProcess, duration: float, done: Event) -> None:
+        self.proc = proc
+        self.duration = duration
+        self.done = done
 
 
 class Disk:
@@ -39,10 +54,11 @@ class Disk:
         self.env = env
         self.seek_s = float(seek_s)
         self.transfer_bps = float(transfer_bps)
-        self._channel = Resource(env, capacity=1)
         self.busy_s = 0.0
         self.io_count = 0
         self._started_at = env.now
+        self._in_service = False
+        self._pending: List[_IO] = []
 
     def __repr__(self) -> str:
         return "<Disk ios={} busy={:.3f}s>".format(self.io_count, self.busy_s)
@@ -65,24 +81,36 @@ class Disk:
 
     @property
     def queue_length(self) -> int:
-        """I/Os waiting for the channel."""
-        return self._channel.queue_length
+        """I/Os waiting for the channel (excludes the one in service)."""
+        return len(self._pending)
 
     def read(self, proc: SimProcess, nbytes: int) -> Event:
         """Issue a read of ``nbytes`` charged to ``proc``.
 
-        Returns the event of a process performing the I/O; wait on it with
-        ``yield disk.read(...)``.
+        Returns an event that fires when the I/O completes; wait on it
+        with ``yield disk.read(...)``.
         """
         if nbytes < 0:
             raise ValueError("negative read size")
-        return self.env.process(self._io(proc, nbytes))
+        io = _IO(proc, self.io_time(nbytes), Event(self.env))
+        if self._in_service:
+            self._pending.append(io)
+        else:
+            self._start(io)
+        return io.done
 
-    def _io(self, proc: SimProcess, nbytes: int):
-        with self._channel.request() as slot:
-            yield slot
-            duration = self.io_time(nbytes)
-            yield self.env.timeout(duration)
-            proc.charge_disk(duration)
-            self.busy_s += duration
-            self.io_count += 1
+    # -- internal -------------------------------------------------------
+
+    def _start(self, io: _IO) -> None:
+        self._in_service = True
+        self.env.call_later(io.duration, self._complete, io)
+
+    def _complete(self, io: _IO) -> None:
+        io.proc.charge_disk(io.duration)
+        self.busy_s += io.duration
+        self.io_count += 1
+        io.done.succeed(None)
+        if self._pending:
+            self._start(self._pending.pop(0))
+        else:
+            self._in_service = False

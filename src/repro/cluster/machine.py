@@ -57,6 +57,17 @@ class Machine:
             self.name, len(self.nics), len(self.procs)
         )
 
+    def settle_accounting(self) -> None:
+        """Flush lazily-batched resource charges up to the current instant.
+
+        The CPU (and any future resource that batches its bookkeeping)
+        defers per-slice charges while a single task runs uncontended;
+        anything about to read per-process usage — the §3.5 accounting
+        walk, a restart resync — must settle first so the numbers are
+        exactly what slice-by-slice charging would have produced.
+        """
+        self.cpu.settle()
+
     def telemetry_sample(self) -> None:
         """Export the current CPU/disk utilization to the metric registry.
 

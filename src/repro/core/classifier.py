@@ -39,6 +39,16 @@ class Classification:
 #: Extracts the service-specific subscriber key from a request payload.
 HostExtractor = Callable[[object], Optional[str]]
 
+#: Shared verdicts for the two subscriber-less classes.  Classification
+#: is a frozen value object compared via ``packet_class``, so every
+#: caller can receive the same instance; building a frozen dataclass per
+#: packet was a measurable slice of the per-packet budget.
+_HANDSHAKE = Classification(PacketClass.HANDSHAKE)
+_OTHER = Classification(PacketClass.OTHER)
+#: Raw SYN bit: ``IntFlag.__and__`` allocates an enum member per check,
+#: which would dominate the per-packet classification budget.
+_SYN_BIT = TCPFlags.SYN._value_
+
 
 def web_host_extractor(payload: object) -> Optional[str]:
     """The web-service instance: the Host: part of the URL request."""
@@ -51,6 +61,8 @@ class RequestClassifier:
     def __init__(self, host_extractor: HostExtractor = web_host_extractor) -> None:
         self._host_extractor = host_extractor
         self._subscribers: Dict[str, str] = {}
+        #: subscriber name -> its (immutable, shareable) REQUEST verdict.
+        self._request_verdicts: Dict[str, Classification] = {}
         self.classified = 0
         self.unknown_subscriber = 0
 
@@ -75,19 +87,20 @@ class RequestClassifier:
     def classify(self, packet: Packet) -> Classification:
         """Classify one packet per §3.3."""
         self.classified += 1
-        flags = packet.flags
-        if TCPFlags.SYN in flags:
-            return Classification(PacketClass.HANDSHAKE)
+        if packet.flags._value_ & _SYN_BIT:
+            return _HANDSHAKE
         if packet.payload_len > 0:
             subscriber = self.classify_payload(packet.payload)
             if subscriber is not None:
-                return Classification(PacketClass.REQUEST, subscriber=subscriber)
-            return Classification(PacketClass.OTHER)
-        if flags == TCPFlags.ACK:
-            # A bare ACK may complete a handshake the RDN is emulating, or
-            # acknowledge spliced data; the RDN decides by connection
-            # state — at the classification layer it is a handshake-class
-            # packet only if the RDN has a half-open connection for it,
-            # so bare ACKs are reported as OTHER and re-examined there.
-            return Classification(PacketClass.OTHER)
-        return Classification(PacketClass.OTHER)
+                verdict = self._request_verdicts.get(subscriber)
+                if verdict is None:
+                    verdict = Classification(
+                        PacketClass.REQUEST, subscriber=subscriber
+                    )
+                    self._request_verdicts[subscriber] = verdict
+                return verdict
+        # Everything else — including bare ACKs, which may complete a
+        # handshake the RDN is emulating or acknowledge spliced data; the
+        # RDN decides by connection state, so they are reported as OTHER
+        # and re-examined there.
+        return _OTHER

@@ -49,6 +49,10 @@ class UsageEstimator:
         # carry in-progress work in their usage.
         self._usage_acc = ResourceVector.ZERO
         self._count_acc = 0.0
+        #: Memoized EWMA prediction; the accumulators change only in
+        #: :meth:`observe_cycle`, but :meth:`predict` runs on every
+        #: dispatch attempt of every scheduling cycle.
+        self._predicted = initial
         self.samples = 0
 
     def __repr__(self) -> str:
@@ -59,9 +63,7 @@ class UsageEstimator:
     def predict(self) -> ResourceVector:
         """The predicted usage of the next request."""
         if self.policy == ESTIMATE_EWMA:
-            if self._count_acc <= 1e-9:
-                return self.initial
-            return self._usage_acc.scaled(1.0 / self._count_acc)
+            return self._predicted
         return self._estimate
 
     def observe(self, usage: ResourceVector) -> None:
@@ -86,10 +88,15 @@ class UsageEstimator:
             return
         self._usage_acc = self._usage_acc.scaled(1 - self.alpha) + usage.scaled(self.alpha)
         self._count_acc = self._count_acc * (1 - self.alpha) + completed * self.alpha
+        if self._count_acc <= 1e-9:
+            self._predicted = self.initial
+        else:
+            self._predicted = self._usage_acc.scaled(1.0 / self._count_acc)
 
     def reset(self) -> None:
         """Forget all samples."""
         self._estimate = self.initial
         self._usage_acc = ResourceVector.ZERO
         self._count_acc = 0.0
+        self._predicted = self.initial
         self.samples = 0

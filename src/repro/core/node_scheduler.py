@@ -96,6 +96,10 @@ class NodeScheduler:
         self._rng = rng or random.Random(0)
         self._nodes: Dict[str, RPNStatus] = {}
         self._rr_index = 0
+        #: Memoized :meth:`total_capacity_per_s`; capacities change only
+        #: on node add / health transitions, but the spare-pool math reads
+        #: the total every scheduling cycle.
+        self._capacity_cache: Optional[ResourceVector] = None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -106,6 +110,7 @@ class NodeScheduler:
             raise RuntimeError("node {!r} already registered".format(rpn_id))
         status = RPNStatus(rpn_id, capacity_per_s)
         self._nodes[rpn_id] = status
+        self._capacity_cache = None
         return status
 
     def node(self, rpn_id: str) -> RPNStatus:
@@ -133,10 +138,13 @@ class NodeScheduler:
         subscribers in reservation proportion — the same path that
         distributes spare in the healthy cluster.
         """
-        total = ResourceVector.ZERO
-        for status in self._nodes.values():
-            if status.up:
-                total = total + status.capacity_per_s
+        total = self._capacity_cache
+        if total is None:
+            total = ResourceVector.ZERO
+            for status in self._nodes.values():
+                if status.up:
+                    total = total + status.capacity_per_s
+            self._capacity_cache = total
         return total
 
     # -- health transitions --------------------------------------------------
@@ -149,6 +157,7 @@ class NodeScheduler:
         status.up = False
         status.down_since = at_s
         status.failures += 1
+        self._capacity_cache = None
         # The predictions behind this load are backed out by the caller
         # (RDNAccounting.forget_rpn); keeping them here would poison the
         # load ranking on re-admission.
@@ -160,6 +169,7 @@ class NodeScheduler:
         status.up = True
         status.down_since = None
         status.outstanding = ResourceVector.ZERO
+        self._capacity_cache = None
 
     # -- selection -----------------------------------------------------------
 
@@ -173,6 +183,26 @@ class NodeScheduler:
         headroom (cluster saturated); the request stays queued for a
         later scheduling cycle.
         """
+        if self.policy == NODES_LEAST_LOAD:
+            # Single pass, no eligibility list: the default policy runs on
+            # every dispatch attempt of every scheduling cycle.  Ties keep
+            # the earliest (registration-order) node, exactly like
+            # ``min(eligible, key=...)`` over the filtered list did.
+            window = self.window_s
+            best = None
+            best_load = 0.0
+            for status in self._nodes.values():
+                if not status.up:
+                    continue
+                capacity = status.capacity_per_s
+                after = status.outstanding + predicted
+                if after.dominant_fraction_of(capacity) > window:
+                    continue
+                load = status.outstanding.dominant_fraction_of(capacity)
+                if best is None or load < best_load:
+                    best = status
+                    best_load = load
+            return None if best is None else best.rpn_id
         eligible = [
             status
             for status in self._nodes.values()
@@ -184,8 +214,6 @@ class NodeScheduler:
             preferred = self._preferred_node(request)
             if preferred is not None and preferred in eligible:
                 return preferred.rpn_id
-            chosen = min(eligible, key=lambda s: s.load_seconds())
-        elif self.policy == NODES_LEAST_LOAD:
             chosen = min(eligible, key=lambda s: s.load_seconds())
         elif self.policy == NODES_ROUND_ROBIN:
             ordered = list(self._nodes.values())

@@ -48,9 +48,17 @@ from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
 from repro.core.subscriber import Subscriber
 from repro.net.addresses import IPAddress, MACAddress
+from repro.net.arp import ArpReply, ArpRequest, _arp_frame
 from repro.net.conn import Quadruple
 from repro.net.nic import NIC
 from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
+
+#: Raw bit masks for the forwarding fast path: ``IntFlag.__and__`` builds
+#: an enum member per operation, which costs more than the rest of a
+#: connection-table hit put together.
+_TEARDOWN_BITS = TCPFlags.FIN._value_ | TCPFlags.RST._value_
+#: Composed once: ``IntFlag.__or__`` allocates per call.
+_SYN_ACK = TCPFlags.SYN | TCPFlags.ACK
 from repro.sim.engine import Environment
 from repro.telemetry.metrics import Histogram
 from repro.telemetry.registry import get_registry
@@ -309,31 +317,32 @@ class PrimaryRDN:
         self._tm_packets.inc()
         payload = packet.payload
 
-        # Feedback and secondary-RDN control traffic.
-        if isinstance(payload, AccountingMessage):
-            self.ops.feedback_messages += 1
-            self.on_feedback(payload)
-            return
-        if isinstance(payload, HandshakeComplete):
-            self._on_handshake_complete(payload)
-            return
+        if payload is not None:
+            # Feedback and secondary-RDN control traffic.
+            if isinstance(payload, AccountingMessage):
+                self.ops.feedback_messages += 1
+                self.on_feedback(payload)
+                return
+            if isinstance(payload, HandshakeComplete):
+                self._on_handshake_complete(payload)
+                return
 
-        # The RDN owns the cluster's virtual IP at layer 2: it answers
-        # ARP for it so client traffic lands on the front end.
-        from repro.net.arp import ArpReply, ArpRequest, _arp_frame
-
-        if isinstance(payload, ArpRequest):
-            if payload.target_ip == self.cluster_ip:
-                self.nic.transmit(
-                    _arp_frame(
-                        self.nic.mac,
-                        payload.sender_mac,
-                        ArpReply(target_ip=self.cluster_ip, target_mac=self.nic.mac),
+            # The RDN owns the cluster's virtual IP at layer 2: it
+            # answers ARP for it so client traffic lands on the front end.
+            if isinstance(payload, ArpRequest):
+                if payload.target_ip == self.cluster_ip:
+                    self.nic.transmit(
+                        _arp_frame(
+                            self.nic.mac,
+                            payload.sender_mac,
+                            ArpReply(
+                                target_ip=self.cluster_ip, target_mac=self.nic.mac
+                            ),
+                        )
                     )
-                )
-            return
-        if isinstance(payload, ArpReply):
-            return
+                return
+            if isinstance(payload, ArpReply):
+                return
 
         if packet.dst_ip != self.cluster_ip:
             return  # e.g. RPN->client traffic overheard in promiscuous mode
@@ -350,7 +359,7 @@ class PrimaryRDN:
             self.nic.transmit(
                 packet.copy(dst_mac=entry.rpn_mac, src_mac=self.nic.mac)
             )
-            if packet.flags & (TCPFlags.FIN | TCPFlags.RST):
+            if packet.flags._value_ & _TEARDOWN_BITS:
                 # The client is tearing the connection down; keep the
                 # entry briefly for retransmissions, then reclaim it.
                 self.env.call_later(
@@ -430,7 +439,7 @@ class PrimaryRDN:
             dst_port=quad.src_port,
             seq=half.rdn_isn,
             ack=(half.client_isn + 1) % SEQ_SPACE,
-            flags=TCPFlags.SYN | TCPFlags.ACK,
+            flags=_SYN_ACK,
         )
         self.nic.transmit(synack)
 

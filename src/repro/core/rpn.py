@@ -29,6 +29,12 @@ from repro.net.addresses import IPAddress, MACAddress
 from repro.net.conn import Quadruple
 from repro.net.nic import FrameFilter
 from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
+
+#: Raw SYN|ACK bits: every outbound frame from the local stack passes
+#: through :meth:`LocalSpliceModule.outbound`, and ``IntFlag`` membership
+#: tests allocate per check.
+_SYN_ACK_BITS = TCPFlags.SYN._value_ | TCPFlags.ACK._value_
+_ACK_PSH = TCPFlags.ACK | TCPFlags.PSH
 from repro.net.splicing import SpliceRule
 from repro.net.tcp import HostStack
 from repro.sim.engine import Environment
@@ -93,7 +99,10 @@ class LocalServiceManager(FrameFilter):
     def outbound(self, packet: Packet) -> Optional[Packet]:
         key = (packet.dst_ip, packet.dst_port)
         pending = self._pending.get(key)
-        if pending is not None and TCPFlags.SYN in packet.flags and TCPFlags.ACK in packet.flags:
+        if (
+            pending is not None
+            and packet.flags._value_ & _SYN_ACK_BITS == _SYN_ACK_BITS
+        ):
             self._complete_second_leg(pending, rpn_isn=packet.seq)
             return None  # the SYN-ACK never reaches the wire
         rule = self._rules_out.get(key)
@@ -173,7 +182,7 @@ class LocalServiceManager(FrameFilter):
             dst_port=order.quad.dst_port,
             seq=(order.client_isn + 1) % SEQ_SPACE,
             ack=(rpn_isn + 1) % SEQ_SPACE,
-            flags=TCPFlags.ACK | TCPFlags.PSH,
+            flags=_ACK_PSH,
             payload=order.request,
             payload_len=order.request_bytes,
         )
@@ -242,6 +251,7 @@ class RPNAccountingAgent:
         re-dispatched them elsewhere, so reporting them again would
         double-charge the subscribers.
         """
+        self.webserver.machine.settle_accounting()
         for host, site in self.webserver.sites.items():
             self._last_usage[host] = site.master.subtree_usage()
             self._last_completed[host] = site.completed
@@ -250,6 +260,7 @@ class RPNAccountingAgent:
     def collect(self) -> AccountingMessage:
         """Walk the process tree and build this cycle's report."""
         now = self.env.now
+        self.webserver.machine.settle_accounting()
         self.webserver.machine.telemetry_sample()
         per_subscriber: Dict[str, RPNUsageReport] = {}
         for host, site in self.webserver.sites.items():

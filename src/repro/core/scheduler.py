@@ -67,6 +67,13 @@ class RequestScheduler:
         self.node_scheduler = node_scheduler
         self.dispatch_fn = dispatch_fn
         self._estimators: Dict[str, UsageEstimator] = {}
+        #: Per-subscriber (reservation_grps, credit, capped_credit)
+        #: memo: the credit vectors depend only on the reservation and two
+        #: config constants, yet were being rebuilt every 10 ms cycle.
+        self._credit_cache: Dict[str, tuple] = {}
+        #: (per-subscriber reservation key, summed reservation vector)
+        #: memo for the spare-pool computation.
+        self._reserved_cache: tuple = ((), ResourceVector.ZERO)
         #: Deficit-round-robin rollover of unused spare share: without it
         #: each queue forfeits its fractional share every cycle (up to one
         #: request per queue per cycle — a large bias at 10 ms cycles).
@@ -115,13 +122,22 @@ class RequestScheduler:
             ordered = ordered[start:] + ordered[:start]
         for queue in ordered:
             subscriber = queue.subscriber
-            credit = subscriber.reservation_vector(self.config.generic_request).scaled(cycle)
+            grps = subscriber.reservation_grps
+            cached = self._credit_cache.get(subscriber.name)
+            if cached is not None and cached[0] == grps:
+                credit, capped = cached[1], cached[2]
+            else:
+                credit = subscriber.reservation_vector(
+                    self.config.generic_request
+                ).scaled(cycle)
+                capped = credit.scaled(self.config.credit_cap_cycles)
+                self._credit_cache[subscriber.name] = (grps, credit, capped)
             # The cap bounds idle-time credit hoarding, but must always
             # admit at least one predicted request or a subscriber whose
             # requests are larger than credit_cap_cycles' worth of credit
             # (heavy-tailed workloads) could never dispatch again.
             predicted = self.estimator(subscriber.name).predict()
-            cap = credit.scaled(self.config.credit_cap_cycles).max(predicted.scaled(1.5))
+            cap = capped.max(predicted.scaled(1.5))
             self.accounting.refill(subscriber.name, credit, cap)
             decisions.extend(self._drain_reserved(queue))
             self._note_balance(subscriber.name)
@@ -137,9 +153,17 @@ class RequestScheduler:
         name = queue.subscriber.name
         account = self.accounting.account(name)
         estimator = self.estimator(name)
+        neg = -ResourceVector.EPSILON
         while queue.backlogged:
             predicted = estimator.predict()
-            if (account.balance - predicted).any_negative:
+            # (balance - predicted).any_negative without the intermediate
+            # vector: same subtractions, same epsilon, no allocation.
+            balance = account.balance
+            if (
+                balance[0] - predicted[0] < neg
+                or balance[1] - predicted[1] < neg
+                or balance[2] - predicted[2] < neg
+            ):
                 break
             rpn_id = self.node_scheduler.pick(predicted, request=queue.peek())
             if rpn_id is None:
@@ -170,11 +194,17 @@ class RequestScheduler:
         """Capacity this cycle beyond the sum of all reservations."""
         cycle = self.config.scheduling_cycle_s
         capacity = self.node_scheduler.total_capacity_per_s().scaled(cycle)
-        reserved = ResourceVector.ZERO
-        for subscriber in self.queues.subscribers():
-            reserved = reserved + subscriber.reservation_vector(
-                self.config.generic_request
-            ).scaled(cycle)
+        subscribers = self.queues.subscribers()
+        key = tuple((s.name, s.reservation_grps) for s in subscribers)
+        if key == self._reserved_cache[0]:
+            reserved = self._reserved_cache[1]
+        else:
+            reserved = ResourceVector.ZERO
+            for subscriber in subscribers:
+                reserved = reserved + subscriber.reservation_vector(
+                    self.config.generic_request
+                ).scaled(cycle)
+            self._reserved_cache = (key, reserved)
         return (capacity - reserved).clamped_min(0.0)
 
     def _spare_weights(self, backlogged: List[RequestQueue]) -> Dict[str, float]:
@@ -236,9 +266,14 @@ class RequestScheduler:
                         min(deficit.disk_s, cap.disk_s),
                         min(deficit.net_bytes, cap.net_bytes),
                     )
+                neg = -ResourceVector.EPSILON
                 while queue.backlogged:
                     predicted = estimator.predict()
-                    if (share - predicted).any_negative:
+                    if (
+                        share[0] - predicted[0] < neg
+                        or share[1] - predicted[1] < neg
+                        or share[2] - predicted[2] < neg
+                    ):
                         break
                     rpn_id = self.node_scheduler.pick(
                         predicted, request=queue.peek()

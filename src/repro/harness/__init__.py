@@ -7,6 +7,12 @@ print the paper's rows next to the measured ones.
 """
 
 from repro.harness.charts import line_chart
+from repro.harness.golden import (
+    accounting_digest,
+    accounting_lines,
+    golden_fig3_cluster,
+    golden_fig3_digest,
+)
 from repro.harness.experiment import (
     DeviationCurve,
     ScalabilityPoint,
@@ -15,6 +21,7 @@ from repro.harness.experiment import (
     run_scalability,
     run_spare_allocation,
 )
+from repro.harness.parallel import ParallelSweep, SweepPointError, derive_seed
 from repro.harness.rdn_cost import RDNCostModel
 from repro.harness.recorder import Recorder
 from repro.harness.sweep import Sweep, SweepPoint
@@ -22,12 +29,19 @@ from repro.harness.tables import format_table
 
 __all__ = [
     "DeviationCurve",
+    "ParallelSweep",
     "RDNCostModel",
     "Recorder",
     "ScalabilityPoint",
     "Sweep",
     "SweepPoint",
+    "SweepPointError",
+    "accounting_digest",
+    "accounting_lines",
+    "derive_seed",
     "format_table",
+    "golden_fig3_cluster",
+    "golden_fig3_digest",
     "line_chart",
     "run_deviation_experiment",
     "run_isolation",

@@ -41,7 +41,7 @@ def line_chart(
         y_max = y_min + 1.0
 
     grid: List[List[str]] = [[" "] * width for _ in range(height)]
-    for index, (name, points) in enumerate(series.items()):
+    for index, points in enumerate(series.values()):
         mark = MARKS[index % len(MARKS)]
         for x, y in points:
             column = int((x - x_min) / (x_max - x_min) * (width - 1))

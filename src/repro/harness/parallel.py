@@ -1,0 +1,173 @@
+"""Parallel cartesian sweeps over a ``multiprocessing`` pool.
+
+Figure regeneration is embarrassingly parallel — every sweep point is an
+independent fixed-seed simulation — so :class:`ParallelSweep` fans the
+grid out over worker processes while keeping the three properties the
+serial :class:`~repro.harness.sweep.Sweep` guarantees:
+
+- **Deterministic seeds.**  Each point's seed is derived by hashing the
+  base seed together with the point's (sorted) parameters, so it depends
+  on *what* the point is, never on which worker ran it or in what order
+  points completed.
+- **Deterministic merge.**  Results, telemetry snapshots, and recorder
+  outputs come back in grid (axis) order regardless of completion order
+  — ``Pool.map`` preserves input order, and the grid is built the same
+  way ``Sweep.run`` iterates it.
+- **Attributable failures.**  A worker that raises doesn't poison the
+  pool silently: the failing point's parameters travel back with the
+  traceback and surface as a :class:`SweepPointError`.
+
+Runners must be module-level callables (the pool pickles them) and must
+take all their randomness from the injected seed parameter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.harness.sweep import Sweep, SweepPoint
+from repro.telemetry import registry as _telemetry
+
+#: The experiment body: keyword parameters in, any (picklable) result out.
+Runner = Callable[..., Any]
+
+
+class SweepPointError(RuntimeError):
+    """One sweep point failed in a worker; carries the point's params."""
+
+    def __init__(self, params: Dict[str, Any], cause: str, worker_traceback: str) -> None:
+        super().__init__(
+            "sweep point {!r} failed: {}\n--- worker traceback ---\n{}".format(
+                params, cause, worker_traceback
+            )
+        )
+        self.params = dict(params)
+        self.cause = cause
+        self.worker_traceback = worker_traceback
+
+
+def derive_seed(base_seed: int, params: Dict[str, Any]) -> int:
+    """A 63-bit seed from ``base_seed`` and a point's parameters.
+
+    Hashing the *sorted* parameter items makes the seed a pure function
+    of the point's identity: reordering axes, adding unrelated points,
+    resizing the pool, or changing worker assignment cannot change it.
+    """
+    canonical = "{}|{}".format(
+        base_seed, sorted((str(k), repr(v)) for k, v in params.items())
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _run_point(payload):
+    """Worker body: run one point, isolating its telemetry registry.
+
+    Module-level so the pool can pickle it.  Returns a tagged tuple
+    rather than raising: exceptions crossing process boundaries lose
+    their tracebacks, so the traceback is stringified here and re-raised
+    as :class:`SweepPointError` in the parent.
+    """
+    runner, params, capture_telemetry = payload
+    _telemetry.reset()
+    try:
+        result = runner(**params)
+    except Exception as exc:  # noqa: BLE001 - re-raised, attributed, in the parent
+        return ("error", "{}: {}".format(type(exc).__name__, exc), traceback.format_exc())
+    snapshot = _telemetry.get_registry().snapshot() if capture_telemetry else None
+    return ("ok", result, snapshot)
+
+
+class ParallelSweep(Sweep):
+    """A cartesian sweep fanned out over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    runner:
+        Module-level callable; receives one keyword per axis plus the
+        injected seed parameter.
+    processes:
+        Pool size.  ``0`` runs inline (no pool — bit-identical to what a
+        pool of one produces, useful under profilers and debuggers);
+        ``None`` uses the machine's CPU count, capped at the grid size.
+    base_seed:
+        Root of per-point seed derivation.  ``None`` disables seed
+        injection (the runner manages its own determinism).
+    seed_param:
+        Keyword the derived seed is injected under.
+    capture_telemetry:
+        When True, each worker's metric-registry snapshot for its point
+        is collected into :attr:`telemetry` (grid order).
+    """
+
+    def __init__(
+        self,
+        runner: Runner,
+        processes: Optional[int] = None,
+        base_seed: Optional[int] = None,
+        seed_param: str = "seed",
+        capture_telemetry: bool = False,
+        **axes: Sequence[Any],
+    ) -> None:
+        super().__init__(runner, **axes)
+        if processes is not None and processes < 0:
+            raise ValueError("processes must be >= 0")
+        if base_seed is not None and seed_param in axes:
+            raise ValueError(
+                "axis {!r} collides with the injected seed parameter".format(seed_param)
+            )
+        self.processes = processes
+        self.base_seed = base_seed
+        self.seed_param = seed_param
+        self.capture_telemetry = capture_telemetry
+        #: Per-point telemetry snapshots in grid order (when captured).
+        self.telemetry: List[Optional[Dict[str, object]]] = []
+
+    # -- grid construction --------------------------------------------------
+
+    def grid(self) -> List[Dict[str, Any]]:
+        """Every point's parameters in grid (axis) order, seeds included."""
+        names = list(self.axes)
+        points = []
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            params = dict(zip(names, combo))
+            if self.base_seed is not None:
+                params[self.seed_param] = derive_seed(self.base_seed, params)
+            points.append(params)
+        return points
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, progress: Callable[[Dict[str, Any]], None] = None) -> "ParallelSweep":
+        """Execute the grid; results merge back in grid order."""
+        grid = self.grid()
+        if progress is not None:
+            for params in grid:
+                progress(params)
+        payloads = [(self.runner, params, self.capture_telemetry) for params in grid]
+
+        processes = self.processes
+        if processes is None:
+            processes = min(len(grid), os.cpu_count() or 1)
+        if processes == 0:
+            outcomes = [_run_point(payload) for payload in payloads]
+        else:
+            # chunksize=1 keeps worker assignment irrelevant to results:
+            # Pool.map returns outcomes in payload order no matter which
+            # worker ran what, and seeds depend only on the params.
+            with multiprocessing.Pool(processes=processes) as pool:
+                outcomes = pool.map(_run_point, payloads, chunksize=1)
+
+        self.points = []
+        self.telemetry = []
+        for params, outcome in zip(grid, outcomes):
+            if outcome[0] == "error":
+                raise SweepPointError(params, outcome[1], outcome[2])
+            self.points.append(SweepPoint(params=params, result=outcome[1]))
+            self.telemetry.append(outcome[2])
+        return self

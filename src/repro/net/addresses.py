@@ -13,30 +13,44 @@ from typing import Union
 _IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
 _MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
 
+#: Parsed text forms, memoized: a simulation names a handful of hosts but
+#: re-parses them at every packet/endpoint construction site.
+_IP_PARSE_CACHE: dict = {}
+_MAC_PARSE_CACHE: dict = {}
+
 
 class IPAddress:
     """An IPv4 address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     def __init__(self, address: Union[str, int, "IPAddress"]) -> None:
         if isinstance(address, IPAddress):
             self._value = address._value
-            return
-        if isinstance(address, int):
+        elif isinstance(address, int):
             if not 0 <= address <= 0xFFFFFFFF:
                 raise ValueError("IPv4 integer out of range: {}".format(address))
             self._value = address
-            return
-        match = _IP_RE.match(address)
-        if not match:
-            raise ValueError("malformed IPv4 address: {!r}".format(address))
-        octets = [int(part) for part in match.groups()]
-        if any(octet > 255 for octet in octets):
-            raise ValueError("IPv4 octet out of range: {!r}".format(address))
-        self._value = (
-            (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
-        )
+        else:
+            value = _IP_PARSE_CACHE.get(address)
+            if value is None:
+                match = _IP_RE.match(address)
+                if not match:
+                    raise ValueError("malformed IPv4 address: {!r}".format(address))
+                octets = [int(part) for part in match.groups()]
+                if any(octet > 255 for octet in octets):
+                    raise ValueError("IPv4 octet out of range: {!r}".format(address))
+                value = (
+                    (octets[0] << 24)
+                    | (octets[1] << 16)
+                    | (octets[2] << 8)
+                    | octets[3]
+                )
+                _IP_PARSE_CACHE[address] = value
+            self._value = value
+        # Cached: addresses hash on every connection-table and ARP lookup
+        # (via the Quadruple tuple hash), several times per packet.
+        self._hash = hash(("ip", self._value))
 
     def __int__(self) -> int:
         return self._value
@@ -56,7 +70,7 @@ class IPAddress:
         return isinstance(other, IPAddress) and self._value == other._value
 
     def __hash__(self) -> int:
-        return hash(("ip", self._value))
+        return self._hash
 
     def packed(self) -> bytes:
         """The 4-byte big-endian wire form."""
@@ -73,22 +87,26 @@ class IPAddress:
 class MACAddress:
     """An Ethernet (EUI-48) address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     BROADCAST_INT = 0xFFFFFFFFFFFF
 
     def __init__(self, address: Union[str, int, "MACAddress"]) -> None:
         if isinstance(address, MACAddress):
             self._value = address._value
-            return
-        if isinstance(address, int):
+        elif isinstance(address, int):
             if not 0 <= address <= self.BROADCAST_INT:
                 raise ValueError("MAC integer out of range: {}".format(address))
             self._value = address
-            return
-        if not _MAC_RE.match(address):
-            raise ValueError("malformed MAC address: {!r}".format(address))
-        self._value = int(address.replace(":", ""), 16)
+        else:
+            value = _MAC_PARSE_CACHE.get(address)
+            if value is None:
+                if not _MAC_RE.match(address):
+                    raise ValueError("malformed MAC address: {!r}".format(address))
+                value = int(address.replace(":", ""), 16)
+                _MAC_PARSE_CACHE[address] = value
+            self._value = value
+        self._hash = hash(("mac", self._value))
 
     def __int__(self) -> int:
         return self._value
@@ -104,7 +122,7 @@ class MACAddress:
         return isinstance(other, MACAddress) and self._value == other._value
 
     def __hash__(self) -> int:
-        return hash(("mac", self._value))
+        return self._hash
 
     @property
     def is_broadcast(self) -> bool:

@@ -164,7 +164,7 @@ class ArpService:
             self.failures += 1
             for waiter in self._waiters.pop(ip, []):
                 if not waiter.triggered:
-                    setattr(waiter, "_defused", True)
+                    waiter._defused = True
                     waiter.fail(ArpError("no ARP reply for {}".format(ip)))
 
     def send_resolved(self, packet: Packet) -> None:

@@ -13,7 +13,6 @@ from __future__ import annotations
 import enum
 import itertools
 import struct
-from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.net.addresses import IPAddress, MACAddress
@@ -42,37 +41,67 @@ class TCPFlags(enum.IntFlag):
     ACK = 0x10
 
 
-@dataclass
 class Packet:
     """One simulated Ethernet frame carrying an IPv4/TCP segment.
 
     ``payload`` is an arbitrary Python object (the simulation avoids
     materializing page bytes); ``payload_len`` is the number of wire bytes
     it stands for and is what all timing math uses.
+
+    A ``__slots__`` class rather than a dataclass: forwarding-path code
+    (splicing remaps, RDN MAC rewrites) copies packets at every header
+    mutation point, and :meth:`copy` plus attribute access are the per-hop
+    cost that Table 3 measures.
     """
 
-    src_mac: MACAddress
-    dst_mac: MACAddress
-    src_ip: IPAddress
-    dst_ip: IPAddress
-    src_port: int
-    dst_port: int
-    seq: int = 0
-    ack: int = 0
-    flags: TCPFlags = TCPFlags.NONE
-    payload: object = None
-    payload_len: int = 0
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src_mac",
+        "dst_mac",
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "payload",
+        "payload_len",
+        "pid",
+    )
 
-    def __post_init__(self) -> None:
-        for name in ("src_port", "dst_port"):
-            port = getattr(self, name)
-            if not 0 <= port <= 0xFFFF:
-                raise ValueError("{} out of range: {}".format(name, port))
-        self.seq %= SEQ_SPACE
-        self.ack %= SEQ_SPACE
-        if self.payload_len < 0:
+    def __init__(
+        self,
+        src_mac: MACAddress,
+        dst_mac: MACAddress,
+        src_ip: IPAddress,
+        dst_ip: IPAddress,
+        src_port: int,
+        dst_port: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: TCPFlags = TCPFlags.NONE,
+        payload: object = None,
+        payload_len: int = 0,
+        pid: Optional[int] = None,
+    ) -> None:
+        if not 0 <= src_port <= 0xFFFF:
+            raise ValueError("src_port out of range: {}".format(src_port))
+        if not 0 <= dst_port <= 0xFFFF:
+            raise ValueError("dst_port out of range: {}".format(dst_port))
+        if payload_len < 0:
             raise ValueError("negative payload_len")
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq % SEQ_SPACE
+        self.ack = ack % SEQ_SPACE
+        self.flags = flags
+        self.payload = payload
+        self.payload_len = payload_len
+        self.pid = next(_packet_ids) if pid is None else pid
 
     def __repr__(self) -> str:
         names = [flag.name for flag in TCPFlags if flag and flag in self.flags]
@@ -89,7 +118,11 @@ class Packet:
 
     def quadruple(self) -> Quadruple:
         """The connection key as carried in this packet's headers."""
-        return Quadruple(self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+        # tuple.__new__ skips the generated NamedTuple __new__ (keyword
+        # processing); this runs once per classified/forwarded packet.
+        return tuple.__new__(
+            Quadruple, (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+        )
 
     @property
     def total_len(self) -> int:
@@ -97,9 +130,31 @@ class Packet:
         return ETH_IP_TCP_HEADER_LEN + self.payload_len
 
     def copy(self, **changes: object) -> "Packet":
-        """A field-for-field copy (fresh packet id) with optional overrides."""
-        changes.setdefault("pid", next(_packet_ids))
-        return replace(self, **changes)
+        """A field-for-field copy (fresh packet id) with optional overrides.
+
+        This is the forwarding path's copy-on-mutate primitive: it skips
+        ``__init__`` entirely (the source packet already passed
+        validation) and touches only the headers the caller overrides.
+        """
+        new = Packet.__new__(Packet)
+        new.src_mac = self.src_mac
+        new.dst_mac = self.dst_mac
+        new.src_ip = self.src_ip
+        new.dst_ip = self.dst_ip
+        new.src_port = self.src_port
+        new.dst_port = self.dst_port
+        new.seq = self.seq
+        new.ack = self.ack
+        new.flags = self.flags
+        new.payload = self.payload
+        new.payload_len = self.payload_len
+        new.pid = next(_packet_ids)
+        if changes:
+            for name, value in changes.items():
+                setattr(new, name, value)
+            new.seq %= SEQ_SPACE
+            new.ack %= SEQ_SPACE
+        return new
 
     # -- wire form ------------------------------------------------------
 

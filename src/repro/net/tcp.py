@@ -22,6 +22,16 @@ from repro.net.packet import SEQ_SPACE, Packet, TCPFlags
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
+#: Raw flag bits for the segment fast path: ``IntFlag.__contains__`` and
+#: ``__or__`` allocate enum machinery per check, a measurable share of
+#: per-segment cost in the state machine.
+_SYN_BIT = TCPFlags.SYN._value_
+_ACK_BIT = TCPFlags.ACK._value_
+_RST_BIT = TCPFlags.RST._value_
+_FIN_BIT = TCPFlags.FIN._value_
+_SYN_ACK = TCPFlags.SYN | TCPFlags.ACK
+_FIN_ACK = TCPFlags.FIN | TCPFlags.ACK
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.nic import NIC, FrameFilter
 
@@ -190,7 +200,7 @@ class Connection:
     def _send_fin(self) -> None:
         packet = self.stack._make_packet(
             self.quad,
-            flags=TCPFlags.FIN | TCPFlags.ACK,
+            flags=_FIN_ACK,
             seq=self.snd_nxt,
             ack=self.rcv_nxt or 0,
         )
@@ -229,7 +239,7 @@ class Connection:
             # A connection failure is an expected outcome, not a
             # programming error: if nobody happens to be waiting on this
             # particular event, it must not crash the event loop.
-            setattr(event, "_defused", True)
+            event._defused = True
             event.fail(exc)
 
         for waiter in self._recv_waiters:
@@ -282,12 +292,13 @@ class Connection:
 
     def handle(self, packet: Packet) -> None:
         """Advance the state machine with one arriving segment."""
-        if TCPFlags.RST in packet.flags:
+        flag_bits = packet.flags._value_
+        if flag_bits & _RST_BIT:
             self._fail(ConnectionError_("connection reset by peer"))
             return
 
         if self.state is TCPState.SYN_SENT:
-            if TCPFlags.SYN in packet.flags and TCPFlags.ACK in packet.flags:
+            if flag_bits & _SYN_BIT and flag_bits & _ACK_BIT:
                 if packet.ack != seq_add(self.snd_isn, 1):
                     return  # stale or bogus SYN-ACK
                 self.rcv_isn = packet.seq
@@ -298,7 +309,7 @@ class Connection:
             return
 
         if self.state is TCPState.SYN_RCVD:
-            if TCPFlags.ACK in packet.flags and packet.ack == self.snd_nxt:
+            if flag_bits & _ACK_BIT and packet.ack == self.snd_nxt:
                 self.snd_una = packet.ack
                 self._enter_established()
                 self.stack._notify_accept(self)
@@ -306,7 +317,7 @@ class Connection:
             else:
                 return
 
-        if TCPFlags.ACK in packet.flags:
+        if flag_bits & _ACK_BIT:
             self._acknowledge(packet.ack)
             if self.state is TCPState.FIN_WAIT_1 and self.snd_una == self.snd_nxt:
                 self._set_state(TCPState.FIN_WAIT_2)
@@ -319,7 +330,7 @@ class Connection:
         if packet.payload_len > 0:
             self._handle_data(packet)
 
-        if TCPFlags.FIN in packet.flags:
+        if flag_bits & _FIN_BIT:
             self._handle_fin(packet)
 
     def _handle_data(self, packet: Packet) -> None:
@@ -492,13 +503,14 @@ class HostStack:
         if conn is not None:
             conn.handle(packet)
             return
-        if TCPFlags.SYN in packet.flags and TCPFlags.ACK not in packet.flags:
+        flag_bits = packet.flags._value_
+        if flag_bits & _SYN_BIT and not flag_bits & _ACK_BIT:
             acceptor = self._listeners.get(packet.dst_port)
             if acceptor is not None:
                 self._accept_syn(packet, key)
                 return
         self.rx_no_connection += 1
-        if TCPFlags.RST not in packet.flags:
+        if not flag_bits & _RST_BIT:
             reset = self._make_packet(
                 key, flags=TCPFlags.RST, seq=packet.ack, ack=0
             )
@@ -512,7 +524,7 @@ class HostStack:
         self._conns[key] = conn
         synack = self._make_packet(
             key,
-            flags=TCPFlags.SYN | TCPFlags.ACK,
+            flags=_SYN_ACK,
             seq=conn.snd_nxt,
             ack=conn.rcv_nxt,
         )
@@ -578,7 +590,7 @@ class HostStack:
         end_seq = seq_add(
             packet.seq,
             packet.payload_len
-            + (1 if (TCPFlags.SYN | TCPFlags.FIN) & packet.flags else 0),
+            + (1 if packet.flags._value_ & (_SYN_BIT | _FIN_BIT) else 0),
         )
 
         def check() -> None:

@@ -7,22 +7,44 @@ import time
 from typing import Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
-from repro.sim.events import Event, Timeout
+from repro.sim.events import NORMAL_PRIORITY, URGENT_PRIORITY, Event, Timeout
 from repro.sim.process import Process
 from repro.telemetry.registry import get_registry
 
-#: Priority for events scheduled by ordinary user actions.
-NORMAL_PRIORITY = 1
-#: Priority for kernel-internal events that must run before user events
-#: scheduled at the same instant (e.g. resource bookkeeping).
-URGENT_PRIORITY = 0
+__all__ = [
+    "Environment",
+    "NORMAL_PRIORITY",
+    "URGENT_PRIORITY",
+]
 
 #: Telemetry publication period, in processed events.  Power of two so
 #: the hot loop's check is a single mask; the amortized cost per event
 #: is a couple of integer operations.
 _PUBLISH_MASK = 4096 - 1
 
-_HeapItem = Tuple[float, int, int, Event]
+
+class _ScheduledCallback:
+    """A heap item that invokes ``fn(*args)`` when popped.
+
+    :meth:`Environment.call_later` used to allocate an :class:`Event`, a
+    callbacks list, and a closure per call; this two-slot record replaces
+    all three.  It cannot fail, cannot be waited on, and carries no value
+    — the engine just calls it and moves on.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn, args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "<_ScheduledCallback {}>".format(
+            getattr(self.fn, "__qualname__", self.fn)
+        )
+
+
+_HeapItem = Tuple[float, int, int, object]
 
 
 class Environment:
@@ -38,12 +60,22 @@ class Environment:
         Starting value of the simulated clock, in seconds.
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_active_process",
+        "events_dispatched",
+        "queue_depth_peak",
+        "_events_published",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[_HeapItem] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
-        #: Lifetime count of events processed by :meth:`step`.
+        #: Lifetime count of events processed by :meth:`step` / :meth:`run`.
         self.events_dispatched = 0
         #: Largest heap depth seen (telemetry: scheduling pressure).
         self.queue_depth_peak = 0
@@ -76,18 +108,37 @@ class Environment:
         """Start a new simulated :class:`Process` from a generator."""
         return Process(self, generator)
 
-    def call_later(self, delay: float, fn, *args: object) -> Event:
+    def call_later(self, delay: float, fn, *args: object) -> None:
         """Invoke ``fn(*args)`` after ``delay`` seconds of simulated time.
 
         Lighter than spawning a process; used for fire-and-forget actions
-        such as delivering a frame after propagation delay.
+        such as delivering a frame after propagation delay.  The scheduled
+        call is anonymous — it cannot be waited on or cancelled.
         """
-        event = Event(self)
-        event._ok = True
-        event._value = None
-        event.callbacks.append(lambda _evt: fn(*args))
-        self.schedule(event, delay=delay)
-        return event
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay={})".format(delay))
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, NORMAL_PRIORITY, self._seq, _ScheduledCallback(fn, args)),
+        )
+
+    def call_at(self, when: float, fn, *args: object) -> None:
+        """Invoke ``fn(*args)`` at absolute simulated time ``when``.
+
+        Unlike :meth:`call_later`, the fire time is taken verbatim — no
+        ``now + delay`` float round-trip — which lets callers that
+        precomputed an exact event time (e.g. a resource rescheduling a
+        slice boundary) hit it bit-for-bit.
+        """
+        if when < self._now:
+            raise SimulationError(
+                "cannot schedule into the past (when={}, now={})".format(when, self._now)
+            )
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (when, NORMAL_PRIORITY, self._seq, _ScheduledCallback(fn, args))
+        )
 
     # -- scheduling -----------------------------------------------------
 
@@ -116,12 +167,16 @@ class Environment:
             self._publish_telemetry()
         when, _priority, _seq, event = heapq.heappop(self._heap)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        if type(event) is _ScheduledCallback:
+            event.fn(*event.args)
+            return
+        callbacks = event.callbacks
         if callbacks is None:
             raise SimulationError("event processed twice: {!r}".format(event))
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             # An unhandled failure with nobody waiting is a programming
             # error; surface it instead of silently dropping it.
             raise event._value  # type: ignore[misc]
@@ -153,13 +208,46 @@ class Environment:
                 )
         sim_start = self._now
         wall_start = time.perf_counter()
+        # The dispatch loop below is `step()` unrolled with everything
+        # bound to locals: one heap pop, one type check, and the callback
+        # call(s) per event.  Counters sync back on exit and at every
+        # telemetry publication point.
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = self.events_dispatched
+        peak = self.queue_depth_peak
         try:
             try:
-                while self._heap:
-                    if stop_at is not None and self.peek() > stop_at:
+                while heap:
+                    if stop_at is not None and heap[0][0] > stop_at:
                         self._now = stop_at
                         return None
-                    self.step()
+                    depth = len(heap)
+                    if depth > peak:
+                        peak = depth
+                    dispatched += 1
+                    item = pop(heap)
+                    self._now = item[0]
+                    if not (dispatched & _PUBLISH_MASK):
+                        self.events_dispatched = dispatched
+                        self.queue_depth_peak = peak
+                        self._publish_telemetry()
+                    event = item[3]
+                    if type(event) is _ScheduledCallback:
+                        # Fast path: call_later timers are the single most
+                        # common heap item in cluster runs.
+                        event.fn(*event.args)
+                        continue
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        raise SimulationError(
+                            "event processed twice: {!r}".format(event)
+                        )
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value  # type: ignore[misc]
             except StopSimulation as stop:
                 return stop.value
             if wait_event is not None and not wait_event.processed:
@@ -170,6 +258,8 @@ class Environment:
                 self._now = stop_at
             return None
         finally:
+            self.events_dispatched = dispatched
+            self.queue_depth_peak = peak
             self._note_run_speed(sim_start, wall_start)
 
     def _note_run_speed(self, sim_start: float, wall_start: float) -> None:
@@ -204,6 +294,6 @@ class Environment:
     @staticmethod
     def _stop_on_event(event: Event) -> None:
         if not event._ok:
-            setattr(event, "_defused", True)
+            event._defused = True
             raise event._value  # type: ignore[misc]
         raise StopSimulation(event._value)

@@ -9,10 +9,16 @@ attached.  Events move through three states:
    (success) or an exception (failure);
 3. *processed* — the environment popped it from the heap and invoked every
    callback.
+
+Events are ``__slots__`` classes and the triggering paths push onto the
+environment's heap directly: millions of them are created per simulated
+run, so per-instance dict allocation and an extra scheduling call both
+show up in end-to-end wall clock.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.sim.errors import SimulationError
@@ -21,6 +27,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle breaker for typing only
     from repro.sim.engine import Environment
 
 Callback = Callable[["Event"], None]
+
+#: Priority for events scheduled by ordinary user actions.
+NORMAL_PRIORITY = 1
+#: Priority for kernel-internal events that must run before user events
+#: scheduled at the same instant (e.g. resource bookkeeping).
+URGENT_PRIORITY = 0
 
 _PENDING = object()
 
@@ -34,11 +46,16 @@ class Event:
         The environment this event belongs to.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callback]] = []
         self._value: object = _PENDING
         self._ok: Optional[bool] = None
+        #: True once some waiter takes responsibility for a failure, so
+        #: the engine must not raise it as unhandled.
+        self._defused = False
 
     def __repr__(self) -> str:
         state = (
@@ -78,22 +95,30 @@ class Event:
 
     def succeed(self, value: object = None, delay: float = 0.0) -> "Event":
         """Schedule the event to occur successfully after ``delay``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay={})".format(delay))
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=delay)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, NORMAL_PRIORITY, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Schedule the event to occur as a failure carrying ``exception``."""
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay={})".format(delay))
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=delay)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, NORMAL_PRIORITY, env._seq, self))
         return self
 
     # -- composition --------------------------------------------------
@@ -112,14 +137,22 @@ class Timeout(Event):
     construction, so it cannot be failed or re-triggered.
     """
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError("negative timeout delay: {}".format(delay))
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus scheduling: a Timeout is born
+        # triggered, and this constructor dominates the engine's
+        # allocation profile.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._delay = delay
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, NORMAL_PRIORITY, env._seq, self))
 
     @property
     def delay(self) -> float:
@@ -130,6 +163,8 @@ class Timeout(Event):
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
 
+    __slots__ = ("_events", "_remaining")
+
     def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -137,7 +172,7 @@ class _Condition(Event):
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("cannot mix events from different environments")
-            if event.processed:
+            if event.callbacks is None:
                 self._observe(event)
             else:
                 event.callbacks.append(self._observe)
@@ -148,12 +183,12 @@ class _Condition(Event):
             # constituent: a late failure (e.g. an aborted connection
             # after an AnyOf timeout won) must not crash the event loop.
             if not event._ok:
-                setattr(event, "_defused", True)
+                event._defused = True
             return
         if not event._ok:
             # The condition consumes the failure; stop the engine from
             # treating the source event as an unhandled error.
-            setattr(event, "_defused", True)
+            event._defused = True
             self.fail(event._value)  # type: ignore[arg-type]
             return
         self._remaining -= 1
@@ -176,12 +211,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event succeeds."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         self.succeed(self._collect())
 
 
 class AllOf(_Condition):
     """Triggers once every constituent event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
         super().__init__(env, events)

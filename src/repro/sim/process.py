@@ -11,6 +11,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
 
+class _Trigger:
+    """A minimal resume token quacking like a processed :class:`Event`.
+
+    :meth:`Process._resume` only reads ``_ok`` / ``_value`` (and marks
+    ``_defused`` on failures), so bootstrap and same-instant resumptions
+    don't need a real heap-scheduled Event — a three-slot record delivered
+    via ``call_later`` carries the same information at a fraction of the
+    allocation cost.
+    """
+
+    __slots__ = ("_ok", "_value", "_defused")
+
+    def __init__(self, ok: bool, value: object) -> None:
+        self._ok = ok
+        self._value = value
+        self._defused = False
+
+
+#: Shared bootstrap token: every process starts by being sent ``None``,
+#: and the success path never mutates the trigger, so one instance serves
+#: all processes.
+_BOOTSTRAP = _Trigger(True, None)
+
+
 class Process(Event):
     """A simulated process driven by a Python generator.
 
@@ -24,6 +48,8 @@ class Process(Event):
     that is waiting on an event.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(
@@ -33,11 +59,7 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         # Kick off execution at the current instant.
-        bootstrap = Event(env)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        env.schedule(bootstrap, delay=0.0)
+        env.call_later(0.0, self._resume, _BOOTSTRAP)
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", "process")
@@ -73,24 +95,20 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        carrier = Event(self.env)
-        carrier._ok = False
-        carrier._value = Interrupt(cause)
-        setattr(carrier, "_defused", True)
-        carrier.callbacks.append(self._resume)
-        self.env.schedule(carrier, delay=0.0)
+        self.env.call_later(0.0, self._resume, _Trigger(False, Interrupt(cause)))
 
     # -- internal -------------------------------------------------------
 
-    def _resume(self, trigger: Event) -> None:
+    def _resume(self, trigger) -> None:
         self._waiting_on = None
-        previous = self.env._active_process
-        self.env._active_process = self
+        env = self.env
+        previous = env._active_process
+        env._active_process = self
         try:
             if trigger._ok:
                 target = self._generator.send(trigger._value)
             else:
-                setattr(trigger, "_defused", True)
+                trigger._defused = True
                 target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
@@ -99,7 +117,7 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.env._active_process = previous
+            env._active_process = previous
         if not isinstance(target, Event):
             message = "process yielded a non-event: {!r}".format(target)
             try:
@@ -109,20 +127,15 @@ class Process(Event):
             except BaseException as exc:
                 self.fail(exc)
             return
-        if target.processed:
+        if target.callbacks is None:
             # The event already happened; resume immediately (this keeps
             # `yield already_done_event` legal, matching SimPy semantics).
-            carrier = Event(self.env)
-            carrier._ok = target._ok
-            carrier._value = target._value
             if not target._ok:
-                setattr(carrier, "_defused", True)
-                setattr(target, "_defused", True)
-            carrier.callbacks.append(self._resume)
-            self.env.schedule(carrier, delay=0.0)
+                target._defused = True
+            env.call_later(0.0, self._resume, _Trigger(target._ok, target._value))
         else:
             self._waiting_on = target
             # A waiter exists, so a failure of `target` is handled by being
             # thrown into this process rather than crashing the event loop.
-            setattr(target, "_defused", True)
+            target._defused = True
             target.callbacks.append(self._resume)

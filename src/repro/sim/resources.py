@@ -14,10 +14,10 @@ These model the three kinds of sharing the cluster simulation needs:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, List
 
-from repro.sim.engine import URGENT_PRIORITY
-from repro.sim.events import Event
+from repro.sim.events import URGENT_PRIORITY, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -33,6 +33,8 @@ class Request(Event):
             ... hold the resource ...
         # released on exit
     """
+
+    __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
@@ -135,7 +137,7 @@ class Container:
     def __init__(
         self,
         env: "Environment",
-        capacity: float = float("inf"),
+        capacity: float = math.inf,
         init: float = 0.0,
     ) -> None:
         if capacity <= 0:
@@ -202,7 +204,7 @@ class Container:
 class Store:
     """A FIFO queue of distinct objects with optional bounded capacity."""
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+    def __init__(self, env: "Environment", capacity: float = math.inf) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env

@@ -28,7 +28,7 @@ def test_dispatch_order_is_immutable():
         rdn_isn=2,
         client_mac=MACAddress(1),
     )
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):
         order.subscriber = "other"
     assert order.quad.src_port == 30000
 

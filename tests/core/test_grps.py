@@ -87,5 +87,5 @@ def test_add_sub_inverse_property(ax, ay, az, bx, by, bz):
 
 
 def test_frozen():
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):
         GENERIC_REQUEST.cpu_s = 99

@@ -113,6 +113,33 @@ class TestBenchCompare:
         assert result.returncode == 1
         assert "drifted" in result.stdout
 
+    def test_figure_tolerance_gates_figures_independently(self, tmp_path):
+        # 10% figure drift under a forgiving 50% timing tolerance: passes
+        # by default, fails once the figure gate is tightened to 5%.
+        old = write_suite(
+            str(tmp_path / "old"), "demo", [record("test_a", 0.01, {"figure": 10.0})]
+        )
+        new = write_suite(
+            str(tmp_path / "new"), "demo", [record("test_a", 0.01, {"figure": 11.0})]
+        )
+        assert run_compare(old, new, "--tolerance", "0.5").returncode == 0
+        result = run_compare(
+            old, new, "--tolerance", "0.5", "--figure-tolerance", "0.05"
+        )
+        assert result.returncode == 1
+        assert "drifted" in result.stdout
+
+    def test_figure_tolerance_does_not_loosen_timing_gate(self, tmp_path):
+        # A 2x timing regression must still fail even when the figure
+        # tolerance is huge.
+        old = write_suite(str(tmp_path / "old"), "demo", [record("test_a", 0.01)])
+        new = write_suite(str(tmp_path / "new"), "demo", [record("test_a", 0.02)])
+        result = run_compare(
+            old, new, "--tolerance", "0.5", "--figure-tolerance", "10.0"
+        )
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
     def test_missing_benchmark_fails(self, tmp_path):
         old = write_suite(
             str(tmp_path / "old"),
