@@ -36,7 +36,15 @@ def pytest_addoption(parser):
 
 
 def _suite_name(item) -> str:
-    """test_fig3_deviation.py -> 'fig3_deviation'."""
+    """test_fig3_deviation.py -> 'fig3_deviation'.
+
+    A module may override the derived name by defining a module-level
+    ``BENCHSTORE_SUITE`` string (e.g. test_proxy_throughput.py ->
+    'proxy').
+    """
+    override = getattr(item.module, "BENCHSTORE_SUITE", None)
+    if override:
+        return override
     stem = item.path.stem
     return stem[len("test_"):] if stem.startswith("test_") else stem
 

@@ -27,6 +27,10 @@ separate because the two signals have very different noise floors:
   tolerance fraction of the old magnitude.  Figures come from
   fixed-seed simulations and are machine-independent, so this gate is
   tight.
+- **perf figures**: ``extra_info`` keys prefixed ``perf_`` are
+  machine-*dependent* measurements (RPS, latency quantiles, hit rates
+  from real-socket benchmarks); they are gated at the forgiving timing
+  tolerance instead of the figure tolerance.
 """
 
 from __future__ import annotations
@@ -41,6 +45,10 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro.harness.benchstore import load_suite  # noqa: E402
+
+#: extra_info keys with this prefix are machine-dependent performance
+#: numbers, gated at the timing tolerance rather than the figure one.
+PERF_PREFIX = "perf_"
 
 
 def _load(path):
@@ -117,7 +125,10 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
                 problems.append("{}: extra_info {!r} missing from NEW".format(name, key))
                 continue
             drift = abs(float(new_value) - float(old_value))
-            allowed = figure_tolerance * max(abs(float(old_value)), 1e-9)
+            key_tolerance = (
+                tolerance if key.startswith(PERF_PREFIX) else figure_tolerance
+            )
+            allowed = key_tolerance * max(abs(float(old_value)), 1e-9)
             if drift > allowed:
                 problems.append(
                     "{}: extra_info {!r} drifted {} -> {} (allowed ±{:.4g})".format(

@@ -13,8 +13,10 @@ with ``pstats`` or ``snakeviz``.
 
 Scenarios mirror the benchmark suites: ``fig3-synthetic`` and
 ``fig3-specweb`` are the Figure 3 deviation runs, ``golden`` is the
-committed golden-digest configuration, and ``engine`` is a pure
-event-loop stress (no cluster) isolating the simulator core.
+committed golden-digest configuration, ``engine`` is a pure
+event-loop stress (no cluster) isolating the simulator core, and
+``proxy`` drives a closed-loop keep-alive workload through the real
+localhost deployment (the data-plane hot path).
 """
 
 from __future__ import annotations
@@ -68,11 +70,42 @@ def scenario_engine():
     env.run()
 
 
+def scenario_proxy():
+    import asyncio
+
+    from repro.harness.loadgen import ProxyRig, closed_loop
+
+    async def run():
+        rig = ProxyRig()
+        port = await rig.start()
+        try:
+            result = await closed_loop(
+                "127.0.0.1",
+                port,
+                site=rig.site,
+                concurrency=16,
+                total_requests=4000,
+                keep_alive=True,
+            )
+        finally:
+            await rig.stop()
+        print(
+            "proxy scenario: {} completed, {:.1f} rps, p95 {:.2f} ms".format(
+                result.completed,
+                result.rps,
+                result.latency_s(0.95) * 1000.0,
+            )
+        )
+
+    asyncio.run(run())
+
+
 SCENARIOS = {
     "fig3-synthetic": scenario_fig3_synthetic,
     "fig3-specweb": scenario_fig3_specweb,
     "golden": scenario_golden,
     "engine": scenario_engine,
+    "proxy": scenario_proxy,
 }
 
 

@@ -77,6 +77,15 @@ class GageConfig:
         backend from rotation and starts probing it.
     proxy_probe_interval_s:
         How often an ejected backend is probed for re-admission.
+    proxy_pool_size:
+        Idle keep-alive connections kept per backend for reuse across
+        dispatches (0 disables pooling).
+    proxy_pool_idle_s:
+        How long a pooled backend connection may sit idle before being
+        discarded.
+    proxy_keepalive_idle_s:
+        How long the front end waits for the next request on an idle
+        keep-alive client connection before closing it.
     """
 
     scheduling_cycle_s: float = 0.010
@@ -100,6 +109,9 @@ class GageConfig:
     proxy_retry_backoff_s: float = 0.05
     proxy_failure_threshold: int = 3
     proxy_probe_interval_s: float = 0.5
+    proxy_pool_size: int = 8
+    proxy_pool_idle_s: float = 30.0
+    proxy_keepalive_idle_s: float = 15.0
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -141,3 +153,9 @@ class GageConfig:
             raise ValueError("failure threshold must be at least 1")
         if self.proxy_probe_interval_s <= 0:
             raise ValueError("probe interval must be positive")
+        if self.proxy_pool_size < 0:
+            raise ValueError("pool size must be non-negative")
+        if self.proxy_pool_idle_s <= 0:
+            raise ValueError("pool idle timeout must be positive")
+        if self.proxy_keepalive_idle_s <= 0:
+            raise ValueError("keep-alive idle timeout must be positive")

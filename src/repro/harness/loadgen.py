@@ -1,0 +1,311 @@
+"""Closed- and open-loop HTTP load generation for the proxy data plane.
+
+Two driving disciplines, after the request-cloning reproducibility report
+(Pellegrini 2020, PAPERS.md):
+
+- **closed loop** — a fixed population of clients, each holding one
+  (keep-alive) connection and issuing its next request only after the
+  previous response fully arrived.  Throughput is ``population /
+  latency``; this is the discipline the ≥2× data-plane acceptance
+  criterion is measured under.
+- **open loop** — requests fire at a fixed rate on independent
+  connections regardless of completions, so queueing delay shows up as
+  latency rather than reduced offered load.
+
+Both return a :class:`LoadResult` with RPS and latency quantiles.
+:class:`ProxyRig` assembles the full in-process localhost deployment
+(back ends + Gage proxy) that ``benchmarks/test_proxy_throughput.py``
+and ``scripts/profile_run.py`` drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.benchstore import percentile
+
+#: Response-body read chunk, bytes.
+_READ_CHUNK = 64 * 1024
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    #: Requests that completed with a 200 response and a full body.
+    completed: int = 0
+    #: Requests that errored (connect/read failure or non-200 status).
+    errors: int = 0
+    #: TCP connections the generator had to (re)open.
+    connects: int = 0
+    bytes_received: int = 0
+    duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    #: status code -> count over every finished exchange.
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def rps(self) -> float:
+        """Completed requests per second of wall time."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_s(self, quantile: float) -> float:
+        """A latency quantile (0..1) over completed requests (0 if none)."""
+        if not self.latencies_s:
+            return 0.0
+        return percentile(self.latencies_s, quantile)
+
+    def _note_status(self, status: int) -> None:
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+
+
+def _request_bytes(path: str, site: str, keep_alive: bool) -> bytes:
+    connection = "keep-alive" if keep_alive else "close"
+    return (
+        "GET {} HTTP/1.1\r\nhost: {}\r\nconnection: {}\r\n\r\n".format(
+            path, site, connection
+        ).encode("latin-1")
+    )
+
+
+async def _read_body(reader: asyncio.StreamReader, nbytes: int) -> int:
+    remaining = nbytes
+    while remaining > 0:
+        chunk = await reader.read(min(_READ_CHUNK, remaining))
+        if not chunk:
+            raise ConnectionError("short response body")
+        remaining -= len(chunk)
+    return nbytes
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    site: str,
+    path: str,
+    keep_alive: bool,
+    result: LoadResult,
+    claim: Callable[[], bool],
+) -> None:
+    """One closed-loop client: request, full response, repeat.
+
+    ``claim`` hands out request budget; a failed exchange consumes its
+    claim (errors are part of the measured workload).  A server that
+    answers ``connection: close`` costs a reconnect on the next round —
+    exactly how a pre-keep-alive proxy is measured under the same load.
+    """
+    from repro.proxy.http import HTTPError, read_response_head
+
+    request = _request_bytes(path, site, keep_alive)
+    loop = asyncio.get_event_loop()
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    try:
+        while claim():
+            started = loop.time()
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    result.connects += 1
+                writer.write(request)
+                await writer.drain()
+                head = await read_response_head(reader)
+                result.bytes_received += await _read_body(reader, head.content_length)
+                result._note_status(head.status)
+                if head.status == 200:
+                    result.completed += 1
+                    result.latencies_s.append(loop.time() - started)
+                else:
+                    result.errors += 1
+                server_closes = head.headers.get("connection", "").lower() == "close"
+                if not keep_alive or server_closes:
+                    writer.close()
+                    reader = writer = None
+            except (OSError, HTTPError, asyncio.IncompleteReadError, ConnectionError):
+                result.errors += 1
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def closed_loop(
+    host: str,
+    port: int,
+    *,
+    site: str,
+    path: str = "/index.html",
+    concurrency: int = 16,
+    total_requests: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    keep_alive: bool = True,
+) -> LoadResult:
+    """Drive a closed-loop workload; stop on a request budget or deadline."""
+    if (total_requests is None) == (duration_s is None):
+        raise ValueError("specify exactly one of total_requests / duration_s")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    result = LoadResult()
+    loop = asyncio.get_event_loop()
+    started = loop.time()
+    budget = [total_requests if total_requests is not None else 0]
+    deadline = started + duration_s if duration_s is not None else None
+
+    def claim() -> bool:
+        if deadline is not None:
+            return loop.time() < deadline
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return True
+
+    workers = [
+        asyncio.ensure_future(
+            _client_worker(host, port, site, path, keep_alive, result, claim)
+        )
+        for _ in range(concurrency)
+    ]
+    await asyncio.gather(*workers)
+    result.duration_s = loop.time() - started
+    return result
+
+
+async def _one_shot(
+    host: str, port: int, site: str, path: str, result: LoadResult
+) -> None:
+    """One open-loop request on its own connection."""
+    from repro.proxy.http import HTTPError, read_response_head
+
+    loop = asyncio.get_event_loop()
+    started = loop.time()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        result.connects += 1
+        writer.write(_request_bytes(path, site, keep_alive=False))
+        await writer.drain()
+        head = await read_response_head(reader)
+        result.bytes_received += await _read_body(reader, head.content_length)
+        result._note_status(head.status)
+        if head.status == 200:
+            result.completed += 1
+            result.latencies_s.append(loop.time() - started)
+        else:
+            result.errors += 1
+        writer.close()
+    except (OSError, HTTPError, asyncio.IncompleteReadError, ConnectionError):
+        result.errors += 1
+
+
+async def open_loop(
+    host: str,
+    port: int,
+    *,
+    site: str,
+    path: str = "/index.html",
+    rate: float,
+    duration_s: float,
+    drain_s: float = 2.0,
+) -> LoadResult:
+    """Fire requests at ``rate``/s for ``duration_s``, then drain in-flight."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    result = LoadResult()
+    loop = asyncio.get_event_loop()
+    started = loop.time()
+    period = 1.0 / rate
+    tasks: List[asyncio.Task] = []
+    next_fire = started
+    while next_fire - started < duration_s:
+        delay = next_fire - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(_one_shot(host, port, site, path, result))
+        )
+        next_fire += period
+    try:
+        await asyncio.wait_for(
+            asyncio.gather(*tasks, return_exceptions=True), timeout=drain_s
+        )
+    except asyncio.TimeoutError:
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+    result.duration_s = loop.time() - started
+    return result
+
+
+class ProxyRig:
+    """The full in-process localhost deployment, ready for load.
+
+    Starts ``num_backends`` :class:`~repro.proxy.backend.BackendServer`
+    instances and one :class:`~repro.proxy.frontend.GageProxy` in front,
+    with a single high-reservation subscriber so the WRR credit gate
+    never throttles the benchmark (the data plane is the system under
+    test, not the scheduler).
+    """
+
+    def __init__(
+        self,
+        *,
+        site: str = "bench.example",
+        files: Optional[Dict[str, int]] = None,
+        num_backends: int = 2,
+        reservation_grps: float = 100_000.0,
+        queue_capacity: int = 4096,
+        time_scale: float = 0.0,
+        config=None,
+    ) -> None:
+        from repro.core.config import GageConfig
+
+        self.site = site
+        self.files = dict(files) if files else {"/index.html": 2048}
+        self.num_backends = num_backends
+        self.reservation_grps = reservation_grps
+        self.queue_capacity = queue_capacity
+        self.time_scale = time_scale
+        #: A fast scheduling cycle and a wide-open dispatch window: the
+        #: data plane is the system under test, so neither dispatch
+        #: latency nor the cluster-saturation throttle should gate it.
+        self.config = config or GageConfig(
+            scheduling_cycle_s=0.002,
+            accounting_cycle_s=0.05,
+            dispatch_window_s=60.0,
+        )
+        self.backends = []
+        self.proxy = None
+        self.port: Optional[int] = None
+
+    async def start(self) -> int:
+        """Start back ends and proxy; returns the proxy's port."""
+        from repro.core.subscriber import Subscriber
+        from repro.proxy.backend import BackendServer
+        from repro.proxy.frontend import GageProxy
+
+        sites = {self.site: self.files}
+        addrs = {}
+        for index in range(self.num_backends):
+            backend = BackendServer(sites, time_scale=self.time_scale)
+            port = await backend.start()
+            self.backends.append(backend)
+            addrs["backend{}".format(index)] = ("127.0.0.1", port)
+        subscriber = Subscriber(
+            self.site, self.reservation_grps, queue_capacity=self.queue_capacity
+        )
+        self.proxy = GageProxy([subscriber], addrs, config=self.config)
+        self.port = await self.proxy.start()
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop the proxy and every back end."""
+        if self.proxy is not None:
+            await self.proxy.stop()
+            self.proxy = None
+        for backend in self.backends:
+            await backend.stop()
+        self.backends = []

@@ -17,6 +17,7 @@ sockets.
 """
 
 from repro.proxy.backend import BackendServer
+from repro.proxy.backend_pool import BackendPool
 from repro.proxy.frontend import GageProxy, ProxyStats
 from repro.proxy.http import (
     HTTPRequestHead,
@@ -25,9 +26,11 @@ from repro.proxy.http import (
     read_response_head,
     render_request_head,
     render_response_head,
+    wants_keep_alive,
 )
 
 __all__ = [
+    "BackendPool",
     "BackendServer",
     "GageProxy",
     "HTTPRequestHead",
@@ -37,4 +40,5 @@ __all__ = [
     "read_response_head",
     "render_request_head",
     "render_response_head",
+    "wants_keep_alive",
 ]

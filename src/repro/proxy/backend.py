@@ -5,6 +5,12 @@ service time (as event-loop sleeps, scaled by a cost model), and attaches
 the per-request resource usage to every response in an ``X-Gage-Usage``
 header — the real-socket analogue of the RPN's resource usage accounting
 (§3.5): here the *server* measures usage, and the front end collects it.
+
+The server speaks HTTP/1.1 keep-alive: one connection (typically a
+pooled socket held by the front end) carries many requests, with an idle
+timeout reclaiming abandoned ones.  Response head + body go out in a
+single vectored write from a preallocated body buffer, draining only
+when the transport's write buffer passes its high-water mark.
 """
 
 from __future__ import annotations
@@ -18,11 +24,19 @@ from repro.proxy.http import (
     USAGE_HEADER,
     read_request_head,
     render_response_head,
+    wants_keep_alive,
 )
+from repro.proxy.splice import over_high_water, tune_transport
 from repro.workload.request import CostModel, WebRequest
 
 #: Body chunk written at a time, bytes.
 CHUNK_BYTES = 16 * 1024
+
+#: Vectored-write batch: at most this many chunks per writelines call.
+_BATCH_CHUNKS = 16
+
+#: The synthetic body content, allocated once and sliced per response.
+_BODY_VIEW = memoryview(b"x" * CHUNK_BYTES)
 
 
 class BackendServer:
@@ -35,6 +49,8 @@ class BackendServer:
     cost_model:
         Converts a request into modeled CPU/disk service time; set
         ``time_scale`` below 1.0 to shrink modeled sleeps in tests.
+    keepalive_idle_s:
+        How long an idle keep-alive connection is held before closing.
     """
 
     def __init__(
@@ -43,13 +59,17 @@ class BackendServer:
         cost_model: Optional[CostModel] = None,
         time_scale: float = 1.0,
         host: str = "127.0.0.1",
+        keepalive_idle_s: float = 15.0,
     ) -> None:
         if time_scale < 0:
             raise ValueError("negative time scale")
+        if keepalive_idle_s <= 0:
+            raise ValueError("keepalive_idle_s must be positive")
         self.sites = sites
         self.cost_model = cost_model or CostModel()
         self.time_scale = time_scale
         self.host = host
+        self.keepalive_idle_s = keepalive_idle_s
         self.port: Optional[int] = None
         self.requests_served = 0
         self.errors = 0
@@ -83,32 +103,60 @@ class BackendServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        tune_transport(writer.transport)
         try:
-            head = await read_request_head(reader)
-        except (HTTPError, asyncio.IncompleteReadError, ConnectionError):
-            writer.close()
-            return
-        try:
-            await self._respond(head, writer)
-        except ConnectionError:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        read_request_head(reader), timeout=self.keepalive_idle_s
+                    )
+                except asyncio.TimeoutError:
+                    return
+                body_len = head.content_length
+                if body_len:
+                    await self._discard(reader, body_len)
+                keep_alive = wants_keep_alive(head)
+                await self._respond(head, writer, keep_alive)
+                if not keep_alive:
+                    return
+        except (HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown with the connection parked (a pooled
+            # keep-alive socket); exit quietly instead of letting the
+            # server's done-callback log the cancellation.
             pass
         finally:
             writer.close()
 
-    async def _respond(self, head, writer: asyncio.StreamWriter) -> None:
+    @staticmethod
+    async def _discard(reader: asyncio.StreamReader, nbytes: int) -> None:
+        """Consume a request body so the next head starts at a boundary."""
+        remaining = nbytes
+        while remaining > 0:
+            chunk = await reader.read(min(CHUNK_BYTES, remaining))
+            if not chunk:
+                raise asyncio.IncompleteReadError(partial=b"", expected=remaining)
+            remaining -= len(chunk)
+
+    async def _respond(
+        self, head, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
         host = head.host or ""
         site = self.sites.get(host)
         size = site.get(head.path) if site is not None else None
+        connection = "keep-alive" if keep_alive else "close"
         if size is None:
             self.errors += 1
             response = HTTPResponseHead(
-                version="HTTP/1.0",
+                version="HTTP/1.1",
                 status=404,
                 reason="Not Found",
-                headers={"content-length": "0", "connection": "close"},
+                headers={"content-length": "0", "connection": connection},
             )
             writer.write(render_response_head(response))
-            await writer.drain()
+            if over_high_water(writer):
+                await writer.drain()
             return
 
         request = WebRequest(host=host, path=head.path, size_bytes=size)
@@ -123,22 +171,31 @@ class BackendServer:
             await asyncio.sleep(service_s)
 
         response = HTTPResponseHead(
-            version="HTTP/1.0",
+            version="HTTP/1.1",
             status=200,
             reason="OK",
             headers={
                 "content-length": str(size),
                 "content-type": "text/html",
-                "connection": "close",
+                "connection": connection,
                 USAGE_HEADER: "{:.6f},{:.6f},{}".format(cpu_s, disk_s, size),
             },
         )
-        writer.write(render_response_head(response))
+        pieces = [render_response_head(response)]
         remaining = size
-        while remaining > 0:
-            chunk = min(CHUNK_BYTES, remaining)
-            writer.write(b"x" * chunk)
-            remaining -= chunk
+        while True:
+            while remaining > 0 and len(pieces) < _BATCH_CHUNKS:
+                take = min(CHUNK_BYTES, remaining)
+                pieces.append(_BODY_VIEW[:take])
+                remaining -= take
+            if pieces:
+                writer.writelines(pieces)
+                pieces = []
+            if remaining <= 0:
+                break
+            if over_high_water(writer):
+                await writer.drain()
+        if over_high_water(writer):
             await writer.drain()
         self.requests_served += 1
         self.bytes_sent += size

@@ -1,0 +1,199 @@
+"""Keep-alive connection pooling for the proxy's back-end sockets.
+
+The paper's front end splices the client socket to a back-end connection
+per request; at high request rates the dominant cost in a userspace
+deployment becomes the TCP handshake + slow-start on every dispatch.
+:class:`BackendPool` keeps bounded per-backend stacks of idle HTTP/1.1
+keep-alive connections so sequential dispatches reuse warm sockets.
+
+Health integration (PR 1 semantics): when the front end ejects a back
+end (`mark_down`), it calls :meth:`drop_backend` so no stale socket to a
+dead node survives; when a probe re-admits the node, the probe's own
+connection is :meth:`put` back, repopulating the pool.
+
+Counters are exported under ``repro.proxy.pool.*``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.telemetry import get_registry
+
+#: An idle pooled connection: (reader, writer, parked_at).
+_Entry = Tuple[asyncio.StreamReader, asyncio.StreamWriter, float]
+
+
+def _connection_stale(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> bool:
+    """Whether a parked connection can no longer carry a request.
+
+    A closing transport or an EOF-ed reader is dead; unexpected bytes in
+    the reader's buffer (the back end spoke out of turn) make the next
+    response unparseable, so the socket is unusable too.
+    """
+    transport = getattr(writer, "transport", None)
+    if transport is not None and transport.is_closing():
+        return True
+    if reader.at_eof():
+        return True
+    buffered = getattr(reader, "_buffer", None)
+    return bool(buffered)
+
+
+class BackendPool:
+    """Bounded per-backend stacks of idle keep-alive connections.
+
+    LIFO reuse keeps the working set of sockets small and warm; entries
+    older than ``idle_timeout_s`` are discarded on access and by the
+    periodic :meth:`sweep`.  ``size_per_backend == 0`` disables pooling
+    (every ``get`` misses, every ``put`` closes).
+    """
+
+    def __init__(
+        self,
+        size_per_backend: int = 8,
+        idle_timeout_s: float = 30.0,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if size_per_backend < 0:
+            raise ValueError("size_per_backend must be >= 0")
+        if idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        self.size_per_backend = size_per_backend
+        self.idle_timeout_s = idle_timeout_s
+        self._now = now_fn or time.monotonic
+        self._idle: Dict[str, Deque[_Entry]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.reuses = 0
+        self.expired = 0
+        self.dropped = 0
+        registry = get_registry()
+        self._tm_hits = registry.counter("repro.proxy.pool.hits")
+        self._tm_misses = registry.counter("repro.proxy.pool.misses")
+        self._tm_reuses = registry.counter("repro.proxy.pool.reuses")
+        self._tm_expired = registry.counter("repro.proxy.pool.expired")
+        self._tm_dropped = registry.counter("repro.proxy.pool.dropped")
+        self._tm_idle = registry.gauge("repro.proxy.pool.idle")
+
+    # -- core ---------------------------------------------------------------
+
+    def get(
+        self, backend_id: str
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """Pop a live idle connection for ``backend_id`` (None on miss)."""
+        stack = self._idle.get(backend_id)
+        now = self._now()
+        while stack:
+            reader, writer, parked_at = stack.pop()
+            if now - parked_at > self.idle_timeout_s:
+                self._discard(writer)
+                self.expired += 1
+                self._tm_expired.inc()
+                continue
+            if _connection_stale(reader, writer):
+                self._discard(writer)
+                self.expired += 1
+                self._tm_expired.inc()
+                continue
+            self.hits += 1
+            self._tm_hits.inc()
+            self._update_idle_gauge()
+            return reader, writer
+        self.misses += 1
+        self._tm_misses.inc()
+        self._update_idle_gauge()
+        return None
+
+    def put(
+        self,
+        backend_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Park a connection for reuse; returns False (and closes) if refused."""
+        if self.size_per_backend == 0 or _connection_stale(reader, writer):
+            self._discard(writer)
+            return False
+        stack = self._idle.setdefault(backend_id, deque())
+        if len(stack) >= self.size_per_backend:
+            self._discard(writer)
+            return False
+        stack.append((reader, writer, self._now()))
+        self.reuses += 1
+        self._tm_reuses.inc()
+        self._update_idle_gauge()
+        return True
+
+    # -- health / lifecycle -------------------------------------------------
+
+    def drop_backend(self, backend_id: str) -> int:
+        """Close every idle connection to an ejected back end."""
+        stack = self._idle.pop(backend_id, None)
+        if not stack:
+            return 0
+        count = len(stack)
+        for _, writer, _ in stack:
+            self._discard(writer)
+        self.dropped += count
+        self._tm_dropped.inc(count)
+        self._update_idle_gauge()
+        return count
+
+    def sweep(self) -> int:
+        """Evict idle-expired and dead connections (called periodically)."""
+        now = self._now()
+        evicted = 0
+        for stack in self._idle.values():
+            keep: Deque[_Entry] = deque()
+            while stack:
+                reader, writer, parked_at = stack.popleft()
+                if now - parked_at > self.idle_timeout_s or _connection_stale(
+                    reader, writer
+                ):
+                    self._discard(writer)
+                    evicted += 1
+                else:
+                    keep.append((reader, writer, parked_at))
+            stack.extend(keep)
+        if evicted:
+            self.expired += evicted
+            self._tm_expired.inc(evicted)
+            self._update_idle_gauge()
+        return evicted
+
+    def close_all(self) -> None:
+        """Close every pooled connection (proxy shutdown)."""
+        for stack in self._idle.values():
+            for _, writer, _ in stack:
+                self._discard(writer)
+        self._idle.clear()
+        self._update_idle_gauge()
+
+    def idle_count(self, backend_id: Optional[str] = None) -> int:
+        """Idle connections parked for one back end (or all of them)."""
+        if backend_id is not None:
+            return len(self._idle.get(backend_id, ()))
+        return sum(len(stack) for stack in self._idle.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (OSError, RuntimeError):
+            # Closing an already-torn-down transport is a no-op.
+            pass
+
+    def _update_idle_gauge(self) -> None:
+        self._tm_idle.set(self.idle_count())

@@ -14,6 +14,14 @@ instead of simulated processes:
   collected from ``X-Gage-Usage`` response headers into
   :class:`~repro.core.feedback.AccountingMessage` objects (one per back
   end), and applies them exactly as the simulated RDN would.
+
+The data plane is built for throughput: client connections are HTTP/1.1
+keep-alive (one connection carries many requests through classification
+and the WRR gate), back-end sockets are pooled and reused
+(:class:`~repro.proxy.backend_pool.BackendPool`), message heads and
+bodies go out in one vectored write, and bulk bodies are relayed
+transport-to-transport under flow control
+(:func:`~repro.proxy.splice.splice_exactly`).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.core.node_scheduler import NodeScheduler
 from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
 from repro.core.subscriber import Subscriber
+from repro.proxy.backend_pool import BackendPool
 from repro.proxy.http import (
     HTTPError,
     HTTPRequestHead,
@@ -44,8 +53,9 @@ from repro.proxy.http import (
     read_response_head,
     render_request_head,
     render_response_head,
+    wants_keep_alive,
 )
-from repro.proxy.splice import relay_exactly
+from repro.proxy.splice import splice_exactly, tune_transport
 from repro.resources import ResourceVector
 from repro.telemetry.registry import get_registry
 
@@ -67,6 +77,8 @@ class ProxyStats:
     retried: int = 0
     #: Requests refused with 503 because no healthy backend existed.
     shed_no_backend: int = 0
+    #: Requests that arrived on an already-open client connection.
+    keepalive_requests: int = 0
 
 
 @dataclass
@@ -82,6 +94,25 @@ class _PendingConnection:
 #: Default per-backend capacity: one CPU-second and disk-second per
 #: second, 12.5 MB/s of link — mirrors the simulator's node capacity.
 DEFAULT_BACKEND_CAPACITY = ResourceVector(1.0, 1.0, 12_500_000.0)
+
+#: Rendered refusal heads, keyed (status, reason, retry_after_s).  A
+#: shedding proxy refuses thousands of identical 503s; rendering each
+#: once is free throughput on exactly the overloaded path.
+_REFUSAL_CACHE: Dict[Tuple[int, str, Optional[int]], bytes] = {}
+
+
+def _refusal_bytes(status: int, reason: str, retry_after_s: Optional[int]) -> bytes:
+    key = (status, reason, retry_after_s)
+    rendered = _REFUSAL_CACHE.get(key)
+    if rendered is None:
+        headers = ["content-length: 0", "connection: close"]
+        if retry_after_s is not None:
+            headers.append("retry-after: {}".format(retry_after_s))
+        rendered = "HTTP/1.0 {} {}\r\n{}\r\n\r\n".format(
+            status, reason, "\r\n".join(headers)
+        ).encode("latin-1")
+        _REFUSAL_CACHE[key] = rendered
+    return rendered
 
 
 class GageProxy:
@@ -126,6 +157,11 @@ class GageProxy:
         self._buckets: Dict[str, Dict[str, List[object]]] = {
             backend_id: {} for backend_id in backends
         }
+        #: Idle keep-alive sockets to each backend, reused across requests.
+        self.pool = BackendPool(
+            size_per_backend=self.config.proxy_pool_size,
+            idle_timeout_s=self.config.proxy_pool_idle_s,
+        )
         #: Ejection/re-admission/shedding ledger (loop-clock timestamps).
         self.failures = FailureLog()
         #: Consecutive failures per backend; any success resets to zero,
@@ -172,6 +208,7 @@ class GageProxy:
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks.clear()
+        self.pool.close_all()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -186,6 +223,7 @@ class GageProxy:
         while not self._stopping:
             await asyncio.sleep(self.config.scheduling_cycle_s)
             self.scheduler.run_cycle()
+            self.pool.sweep()
             get_registry().tick()
             if not self.node_scheduler.up_nodes():
                 self._shed_queued()
@@ -250,11 +288,25 @@ class GageProxy:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats.accepted += 1
+        tune_transport(writer.transport)
         try:
             head = await read_request_head(reader)
         except (HTTPError, asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
+        except asyncio.CancelledError:
+            # Loop teardown while waiting on an idle client; exit quietly.
+            writer.close()
+            return
+        await self._admit(head, reader, writer)
+
+    async def _admit(
+        self,
+        head: HTTPRequestHead,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Classify one parsed request and queue it for the scheduler."""
         subscriber = self.classifier.classify_payload(head)
         if subscriber is None:
             self.stats.rejected_unknown_host += 1
@@ -280,6 +332,33 @@ class GageProxy:
             )
             return
 
+    def _resume_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Wait for the next request on a kept-alive client connection."""
+        task = asyncio.ensure_future(self._keepalive_loop(reader, writer))
+        self._tasks.append(task)
+        self._tasks = [t for t in self._tasks if not t.done()]
+
+    async def _keepalive_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await asyncio.wait_for(
+                read_request_head(reader),
+                timeout=self.config.proxy_keepalive_idle_s,
+            )
+        except (
+            asyncio.TimeoutError,
+            HTTPError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        self.stats.keepalive_requests += 1
+        await self._admit(head, reader, writer)
+
     @staticmethod
     async def _refuse(
         writer: asyncio.StreamWriter,
@@ -287,15 +366,8 @@ class GageProxy:
         reason: str,
         retry_after_s: Optional[int] = None,
     ) -> None:
-        headers = ["content-length: 0", "connection: close"]
-        if retry_after_s is not None:
-            headers.append("retry-after: {}".format(retry_after_s))
         try:
-            writer.write(
-                "HTTP/1.0 {} {}\r\n{}\r\n\r\n".format(
-                    status, reason, "\r\n".join(headers)
-                ).encode("latin-1")
-            )
+            writer.write(_refusal_bytes(status, reason, retry_after_s))
             await writer.drain()
         except ConnectionError:
             pass
@@ -319,10 +391,50 @@ class GageProxy:
         self._tasks.append(task)
         self._tasks = [t for t in self._tasks if not t.done()]
 
+    async def _acquire(
+        self, backend_id: str, fresh: bool = False
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, bool]:
+        """A connection to ``backend_id``: pooled if available, else dialed.
+
+        Returns ``(reader, writer, reused)``; raises ``OSError`` or
+        ``asyncio.TimeoutError`` when a fresh dial fails.
+        """
+        if not fresh:
+            pooled = self.pool.get(backend_id)
+            if pooled is not None:
+                return pooled[0], pooled[1], True
+        connect_started = self._now()
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*self.backends[backend_id]),
+            timeout=self.config.proxy_connect_timeout_s,
+        )
+        self._tm_connect_latency.observe(self._now() - connect_started)
+        tune_transport(writer.transport)
+        return reader, writer, False
+
+    async def _exchange(
+        self,
+        request_head: bytes,
+        body_len: int,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        backend_reader: asyncio.StreamReader,
+        backend_writer: asyncio.StreamWriter,
+    ):
+        """Send one request to the backend and read its response head."""
+        await splice_exactly(
+            client_reader, client_writer, backend_writer, body_len, prefix=request_head
+        )
+        await backend_writer.drain()
+        return await asyncio.wait_for(
+            read_response_head(backend_reader),
+            timeout=self.config.proxy_response_timeout_s,
+        )
+
     async def _serve(
         self, pending: _PendingConnection, backend_id: str, subscriber: str
     ) -> None:
-        """Proxy one dispatched connection, riding out backend failures.
+        """Proxy one dispatched request, riding out backend failures.
 
         A connect failure or timeout takes one retry (with exponential
         backoff) against the least-loaded healthy backend not yet tried;
@@ -331,21 +443,27 @@ class GageProxy:
         billed under ``backend_id`` — the backend the scheduler charged
         at dispatch — even when an alternate physically served, so the
         accounting's pending-prediction queues stay consistent.
+
+        On success, the backend socket returns to the pool (if the
+        backend kept it alive) and a keep-alive client goes back to
+        waiting for its next request instead of being closed.
         """
         client_reader, client_writer = pending.reader, pending.writer
+        head = pending.head
+        client_keep_alive = wants_keep_alive(head)
+        body_len = head.content_length
+        # The hop to the backend is always keep-alive; the client's own
+        # connection preference is honored on the client side only.
+        head.headers["connection"] = "keep-alive"
+        request_head = render_request_head(head)
         tried: Set[str] = set()
         current = backend_id
-        connection = None
         started = self._now()
+        connection = None
         for attempt in range(2):
             tried.add(current)
             try:
-                connect_started = self._now()
-                connection = await asyncio.wait_for(
-                    asyncio.open_connection(*self.backends[current]),
-                    timeout=self.config.proxy_connect_timeout_s,
-                )
-                self._tm_connect_latency.observe(self._now() - connect_started)
+                connection = await self._acquire(current)
                 break
             except (OSError, asyncio.TimeoutError):
                 self._note_backend_failure(current)
@@ -363,6 +481,9 @@ class GageProxy:
                 if self.node_scheduler.up_nodes():
                     await self._refuse(client_writer, 502, "Bad Gateway")
                 else:
+                    self.stats.shed_no_backend += 1
+                    self._tm_shed.inc()
+                    self.failures.record(self._now(), REQUEST_SHED, subscriber)
                     await self._refuse(
                         client_writer,
                         503,
@@ -370,45 +491,55 @@ class GageProxy:
                         retry_after_s=self._retry_after_s(),
                     )
                 return
-        backend_reader, backend_writer = connection
+        backend_reader, backend_writer, reused = connection
+        released = False
+        client_ok = False
+        head_sent = False
         try:
-            backend_writer.write(render_request_head(pending.head))
-            body_len = pending.head.content_length
-            if body_len:
-                await relay_exactly(client_reader, backend_writer, body_len)
-            await backend_writer.drain()
-
-            try:
-                response = await asyncio.wait_for(
-                    read_response_head(backend_reader),
-                    timeout=self.config.proxy_response_timeout_s,
-                )
-            except asyncio.TimeoutError:
-                self.stats.timed_out += 1
-                self._tm_timeouts.inc()
-                self.stats.failed += 1
-                self._note_backend_failure(current)
-                self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
-                await self._refuse(client_writer, 504, "Gateway Timeout")
-                return
+            while True:
+                try:
+                    response = await self._exchange(
+                        request_head,
+                        body_len,
+                        client_reader,
+                        client_writer,
+                        backend_reader,
+                        backend_writer,
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError) as exc:
+                    if reused and body_len == 0:
+                        # The pooled socket went stale while parked (the
+                        # backend closed its end).  Nothing of the request
+                        # was consumed from the client, so redial fresh
+                        # once — a dead parked socket is not a backend
+                        # failure.
+                        backend_writer.close()
+                        try:
+                            backend_reader, backend_writer, reused = (
+                                await self._acquire(current, fresh=True)
+                            )
+                        except (OSError, asyncio.TimeoutError):
+                            raise exc from None
+                        continue
+                    raise
             usage_triple = response.usage()
-            client_writer.write(render_response_head(response, drop_usage=True))
-            try:
-                relayed = await asyncio.wait_for(
-                    relay_exactly(
-                        backend_reader, client_writer, response.content_length
-                    ),
-                    timeout=self.config.proxy_response_timeout_s,
-                )
-            except asyncio.TimeoutError:
-                # The response head already reached the client, so no
-                # error status can follow; just cut the stalled transfer.
-                self.stats.timed_out += 1
-                self._tm_timeouts.inc()
-                self.stats.failed += 1
-                self._note_backend_failure(current)
-                self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
-                return
+            backend_keep_alive = wants_keep_alive(response)
+            response.headers["connection"] = (
+                "keep-alive" if client_keep_alive else "close"
+            )
+            response_head = render_response_head(response, drop_usage=True)
+            head_sent = True
+            relayed = await asyncio.wait_for(
+                splice_exactly(
+                    backend_reader,
+                    backend_writer,
+                    client_writer,
+                    response.content_length,
+                    prefix=response_head,
+                ),
+                timeout=self.config.proxy_response_timeout_s,
+            )
             await client_writer.drain()
             self.stats.completed += 1
             self._tm_response_latency.observe(self._now() - started)
@@ -420,13 +551,32 @@ class GageProxy:
             )
             self._record(backend_id, subscriber, usage, completed=1)
             self._consecutive_failures[current] = 0
+            if backend_keep_alive and not self._stopping:
+                released = self.pool.put(current, backend_reader, backend_writer)
+            client_ok = True
+        except asyncio.TimeoutError:
+            self.stats.timed_out += 1
+            self._tm_timeouts.inc()
+            self.stats.failed += 1
+            self._note_backend_failure(current)
+            self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+            if not head_sent:
+                await self._refuse(client_writer, 504, "Gateway Timeout")
+            # else: the head already reached the client, so no error
+            # status can follow; just cut the stalled transfer.
         except (HTTPError, ConnectionError, asyncio.IncompleteReadError):
             self.stats.failed += 1
             self._note_backend_failure(current)
             self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+            if not head_sent:
+                await self._refuse(client_writer, 502, "Bad Gateway")
         finally:
-            backend_writer.close()
-            client_writer.close()
+            if not released:
+                backend_writer.close()
+            if client_ok and client_keep_alive:
+                self._resume_client(client_reader, client_writer)
+            else:
+                client_writer.close()
 
     # -- backend health ----------------------------------------------------------
 
@@ -453,6 +603,8 @@ class GageProxy:
         ):
             now = self._now()
             self.node_scheduler.mark_down(backend_id, at_s=now)
+            # No socket to a dead node survives in the pool.
+            self.pool.drop_backend(backend_id)
             self._tm_ejections.inc()
             self.failures.record(now, BACKEND_EJECTED, backend_id, detail=float(count))
             if backend_id not in self._probing:
@@ -467,17 +619,19 @@ class GageProxy:
             while not self._stopping:
                 await asyncio.sleep(self.config.proxy_probe_interval_s)
                 try:
-                    _reader, writer = await asyncio.wait_for(
+                    reader, writer = await asyncio.wait_for(
                         asyncio.open_connection(host, port),
                         timeout=self.config.proxy_connect_timeout_s,
                     )
                 except (OSError, asyncio.TimeoutError):
                     continue
-                writer.close()
                 self._consecutive_failures[backend_id] = 0
                 self.node_scheduler.mark_up(backend_id)
                 self._tm_readmissions.inc()
                 self.failures.record(self._now(), BACKEND_READMITTED, backend_id)
+                # The probe connection itself seeds the refilled pool.
+                tune_transport(writer.transport)
+                self.pool.put(backend_id, reader, writer)
                 return
         finally:
             self._probing.discard(backend_id)

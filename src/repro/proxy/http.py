@@ -2,15 +2,17 @@
 
 Supports exactly what the Gage front end needs: reading a request line +
 headers to extract the Host (classification key, §3.3) and
-Content-Length, and reading a response head to extract Content-Length and
-the back end's ``X-Gage-Usage`` accounting header.
+Content-Length, reading a response head to extract Content-Length and
+the back end's ``X-Gage-Usage`` accounting header, and deciding
+keep-alive semantics (HTTP/1.1 persistent connections are what makes
+the pooled data plane pay off).
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 #: Upper bound on a message head, to bound memory per connection.
 MAX_HEAD_BYTES = 16 * 1024
@@ -42,8 +44,8 @@ class HTTPRequestHead:
 
     @property
     def content_length(self) -> int:
-        """Declared body length (0 if absent)."""
-        return int(self.headers.get("content-length", "0"))
+        """Declared body length (0 if absent, e.g. a POST without one)."""
+        return _content_length(self.headers)
 
 
 @dataclass
@@ -58,7 +60,7 @@ class HTTPResponseHead:
     @property
     def content_length(self) -> int:
         """Declared body length (0 if absent)."""
-        return int(self.headers.get("content-length", "0"))
+        return _content_length(self.headers)
 
     def usage(self) -> Optional[Tuple[float, float, float]]:
         """The (cpu_s, disk_s, net_bytes) triple from X-Gage-Usage."""
@@ -71,8 +73,40 @@ class HTTPResponseHead:
         return float(parts[0]), float(parts[1]), float(parts[2])
 
 
+def _content_length(headers: Dict[str, str]) -> int:
+    raw = headers.get("content-length")
+    if raw is None:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise HTTPError("malformed content-length: {!r}".format(raw)) from exc
+    if value < 0:
+        raise HTTPError("negative content-length: {!r}".format(raw))
+    return value
+
+
+def wants_keep_alive(head: Union[HTTPRequestHead, HTTPResponseHead]) -> bool:
+    """Whether this message's connection should persist afterwards.
+
+    HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+    HTTP/1.0 defaults to close unless ``Connection: keep-alive``.
+    """
+    connection = head.headers.get("connection", "").strip().lower()
+    if connection == "keep-alive":
+        return True
+    if connection == "close":
+        return False
+    return head.version.upper() == "HTTP/1.1"
+
+
 async def _read_head_block(reader: asyncio.StreamReader) -> str:
-    data = await reader.readuntil(b"\r\n\r\n")
+    try:
+        data = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError as exc:
+        # The head outgrew the StreamReader's buffer limit without ever
+        # terminating — same verdict as an oversized-but-complete head.
+        raise HTTPError("message head too large") from exc
     if len(data) > MAX_HEAD_BYTES:
         raise HTTPError("message head too large")
     return data.decode("latin-1")
@@ -86,7 +120,12 @@ def _parse_headers(lines) -> Dict[str, str]:
         if ":" not in line:
             raise HTTPError("malformed header line: {!r}".format(line))
         name, value = line.split(":", 1)
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip().lower()
+        if name == "host" and "host" in headers:
+            # Two Hosts would make classification ambiguous (RFC 7230
+            # §5.4 calls for rejection); refuse rather than guess.
+            raise HTTPError("multiple host headers")
+        headers[name] = value.strip()
     return headers
 
 

@@ -140,6 +140,54 @@ class TestBenchCompare:
         assert result.returncode == 1
         assert "REGRESSED" in result.stdout
 
+    def test_perf_prefixed_figures_use_timing_tolerance(self, tmp_path):
+        # perf_* extra_info values are timing-derived (RPS, latency
+        # percentiles): they wobble with hardware and get the forgiving
+        # timing tolerance, not the tight figure gate.
+        old = write_suite(
+            str(tmp_path / "old"), "demo", [record("test_a", 0.01, {"perf_rps": 3000.0})]
+        )
+        new = write_suite(
+            str(tmp_path / "new"), "demo", [record("test_a", 0.01, {"perf_rps": 2400.0})]
+        )
+        assert (
+            run_compare(
+                old, new, "--tolerance", "0.5", "--figure-tolerance", "0.05"
+            ).returncode
+            == 0
+        )
+
+    def test_perf_prefixed_figures_still_gated_at_timing_tolerance(self, tmp_path):
+        old = write_suite(
+            str(tmp_path / "old"), "demo", [record("test_a", 0.01, {"perf_rps": 3000.0})]
+        )
+        new = write_suite(
+            str(tmp_path / "new"), "demo", [record("test_a", 0.01, {"perf_rps": 1000.0})]
+        )
+        result = run_compare(
+            old, new, "--tolerance", "0.5", "--figure-tolerance", "0.05"
+        )
+        assert result.returncode == 1
+        assert "drifted" in result.stdout
+
+    def test_unprefixed_figure_keeps_tight_gate_alongside_perf_keys(self, tmp_path):
+        # The same 20% drift: fine on a perf_ key, fatal on a figure key.
+        old = write_suite(
+            str(tmp_path / "old"),
+            "demo",
+            [record("test_a", 0.01, {"perf_rps": 3000.0, "figure": 10.0})],
+        )
+        new = write_suite(
+            str(tmp_path / "new"),
+            "demo",
+            [record("test_a", 0.01, {"perf_rps": 2400.0, "figure": 12.0})],
+        )
+        result = run_compare(
+            old, new, "--tolerance", "0.5", "--figure-tolerance", "0.05"
+        )
+        assert result.returncode == 1
+        assert "figure" in result.stdout
+
     def test_missing_benchmark_fails(self, tmp_path):
         old = write_suite(
             str(tmp_path / "old"),

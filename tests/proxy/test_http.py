@@ -8,11 +8,13 @@ from repro.proxy.http import (
     HTTPError,
     HTTPRequestHead,
     HTTPResponseHead,
+    MAX_HEAD_BYTES,
     USAGE_HEADER,
     read_request_head,
     read_response_head,
     render_request_head,
     render_response_head,
+    wants_keep_alive,
 )
 
 
@@ -111,3 +113,90 @@ def test_render_response_strips_usage():
     assert b"x-gage-usage" not in wire.lower()
     kept = render_response_head(head, drop_usage=False)
     assert b"x-gage-usage" in kept.lower()
+
+
+def test_oversized_head_rejected():
+    filler = b"x-filler: " + b"a" * MAX_HEAD_BYTES + b"\r\n"
+    with pytest.raises(HTTPError):
+        parse_request(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+
+
+def test_head_overrunning_reader_limit_rejected():
+    # Past the StreamReader's own buffer limit (64 KiB default) readuntil
+    # raises LimitOverrunError before the terminator is ever seen; that
+    # must surface as HTTPError, not escape and kill the handler task.
+    filler = b"x-filler: " + b"a" * (5 * 64 * 1024) + b"\r\n"
+    with pytest.raises(HTTPError):
+        parse_request(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+
+
+def test_post_without_content_length_defaults_to_zero_body():
+    head = parse_request(b"POST /submit HTTP/1.1\r\nhost: a.com\r\n\r\n")
+    assert head.method == "POST"
+    assert head.content_length == 0
+
+
+def test_malformed_content_length_rejected():
+    head = parse_request(
+        b"POST / HTTP/1.1\r\nhost: a.com\r\ncontent-length: ten\r\n\r\n"
+    )
+    with pytest.raises(HTTPError):
+        head.content_length
+    negative = parse_request(
+        b"POST / HTTP/1.1\r\nhost: a.com\r\ncontent-length: -5\r\n\r\n"
+    )
+    with pytest.raises(HTTPError):
+        negative.content_length
+
+
+def test_multiple_host_headers_rejected():
+    raw = b"GET / HTTP/1.1\r\nHost: a.com\r\nHost: b.com\r\n\r\n"
+    with pytest.raises(HTTPError):
+        parse_request(raw)
+
+
+def test_header_names_case_insensitive():
+    raw = (
+        b"GET / HTTP/1.1\r\nHoSt: a.com\r\nCONTENT-LENGTH: 7\r\n"
+        b"CoNnEcTiOn: ClOsE\r\n\r\n"
+    )
+    head = parse_request(raw)
+    assert head.host == "a.com"
+    assert head.content_length == 7
+    assert not wants_keep_alive(head)
+
+
+def test_wants_keep_alive_version_defaults():
+    http11 = parse_request(b"GET / HTTP/1.1\r\nhost: a.com\r\n\r\n")
+    assert wants_keep_alive(http11)
+    http10 = parse_request(b"GET / HTTP/1.0\r\nhost: a.com\r\n\r\n")
+    assert not wants_keep_alive(http10)
+    http10_ka = parse_request(
+        b"GET / HTTP/1.0\r\nhost: a.com\r\nconnection: keep-alive\r\n\r\n"
+    )
+    assert wants_keep_alive(http10_ka)
+    http11_close = parse_request(
+        b"GET / HTTP/1.1\r\nhost: a.com\r\nconnection: close\r\n\r\n"
+    )
+    assert not wants_keep_alive(http11_close)
+
+
+def test_keep_alive_request_boundaries_on_one_stream():
+    # Two pipelined requests: each parse must consume exactly one head,
+    # leaving the next request intact on the stream.
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"GET /one HTTP/1.1\r\nhost: a.com\r\n\r\n"
+            b"GET /two HTTP/1.1\r\nhost: b.com\r\n\r\n"
+        )
+        reader.feed_eof()
+        first = await read_request_head(reader)
+        second = await read_request_head(reader)
+        return first, second
+
+    first, second = asyncio.run(main())
+    assert first.path == "/one"
+    assert first.host == "a.com"
+    assert second.path == "/two"
+    assert second.host == "b.com"

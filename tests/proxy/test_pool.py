@@ -1,0 +1,212 @@
+"""Unit tests for the backend connection pool."""
+
+import asyncio
+
+import pytest
+
+from repro.proxy.backend_pool import BackendPool
+from repro.telemetry import get_registry
+
+
+async def _socket_pair():
+    """A real (reader, writer) pair connected to a throwaway server."""
+    accepted = asyncio.get_event_loop().create_future()
+
+    def on_connect(reader, writer):
+        if not accepted.done():
+            accepted.set_result((reader, writer))
+
+    server = await asyncio.start_server(on_connect, host="127.0.0.1", port=0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    peer = await accepted
+    return reader, writer, peer, server
+
+
+async def _teardown(*pairs):
+    for _reader, writer, peer, server in pairs:
+        writer.close()
+        peer[1].close()
+        server.close()
+        await server.wait_closed()
+
+
+def test_get_on_empty_pool_is_a_miss():
+    async def main():
+        pool = BackendPool()
+        assert pool.get("rpn0") is None
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.misses == 1
+    assert pool.hits == 0
+    assert pool.hit_rate == 0.0
+
+
+def test_put_then_get_round_trips_the_connection():
+    async def main():
+        pool = BackendPool()
+        pair = await _socket_pair()
+        reader, writer = pair[0], pair[1]
+        try:
+            assert pool.put("rpn0", reader, writer)
+            assert pool.idle_count("rpn0") == 1
+            assert pool.get("rpn0") == (reader, writer)
+            assert pool.idle_count() == 0
+        finally:
+            await _teardown(pair)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.hits == 1
+    assert pool.reuses == 1
+
+
+def test_pool_is_lifo():
+    async def main():
+        pool = BackendPool()
+        first = await _socket_pair()
+        second = await _socket_pair()
+        try:
+            pool.put("rpn0", first[0], first[1])
+            pool.put("rpn0", second[0], second[1])
+            assert pool.get("rpn0") == (second[0], second[1])
+        finally:
+            await _teardown(first, second)
+
+    asyncio.run(main())
+
+
+def test_put_past_capacity_closes_the_extra_connection():
+    async def main():
+        pool = BackendPool(size_per_backend=1)
+        first = await _socket_pair()
+        second = await _socket_pair()
+        try:
+            assert pool.put("rpn0", first[0], first[1])
+            assert not pool.put("rpn0", second[0], second[1])
+            assert pool.idle_count("rpn0") == 1
+            assert second[1].transport.is_closing()
+        finally:
+            await _teardown(first, second)
+
+    asyncio.run(main())
+
+
+def test_size_zero_disables_pooling():
+    async def main():
+        pool = BackendPool(size_per_backend=0)
+        pair = await _socket_pair()
+        try:
+            assert not pool.put("rpn0", pair[0], pair[1])
+            assert pair[1].transport.is_closing()
+            assert pool.get("rpn0") is None
+        finally:
+            await _teardown(pair)
+
+    asyncio.run(main())
+
+
+def test_idle_expiry_on_get():
+    async def main():
+        clock = [0.0]
+        pool = BackendPool(idle_timeout_s=5.0, now_fn=lambda: clock[0])
+        pair = await _socket_pair()
+        try:
+            pool.put("rpn0", pair[0], pair[1])
+            clock[0] = 6.0
+            assert pool.get("rpn0") is None
+        finally:
+            await _teardown(pair)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.expired == 1
+    assert pool.misses == 1
+
+
+def test_sweep_evicts_expired_connections():
+    async def main():
+        clock = [0.0]
+        pool = BackendPool(idle_timeout_s=5.0, now_fn=lambda: clock[0])
+        pair = await _socket_pair()
+        try:
+            pool.put("rpn0", pair[0], pair[1])
+            assert pool.sweep() == 0
+            clock[0] = 6.0
+            assert pool.sweep() == 1
+            assert pool.idle_count() == 0
+        finally:
+            await _teardown(pair)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.expired == 1
+
+
+def test_get_skips_connection_closed_by_peer():
+    async def main():
+        pool = BackendPool()
+        pair = await _socket_pair()
+        try:
+            pool.put("rpn0", pair[0], pair[1])
+            pair[2][1].close()
+            # Let the FIN arrive so the parked reader sees EOF.
+            await asyncio.sleep(0.05)
+            assert pool.get("rpn0") is None
+        finally:
+            await _teardown(pair)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.expired == 1
+
+
+def test_drop_backend_closes_every_idle_connection():
+    async def main():
+        pool = BackendPool()
+        first = await _socket_pair()
+        second = await _socket_pair()
+        try:
+            pool.put("rpn0", first[0], first[1])
+            pool.put("rpn0", second[0], second[1])
+            assert pool.drop_backend("rpn0") == 2
+            assert pool.idle_count("rpn0") == 0
+            assert first[1].transport.is_closing()
+            assert second[1].transport.is_closing()
+        finally:
+            await _teardown(first, second)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.dropped == 2
+
+
+def test_telemetry_counters_track_pool_activity():
+    async def main():
+        pool = BackendPool()
+        pair = await _socket_pair()
+        try:
+            pool.get("rpn0")
+            pool.put("rpn0", pair[0], pair[1])
+            pool.get("rpn0")
+        finally:
+            await _teardown(pair)
+
+    asyncio.run(main())
+    registry = get_registry()
+    values = {
+        metric.name: metric.value
+        for metric in registry.metrics(prefix="repro.proxy.pool.")
+    }
+    assert values["repro.proxy.pool.hits"] == 1
+    assert values["repro.proxy.pool.misses"] == 1
+    assert values["repro.proxy.pool.reuses"] == 1
+    assert values["repro.proxy.pool.idle"] == 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BackendPool(size_per_backend=-1)
+    with pytest.raises(ValueError):
+        BackendPool(idle_timeout_s=0.0)
