@@ -1,0 +1,134 @@
+"""BENCH_proxy_sharded — throughput of the multi-worker proxy deployment.
+
+The same closed-loop keep-alive workload as ``BENCH_proxy``, but served
+by a :class:`~repro.proxy.workers.WorkerSupervisor` running
+``WORKERS`` ``SO_REUSEPORT`` worker processes behind one shared port,
+with the hierarchical credit channel active.
+
+Gating: the committed baseline pins the round timing (``median_s``),
+the constants, and the ``workers`` configuration key — which
+``scripts/bench_compare.py`` requires to match *exactly*, so a baseline
+recorded at a different worker count fails loudly instead of being
+silently compared.  The RPS/latency figures are exported as **strings**
+(informational, ungated): unlike the single-proxy suite they scale with
+the runner's core count, which a committed baseline cannot pin across
+machines.  The scaling acceptance itself — ≥2.5× the single-process
+RPS at 4 workers — is asserted in-benchmark, and only on machines with
+at least ``WORKERS`` cores; an oversubscribed single-core box cannot
+physically exhibit process-level speedup.
+"""
+
+import asyncio
+import os
+
+from repro.harness.loadgen import ProxyRig, closed_loop
+
+from .conftest import print_banner
+
+#: Serialized as BENCH_proxy_sharded.json regardless of the filename.
+BENCHSTORE_SUITE = "proxy_sharded"
+
+#: Worker processes behind the shared port (fixed — part of the gate).
+WORKERS = 4
+
+#: Closed-loop client population and per-round request budget.
+CONCURRENCY = 16
+REQUESTS = 600
+
+#: Minimum speedup over the single-process proxy, asserted only when
+#: the machine has at least WORKERS cores.
+MIN_SPEEDUP = 2.5
+
+
+def _closed_round(workers: int):
+    async def go():
+        rig = ProxyRig(workers=workers)
+        port = await rig.start()
+        supervisor = rig.supervisor
+        try:
+            await closed_loop(
+                "127.0.0.1",
+                port,
+                site=rig.site,
+                concurrency=4,
+                total_requests=50,
+                keep_alive=True,
+            )
+            result = await closed_loop(
+                "127.0.0.1",
+                port,
+                site=rig.site,
+                concurrency=CONCURRENCY,
+                total_requests=REQUESTS,
+                keep_alive=True,
+            )
+            alive = supervisor.alive_workers() if supervisor else 1
+            restarts = supervisor.restarts if supervisor else 0
+            rebalances = supervisor.allocator.rebalances if supervisor else 0
+            return result, alive, restarts, rebalances
+        finally:
+            await rig.stop()
+
+    return asyncio.run(go())
+
+
+def test_closed_loop_keepalive_sharded(benchmark):
+    """16 keep-alive clients against 4 SO_REUSEPORT worker processes."""
+    cores = os.cpu_count() or 1
+    single, _, _, _ = _closed_round(workers=1)
+
+    outcome = {}
+
+    def one_round():
+        outcome["round"] = _closed_round(workers=WORKERS)
+
+    benchmark.pedantic(one_round, rounds=3, warmup_rounds=1)
+    result, alive, restarts, rebalances = outcome["round"]
+    speedup = result.rps / single.rps if single.rps > 0 else 0.0
+
+    print_banner("BENCH_proxy_sharded: {} workers".format(WORKERS))
+    print(
+        "  rps {:.1f} ({}x single {:.1f})   p50 {:.2f} ms   p95 {:.2f} ms   "
+        "rebalances {}   cores {}".format(
+            result.rps,
+            round(speedup, 2),
+            single.rps,
+            result.latency_s(0.5) * 1e3,
+            result.latency_s(0.95) * 1e3,
+            rebalances,
+            cores,
+        )
+    )
+
+    assert result.errors == 0
+    assert result.completed == REQUESTS
+    assert alive == WORKERS
+    assert restarts == 0
+    assert rebalances > 0  # the credit channel was exercised
+    if cores >= WORKERS:
+        # Process-level scaling needs real cores; a 1-core box merely
+        # time-slices the workers and proves nothing either way.
+        assert speedup >= MIN_SPEEDUP, (
+            "workers={} rps {:.1f} is only {:.2f}x the single-process "
+            "{:.1f} rps (need >= {}x)".format(
+                WORKERS, result.rps, speedup, single.rps, MIN_SPEEDUP
+            )
+        )
+
+    # Gated numerics: the configuration must match the baseline exactly
+    # (workers) or within the tight figure tolerance (constants).
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["requests"] = REQUESTS
+    benchmark.extra_info["concurrency"] = CONCURRENCY
+    # Informational strings (ungated): these scale with the runner's
+    # core count, which a committed baseline cannot pin.
+    benchmark.extra_info["info_rps"] = "{:.1f}".format(result.rps)
+    benchmark.extra_info["info_single_rps"] = "{:.1f}".format(single.rps)
+    benchmark.extra_info["info_speedup"] = "{:.2f}".format(speedup)
+    benchmark.extra_info["info_p50_ms"] = "{:.3f}".format(
+        result.latency_s(0.5) * 1e3
+    )
+    benchmark.extra_info["info_p95_ms"] = "{:.3f}".format(
+        result.latency_s(0.95) * 1e3
+    )
+    benchmark.extra_info["info_cpu_count"] = str(cores)

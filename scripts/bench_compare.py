@@ -31,6 +31,10 @@ separate because the two signals have very different noise floors:
   machine-*dependent* measurements (RPS, latency quantiles, hit rates
   from real-socket benchmarks); they are gated at the forgiving timing
   tolerance instead of the figure tolerance.
+- **configuration keys**: ``extra_info`` keys that name the run's
+  configuration (``workers``) must match *exactly* — a 4-worker
+  baseline diffed against a 1-worker run is meaningless at any
+  tolerance, so the mismatch itself is the failure.
 """
 
 from __future__ import annotations
@@ -49,6 +53,13 @@ from repro.harness.benchstore import load_suite  # noqa: E402
 #: extra_info keys with this prefix are machine-dependent performance
 #: numbers, gated at the timing tolerance rather than the figure one.
 PERF_PREFIX = "perf_"
+
+#: extra_info keys that describe the benchmark *configuration* rather
+#: than a measurement (e.g. ``workers`` for the sharded-proxy suite):
+#: OLD and NEW must match exactly — numbers measured under different
+#: configurations are not comparable at any tolerance, so a mismatched
+#: baseline fails loudly instead of silently passing the drift gate.
+CONFIG_KEYS = frozenset({"workers"})
 
 
 def _load(path):
@@ -123,6 +134,15 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
             new_value = new_extra.get(key)
             if not isinstance(new_value, (int, float)) or isinstance(new_value, bool):
                 problems.append("{}: extra_info {!r} missing from NEW".format(name, key))
+                continue
+            if key in CONFIG_KEYS:
+                if float(new_value) != float(old_value):
+                    problems.append(
+                        "{}: configuration {!r} differs: {} (baseline) vs {} "
+                        "(candidate) -- runs are not comparable".format(
+                            name, key, old_value, new_value
+                        )
+                    )
                 continue
             drift = abs(float(new_value) - float(old_value))
             key_tolerance = (

@@ -16,7 +16,10 @@ Scenarios mirror the benchmark suites: ``fig3-synthetic`` and
 committed golden-digest configuration, ``engine`` is a pure
 event-loop stress (no cluster) isolating the simulator core, and
 ``proxy`` drives a closed-loop keep-alive workload through the real
-localhost deployment (the data-plane hot path).
+localhost deployment (the data-plane hot path), and ``proxy-sharded``
+drives the same workload through the multi-worker ``SO_REUSEPORT``
+deployment (note: worker processes profile their own time — this
+profiles the supervisor + load-generator side).
 """
 
 from __future__ import annotations
@@ -100,12 +103,50 @@ def scenario_proxy():
     asyncio.run(run())
 
 
+def scenario_proxy_sharded():
+    import asyncio
+    import os as _os
+
+    from repro.harness.loadgen import ProxyRig, closed_loop
+
+    workers = min(4, _os.cpu_count() or 1)
+
+    async def run():
+        rig = ProxyRig(workers=max(2, workers))
+        port = await rig.start()
+        supervisor = rig.supervisor
+        try:
+            result = await closed_loop(
+                "127.0.0.1",
+                port,
+                site=rig.site,
+                concurrency=16,
+                total_requests=4000,
+                keep_alive=True,
+            )
+        finally:
+            await rig.stop()
+        print(
+            "proxy-sharded scenario: {} workers, {} completed, {:.1f} rps, "
+            "p95 {:.2f} ms, {} rebalances".format(
+                rig.workers,
+                result.completed,
+                result.rps,
+                result.latency_s(0.95) * 1000.0,
+                supervisor.allocator.rebalances,
+            )
+        )
+
+    asyncio.run(run())
+
+
 SCENARIOS = {
     "fig3-synthetic": scenario_fig3_synthetic,
     "fig3-specweb": scenario_fig3_specweb,
     "golden": scenario_golden,
     "engine": scenario_engine,
     "proxy": scenario_proxy,
+    "proxy-sharded": scenario_proxy_sharded,
 }
 
 

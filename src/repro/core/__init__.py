@@ -16,6 +16,7 @@ from repro.core.accounting import RDNAccounting, SubscriberAccount
 from repro.core.classifier import Classification, PacketClass, RequestClassifier
 from repro.core.config import GageConfig
 from repro.core.conntable import ConnectionTable
+from repro.core.credit import CreditLedger
 from repro.core.estimator import UsageEstimator
 from repro.core.feedback import AccountingMessage, RPNUsageReport
 from repro.core.control import DelegateHandshake, DispatchOrder, HandshakeComplete
@@ -33,6 +34,14 @@ from repro.core.rdn import PendingRequest, PrimaryRDN, RDNOpCounters
 from repro.core.rpn import LocalServiceManager, RPNAccountingAgent
 from repro.core.scheduler import RequestScheduler, ScheduleDecision
 from repro.core.secondary import SecondaryRDN
+from repro.core.shard import (
+    CreditGrant,
+    GlobalAllocator,
+    SchedulerShard,
+    ShardCreditReport,
+    ShardedScheduler,
+    ShardMap,
+)
 from repro.core.simulation import GageCluster, default_rpn_capacity
 from repro.core.subscriber import Subscriber
 
@@ -40,6 +49,8 @@ __all__ = [
     "AccountingMessage",
     "Classification",
     "ConnectionTable",
+    "CreditGrant",
+    "CreditLedger",
     "DelegateHandshake",
     "DeviationReport",
     "DispatchOrder",
@@ -48,6 +59,7 @@ __all__ = [
     "GageCluster",
     "GageConfig",
     "GENERIC_REQUEST",
+    "GlobalAllocator",
     "HandshakeComplete",
     "LocalServiceManager",
     "NodeScheduler",
@@ -64,8 +76,12 @@ __all__ = [
     "RPNUsageReport",
     "ResourceVector",
     "ScheduleDecision",
+    "SchedulerShard",
     "SecondaryRDN",
     "ServiceReport",
+    "ShardCreditReport",
+    "ShardMap",
+    "ShardedScheduler",
     "Subscriber",
     "SubscriberAccount",
     "SubscriberQueues",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
@@ -48,10 +48,17 @@ class SubscriberAccount:
 
 
 class RDNAccounting:
-    """All subscriber accounts plus the feedback-application logic."""
+    """All subscriber accounts plus the feedback-application logic.
 
-    def __init__(self) -> None:
+    ``partition`` names the subscribers this instance accounts for;
+    registering one outside it raises (``None`` = unpartitioned).
+    """
+
+    def __init__(self, partition: Optional[Iterable[str]] = None) -> None:
         self._accounts: Dict[str, SubscriberAccount] = {}
+        self.partition: Optional[frozenset] = (
+            None if partition is None else frozenset(partition)
+        )
         #: (time, subscriber, usage) samples, for deviation analysis.
         self.usage_log: List[Tuple[float, str, ResourceVector]] = []
         self.keep_usage_log = True
@@ -66,6 +73,12 @@ class RDNAccounting:
         """Create the account for a new subscriber."""
         if subscriber.name in self._accounts:
             raise RuntimeError("account {!r} already exists".format(subscriber.name))
+        if self.partition is not None and subscriber.name not in self.partition:
+            raise ValueError(
+                "subscriber {!r} outside this accounting partition".format(
+                    subscriber.name
+                )
+            )
         account = SubscriberAccount(subscriber)
         self._accounts[subscriber.name] = account
         return account

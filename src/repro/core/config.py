@@ -86,6 +86,11 @@ class GageConfig:
     proxy_keepalive_idle_s:
         How long the front end waits for the next request on an idle
         keep-alive client connection before closing it.
+    proxy_worker_miss_limit:
+        Multi-worker front end: consecutive accounting cycles a worker
+        process may miss reporting on the control channel before the
+        supervisor declares it dead, reclaims its credit, and restarts
+        it.
     """
 
     scheduling_cycle_s: float = 0.010
@@ -112,6 +117,7 @@ class GageConfig:
     proxy_pool_size: int = 8
     proxy_pool_idle_s: float = 30.0
     proxy_keepalive_idle_s: float = 15.0
+    proxy_worker_miss_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -159,3 +165,5 @@ class GageConfig:
             raise ValueError("pool idle timeout must be positive")
         if self.proxy_keepalive_idle_s <= 0:
             raise ValueError("keep-alive idle timeout must be positive")
+        if self.proxy_worker_miss_limit < 1:
+            raise ValueError("worker miss limit must be at least 1")

@@ -1,0 +1,151 @@
+"""The credit ledger: per-subscriber credit vectors and spare-pool state.
+
+Extracted from :class:`~repro.core.scheduler.RequestScheduler` so the
+same credit arithmetic is reusable by any scheduler instance — the
+single-instance control plane, one shard of a partitioned control plane
+(:mod:`repro.core.shard`), or a proxy worker process.  The ledger owns
+the three pieces of state the WRR cycle needs beyond the balances
+themselves:
+
+- the **credit memo** — each subscriber's per-cycle refill vector and
+  hoard cap depend only on its reservation and two config constants, so
+  they are computed once and reused every 10 ms cycle;
+- the **reserved-sum memo** — the summed reservation vector behind the
+  spare-pool computation (capacity minus reservations);
+- the **spare deficit** — deficit-round-robin rollover of unused spare
+  share, without which each queue forfeits its fractional share every
+  cycle.
+
+All arithmetic is kept in exactly the order the scheduler performed it
+before the extraction: a fixed-seed run through the ledger is
+byte-identical to one through the pre-extraction scheduler (the golden
+digest pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import (
+    SPARE_BY_INPUT_LOAD,
+    SPARE_BY_RESERVATION,
+    GageConfig,
+)
+from repro.core.grps import ResourceVector
+from repro.core.queues import RequestQueue
+from repro.core.subscriber import Subscriber
+
+
+class CreditLedger:
+    """Credit vectors, spare-pool math, and deficit rollover for one
+    scheduler instance (one subscriber partition)."""
+
+    def __init__(self, config: GageConfig) -> None:
+        self.config = config
+        #: Per-subscriber (reservation_grps, credit, capped_credit) memo.
+        self._credit_cache: Dict[str, Tuple[float, ResourceVector, ResourceVector]] = {}
+        #: (per-subscriber reservation key, summed reservation vector)
+        #: memo for the spare-pool computation.
+        self._reserved_cache: Tuple[tuple, ResourceVector] = ((), ResourceVector.ZERO)
+        #: Deficit-round-robin rollover of unused spare share.
+        self._spare_deficit: Dict[str, ResourceVector] = {}
+
+    # -- reserved credit ----------------------------------------------------
+
+    def cycle_credit(
+        self, subscriber: Subscriber
+    ) -> Tuple[ResourceVector, ResourceVector]:
+        """(one cycle's refill, hoard cap) for one subscriber.
+
+        The cap bounds idle-time credit hoarding at
+        ``credit_cap_cycles`` refills; callers further raise it to at
+        least 1.5 predicted requests so heavy-tailed workloads can
+        always dispatch (see :meth:`refill_cap`).
+        """
+        grps = subscriber.reservation_grps
+        cached = self._credit_cache.get(subscriber.name)
+        if cached is not None and cached[0] == grps:
+            return cached[1], cached[2]
+        cycle = self.config.scheduling_cycle_s
+        credit = subscriber.reservation_vector(self.config.generic_request).scaled(cycle)
+        capped = credit.scaled(self.config.credit_cap_cycles)
+        self._credit_cache[subscriber.name] = (grps, credit, capped)
+        return credit, capped
+
+    @staticmethod
+    def refill_cap(
+        capped: ResourceVector, predicted: ResourceVector
+    ) -> ResourceVector:
+        """The effective hoard cap: never below 1.5 predicted requests.
+
+        A subscriber whose requests are larger than
+        ``credit_cap_cycles``' worth of credit (heavy-tailed workloads)
+        could otherwise never dispatch again.
+        """
+        return capped.max(predicted.scaled(1.5))
+
+    # -- spare pool ---------------------------------------------------------
+
+    def spare_pool(
+        self, capacity_per_s: ResourceVector, subscribers: List[Subscriber]
+    ) -> ResourceVector:
+        """Capacity this cycle beyond the sum of all reservations."""
+        cycle = self.config.scheduling_cycle_s
+        capacity = capacity_per_s.scaled(cycle)
+        key = tuple((s.name, s.reservation_grps) for s in subscribers)
+        if key == self._reserved_cache[0]:
+            reserved = self._reserved_cache[1]
+        else:
+            reserved = ResourceVector.ZERO
+            for subscriber in subscribers:
+                reserved = reserved + subscriber.reservation_vector(
+                    self.config.generic_request
+                ).scaled(cycle)
+            self._reserved_cache = (key, reserved)
+        return (capacity - reserved).clamped_min(0.0)
+
+    def spare_weights(self, backlogged: List[RequestQueue]) -> Dict[str, float]:
+        """Normalized spare-share weights over the backlogged queues."""
+        if self.config.spare_policy == SPARE_BY_RESERVATION:
+            weights = {
+                q.subscriber.name: q.subscriber.reservation_grps for q in backlogged
+            }
+        elif self.config.spare_policy == SPARE_BY_INPUT_LOAD:
+            weights = {q.subscriber.name: float(q.arrived) for q in backlogged}
+        else:
+            return {}
+        total = sum(weights.values())
+        if total <= 0:
+            # Degenerate case (all-zero reservations/loads): equal shares.
+            return {name: 1.0 / len(weights) for name in weights}
+        return {name: weight / total for name, weight in weights.items()}
+
+    # -- spare deficit (DRR rollover) ---------------------------------------
+
+    def roll_in_deficit(
+        self, name: str, share: ResourceVector, predicted: ResourceVector
+    ) -> ResourceVector:
+        """``share`` plus the rolled-over unused share from previous cycles.
+
+        The rollover cap is two cycles' share, but never below 1.5
+        predicted requests — otherwise a subscriber whose requests cost
+        more than 2x its per-cycle share could never accumulate enough
+        spare to dispatch even one.
+        """
+        deficit = self._spare_deficit.get(name, ResourceVector.ZERO)
+        cap = share.scaled(2.0).max(predicted.scaled(1.5))
+        return share + ResourceVector(
+            min(deficit.cpu_s, cap.cpu_s),
+            min(deficit.disk_s, cap.disk_s),
+            min(deficit.net_bytes, cap.net_bytes),
+        )
+
+    def store_deficit(self, name: str, remainder: ResourceVector) -> None:
+        """Roll a queue's unspent first-round share over to the next cycle."""
+        self._spare_deficit[name] = remainder.clamped_min(0.0)
+
+    def drop_stale_deficits(self, active: "set[str]") -> None:
+        """Queues that were never backlogged this cycle hoard no deficit."""
+        for name in list(self._spare_deficit):
+            if name not in active:
+                self._spare_deficit[name] = ResourceVector.ZERO

@@ -9,7 +9,7 @@ this is where Table 1's "Dropped" column comes from.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.subscriber import Subscriber
 from repro.telemetry.registry import get_registry
@@ -92,10 +92,20 @@ class RequestQueue:
 
 
 class SubscriberQueues:
-    """The RDN's collection of per-subscriber queues, in visit order."""
+    """The RDN's collection of per-subscriber queues, in visit order.
 
-    def __init__(self) -> None:
+    ``partition`` names the subscribers this instance is responsible
+    for; registering a subscriber outside it raises.  ``None`` (the
+    default) is the unpartitioned single-instance control plane.  A
+    sharded control plane (:mod:`repro.core.shard`) runs one instance
+    per partition.
+    """
+
+    def __init__(self, partition: Optional[Iterable[str]] = None) -> None:
         self._queues: Dict[str, RequestQueue] = {}
+        self.partition: Optional[frozenset] = (
+            None if partition is None else frozenset(partition)
+        )
 
     def __len__(self) -> int:
         return len(self._queues)
@@ -110,6 +120,10 @@ class SubscriberQueues:
         """Allocate the queue for a new subscriber."""
         if subscriber.name in self._queues:
             raise RuntimeError("subscriber {!r} already registered".format(subscriber.name))
+        if self.partition is not None and subscriber.name not in self.partition:
+            raise ValueError(
+                "subscriber {!r} outside this queue partition".format(subscriber.name)
+            )
         queue = RequestQueue(subscriber)
         self._queues[subscriber.name] = queue
         return queue

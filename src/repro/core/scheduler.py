@@ -18,15 +18,14 @@ in a cyclic fashion:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.accounting import RDNAccounting
 from repro.core.config import (
-    SPARE_BY_INPUT_LOAD,
-    SPARE_BY_RESERVATION,
     SPARE_NONE,
     GageConfig,
 )
+from repro.core.credit import CreditLedger
 from repro.core.estimator import UsageEstimator
 from repro.core.grps import ResourceVector
 from repro.core.node_scheduler import NodeScheduler
@@ -60,24 +59,31 @@ class RequestScheduler:
         accounting: RDNAccounting,
         node_scheduler: NodeScheduler,
         dispatch_fn: DispatchFn,
+        ledger: Optional[CreditLedger] = None,
+        partition: Optional[Iterable[str]] = None,
     ) -> None:
         self.config = config
         self.queues = queues
         self.accounting = accounting
         self.node_scheduler = node_scheduler
         self.dispatch_fn = dispatch_fn
+        #: Credit vectors, spare-pool memos, and the deficit-round-robin
+        #: rollover live in the (injectable) ledger so a sharded control
+        #: plane can run one per partition.
+        self.ledger = ledger if ledger is not None else CreditLedger(config)
+        #: The subscriber names this instance is responsible for (None =
+        #: unpartitioned, the single-instance control plane).  Queues
+        #: registered outside the partition are a wiring bug.
+        self.partition: Optional[frozenset] = (
+            None if partition is None else frozenset(partition)
+        )
+        if self.partition is not None:
+            for subscriber in queues.subscribers():
+                if subscriber.name not in self.partition:
+                    raise ValueError(
+                        "queue {!r} outside scheduler partition".format(subscriber.name)
+                    )
         self._estimators: Dict[str, UsageEstimator] = {}
-        #: Per-subscriber (reservation_grps, credit, capped_credit)
-        #: memo: the credit vectors depend only on the reservation and two
-        #: config constants, yet were being rebuilt every 10 ms cycle.
-        self._credit_cache: Dict[str, tuple] = {}
-        #: (per-subscriber reservation key, summed reservation vector)
-        #: memo for the spare-pool computation.
-        self._reserved_cache: tuple = ((), ResourceVector.ZERO)
-        #: Deficit-round-robin rollover of unused spare share: without it
-        #: each queue forfeits its fractional share every cycle (up to one
-        #: request per queue per cycle — a large bias at 10 ms cycles).
-        self._spare_deficit: Dict[str, ResourceVector] = {}
         self.cycles = 0
         self.reserved_dispatches = 0
         self.spare_dispatches = 0
@@ -109,7 +115,6 @@ class RequestScheduler:
         """Execute one 10-ms scheduling cycle; returns the dispatches made."""
         self.cycles += 1
         self._cycle_counter.inc()
-        cycle = self.config.scheduling_cycle_s
         decisions: List[ScheduleDecision] = []
 
         # Pass 1: reserved credit, weighted round-robin over all queues.
@@ -122,22 +127,13 @@ class RequestScheduler:
             ordered = ordered[start:] + ordered[:start]
         for queue in ordered:
             subscriber = queue.subscriber
-            grps = subscriber.reservation_grps
-            cached = self._credit_cache.get(subscriber.name)
-            if cached is not None and cached[0] == grps:
-                credit, capped = cached[1], cached[2]
-            else:
-                credit = subscriber.reservation_vector(
-                    self.config.generic_request
-                ).scaled(cycle)
-                capped = credit.scaled(self.config.credit_cap_cycles)
-                self._credit_cache[subscriber.name] = (grps, credit, capped)
+            credit, capped = self.ledger.cycle_credit(subscriber)
             # The cap bounds idle-time credit hoarding, but must always
             # admit at least one predicted request or a subscriber whose
             # requests are larger than credit_cap_cycles' worth of credit
             # (heavy-tailed workloads) could never dispatch again.
             predicted = self.estimator(subscriber.name).predict()
-            cap = capped.max(predicted.scaled(1.5))
+            cap = self.ledger.refill_cap(capped, predicted)
             self.accounting.refill(subscriber.name, credit, cap)
             decisions.extend(self._drain_reserved(queue))
             self._note_balance(subscriber.name)
@@ -192,35 +188,9 @@ class RequestScheduler:
 
     def _spare_pool(self) -> ResourceVector:
         """Capacity this cycle beyond the sum of all reservations."""
-        cycle = self.config.scheduling_cycle_s
-        capacity = self.node_scheduler.total_capacity_per_s().scaled(cycle)
-        subscribers = self.queues.subscribers()
-        key = tuple((s.name, s.reservation_grps) for s in subscribers)
-        if key == self._reserved_cache[0]:
-            reserved = self._reserved_cache[1]
-        else:
-            reserved = ResourceVector.ZERO
-            for subscriber in subscribers:
-                reserved = reserved + subscriber.reservation_vector(
-                    self.config.generic_request
-                ).scaled(cycle)
-            self._reserved_cache = (key, reserved)
-        return (capacity - reserved).clamped_min(0.0)
-
-    def _spare_weights(self, backlogged: List[RequestQueue]) -> Dict[str, float]:
-        if self.config.spare_policy == SPARE_BY_RESERVATION:
-            weights = {
-                q.subscriber.name: q.subscriber.reservation_grps for q in backlogged
-            }
-        elif self.config.spare_policy == SPARE_BY_INPUT_LOAD:
-            weights = {q.subscriber.name: float(q.arrived) for q in backlogged}
-        else:
-            return {}
-        total = sum(weights.values())
-        if total <= 0:
-            # Degenerate case (all-zero reservations/loads): equal shares.
-            return {name: 1.0 / len(weights) for name in weights}
-        return {name: weight / total for name, weight in weights.items()}
+        return self.ledger.spare_pool(
+            self.node_scheduler.total_capacity_per_s(), self.queues.subscribers()
+        )
 
     #: Bound on spare-pass redistribution rounds per cycle (the loop
     #: terminates long before this in practice).
@@ -245,7 +215,7 @@ class RequestScheduler:
             if not backlogged:
                 break
             self._spare_round_counter.inc()
-            weights = self._spare_weights(backlogged)
+            weights = self.ledger.spare_weights(backlogged)
             consumed_total = ResourceVector.ZERO
             for queue in backlogged:
                 name = queue.subscriber.name
@@ -253,18 +223,13 @@ class RequestScheduler:
                 estimator = self.estimator(name)
                 if _round == 0:
                     # Roll in the unused share from previous cycles
-                    # (deficit round-robin).  The rollover cap is two
-                    # cycles' share, but never below 1.5 predicted
-                    # requests — otherwise a subscriber whose requests
-                    # cost more than 2x its per-cycle share could never
-                    # accumulate enough spare to dispatch even one.
+                    # (deficit round-robin): without it each queue
+                    # forfeits its fractional share every cycle (up to
+                    # one request per queue per cycle — a large bias at
+                    # 10 ms cycles).
                     first_round_names.add(name)
-                    deficit = self._spare_deficit.get(name, ResourceVector.ZERO)
-                    cap = share.scaled(2.0).max(estimator.predict().scaled(1.5))
-                    share = share + ResourceVector(
-                        min(deficit.cpu_s, cap.cpu_s),
-                        min(deficit.disk_s, cap.disk_s),
-                        min(deficit.net_bytes, cap.net_bytes),
+                    share = self.ledger.roll_in_deficit(
+                        name, share, estimator.predict()
                     )
                 neg = -ResourceVector.EPSILON
                 while queue.backlogged:
@@ -300,16 +265,13 @@ class RequestScheduler:
                     # Whatever the queue could not spend this round rolls
                     # over (the queue emptied => share stays for bursts,
                     # still capped on the way back in next cycle).
-                    self._spare_deficit[name] = share.clamped_min(0.0)
+                    self.ledger.store_deficit(name, share)
             if consumed_total == ResourceVector.ZERO:
                 break
             pool = (pool - consumed_total).clamped_min(0.0)
             if pool == ResourceVector.ZERO:
                 break
-        # Queues that were never backlogged this cycle hoard no deficit.
-        for name in list(self._spare_deficit):
-            if name not in first_round_names:
-                self._spare_deficit[name] = ResourceVector.ZERO
+        self.ledger.drop_stale_deficits(first_round_names)
         return decisions
 
     # -- feedback path ------------------------------------------------------------

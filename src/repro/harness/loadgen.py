@@ -248,6 +248,11 @@ class ProxyRig:
     with a single high-reservation subscriber so the WRR credit gate
     never throttles the benchmark (the data plane is the system under
     test, not the scheduler).
+
+    ``workers > 1`` swaps the single in-process proxy for a
+    :class:`~repro.proxy.workers.WorkerSupervisor` running that many
+    ``SO_REUSEPORT`` worker processes behind one shared port — the
+    sharded data plane the ``BENCH_proxy_sharded`` suite measures.
     """
 
     def __init__(
@@ -259,16 +264,20 @@ class ProxyRig:
         reservation_grps: float = 100_000.0,
         queue_capacity: int = 4096,
         time_scale: float = 0.0,
+        workers: int = 1,
         config=None,
     ) -> None:
         from repro.core.config import GageConfig
 
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.site = site
         self.files = dict(files) if files else {"/index.html": 2048}
         self.num_backends = num_backends
         self.reservation_grps = reservation_grps
         self.queue_capacity = queue_capacity
         self.time_scale = time_scale
+        self.workers = workers
         #: A fast scheduling cycle and a wide-open dispatch window: the
         #: data plane is the system under test, so neither dispatch
         #: latency nor the cluster-saturation throttle should gate it.
@@ -279,6 +288,7 @@ class ProxyRig:
         )
         self.backends = []
         self.proxy = None
+        self.supervisor = None
         self.port: Optional[int] = None
 
     async def start(self) -> int:
@@ -286,6 +296,7 @@ class ProxyRig:
         from repro.core.subscriber import Subscriber
         from repro.proxy.backend import BackendServer
         from repro.proxy.frontend import GageProxy
+        from repro.proxy.workers import WorkerSupervisor
 
         sites = {self.site: self.files}
         addrs = {}
@@ -297,15 +308,24 @@ class ProxyRig:
         subscriber = Subscriber(
             self.site, self.reservation_grps, queue_capacity=self.queue_capacity
         )
-        self.proxy = GageProxy([subscriber], addrs, config=self.config)
-        self.port = await self.proxy.start()
+        if self.workers > 1:
+            self.supervisor = WorkerSupervisor(
+                [subscriber], addrs, config=self.config, workers=self.workers
+            )
+            self.port = await self.supervisor.start()
+        else:
+            self.proxy = GageProxy([subscriber], addrs, config=self.config)
+            self.port = await self.proxy.start()
         return self.port
 
     async def stop(self) -> None:
-        """Stop the proxy and every back end."""
+        """Stop the proxy (or worker fleet) and every back end."""
         if self.proxy is not None:
             await self.proxy.stop()
             self.proxy = None
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+            self.supervisor = None
         for backend in self.backends:
             await backend.stop()
         self.backends = []

@@ -28,6 +28,7 @@ from repro.proxy.http import (
     render_response_head,
     wants_keep_alive,
 )
+from repro.proxy.workers import WorkerSpec, WorkerSupervisor
 
 __all__ = [
     "BackendPool",
@@ -36,6 +37,8 @@ __all__ = [
     "HTTPRequestHead",
     "HTTPResponseHead",
     "ProxyStats",
+    "WorkerSpec",
+    "WorkerSupervisor",
     "read_request_head",
     "read_response_head",
     "render_request_head",

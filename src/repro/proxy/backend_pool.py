@@ -27,6 +27,22 @@ from repro.telemetry import get_registry
 _Entry = Tuple[asyncio.StreamReader, asyncio.StreamWriter, float]
 
 
+def _loop_time() -> float:
+    """The event loop's clock, the time base of the rest of the proxy.
+
+    Parked-at stamps and expiry checks must come from the *same* clock
+    the front end schedules with; mixing ``time.monotonic`` with
+    ``loop.time()`` makes idle expiry silently wrong whenever the two
+    diverge (custom/test loop clocks, clock warps across suspend).
+    Falls back to ``time.monotonic`` outside a running loop so the pool
+    stays constructible anywhere.
+    """
+    try:
+        return asyncio.get_running_loop().time()
+    except RuntimeError:
+        return time.monotonic()
+
+
 def _connection_stale(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> bool:
     """Whether a parked connection can no longer carry a request.
 
@@ -64,7 +80,7 @@ class BackendPool:
             raise ValueError("idle_timeout_s must be positive")
         self.size_per_backend = size_per_backend
         self.idle_timeout_s = idle_timeout_s
-        self._now = now_fn or time.monotonic
+        self._now = now_fn or _loop_time
         self._idle: Dict[str, Deque[_Entry]] = {}
         self.hits = 0
         self.misses = 0

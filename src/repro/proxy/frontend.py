@@ -27,7 +27,6 @@ transport-to-transport under flow control
 from __future__ import annotations
 
 import asyncio
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -46,10 +45,9 @@ from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
 from repro.core.subscriber import Subscriber
 from repro.proxy.backend_pool import BackendPool
+from repro.proxy.client_session import ClientSessionMixin, _PendingConnection
 from repro.proxy.http import (
     HTTPError,
-    HTTPRequestHead,
-    read_request_head,
     read_response_head,
     render_request_head,
     render_response_head,
@@ -81,42 +79,19 @@ class ProxyStats:
     keepalive_requests: int = 0
 
 
-@dataclass
-class _PendingConnection:
-    """A classified, queued client connection awaiting dispatch."""
-
-    head: HTTPRequestHead
-    reader: asyncio.StreamReader
-    writer: asyncio.StreamWriter
-    subscriber: str
-
-
 #: Default per-backend capacity: one CPU-second and disk-second per
 #: second, 12.5 MB/s of link — mirrors the simulator's node capacity.
 DEFAULT_BACKEND_CAPACITY = ResourceVector(1.0, 1.0, 12_500_000.0)
 
-#: Rendered refusal heads, keyed (status, reason, retry_after_s).  A
-#: shedding proxy refuses thousands of identical 503s; rendering each
-#: once is free throughput on exactly the overloaded path.
-_REFUSAL_CACHE: Dict[Tuple[int, str, Optional[int]], bytes] = {}
 
+class GageProxy(ClientSessionMixin):
+    """The front-end request distribution proxy.
 
-def _refusal_bytes(status: int, reason: str, retry_after_s: Optional[int]) -> bytes:
-    key = (status, reason, retry_after_s)
-    rendered = _REFUSAL_CACHE.get(key)
-    if rendered is None:
-        headers = ["content-length: 0", "connection: close"]
-        if retry_after_s is not None:
-            headers.append("retry-after: {}".format(retry_after_s))
-        rendered = "HTTP/1.0 {} {}\r\n{}\r\n\r\n".format(
-            status, reason, "\r\n".join(headers)
-        ).encode("latin-1")
-        _REFUSAL_CACHE[key] = rendered
-    return rendered
-
-
-class GageProxy:
-    """The front-end request distribution proxy."""
+    Client admission, keep-alive, and shedding live in
+    :class:`~repro.proxy.client_session.ClientSessionMixin`; this class
+    owns the control plane (scheduler/accounting loops), the dispatch
+    data plane, and backend health.
+    """
 
     def __init__(
         self,
@@ -185,9 +160,20 @@ class GageProxy:
 
     # -- lifecycle ---------------------------------------------------------
 
-    async def start(self, port: int = 0) -> int:
-        """Bind, start serving, and start the scheduler/accounting tasks."""
-        self._server = await asyncio.start_server(self._handle, host=self.host, port=port)
+    async def start(self, port: int = 0, sock: Optional[object] = None) -> int:
+        """Bind, start serving, and start the scheduler/accounting tasks.
+
+        ``sock`` lets a caller hand in an already-bound listening socket
+        — the multi-worker supervisor passes each worker an
+        ``SO_REUSEPORT`` socket on the shared port so the kernel spreads
+        incoming connections across the worker processes.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(self._handle, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         self._tasks.append(asyncio.ensure_future(self._scheduler_loop()))
         self._tasks.append(asyncio.ensure_future(self._accounting_loop()))
@@ -228,32 +214,6 @@ class GageProxy:
             if not self.node_scheduler.up_nodes():
                 self._shed_queued()
 
-    def _shed_queued(self) -> None:
-        """503 every queued connection while no backend is healthy.
-
-        Without this, connections admitted just before the last backend
-        was ejected would sit in their queues indefinitely (``pick``
-        returns None) and their clients would hang instead of failing
-        fast.
-        """
-        for queue in self.queues:
-            while queue.backlogged:
-                pending = queue.take()
-                self.stats.shed_no_backend += 1
-                self._tm_shed.inc()
-                self.failures.record(
-                    self._now(), REQUEST_SHED, pending.subscriber
-                )
-                task = asyncio.ensure_future(
-                    self._refuse(
-                        pending.writer,
-                        503,
-                        "Service Unavailable",
-                        retry_after_s=self._retry_after_s(),
-                    )
-                )
-                self._tasks.append(task)
-
     async def _accounting_loop(self) -> None:
         loop = asyncio.get_event_loop()
         last = loop.time()
@@ -282,105 +242,46 @@ class GageProxy:
             per_subscriber=per_subscriber,
         )
 
-    # -- client admission ---------------------------------------------------
-
-    async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self.stats.accepted += 1
-        tune_transport(writer.transport)
-        try:
-            head = await read_request_head(reader)
-        except (HTTPError, asyncio.IncompleteReadError, ConnectionError):
-            writer.close()
-            return
-        except asyncio.CancelledError:
-            # Loop teardown while waiting on an idle client; exit quietly.
-            writer.close()
-            return
-        await self._admit(head, reader, writer)
-
-    async def _admit(
-        self,
-        head: HTTPRequestHead,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        """Classify one parsed request and queue it for the scheduler."""
-        subscriber = self.classifier.classify_payload(head)
-        if subscriber is None:
-            self.stats.rejected_unknown_host += 1
-            await self._refuse(writer, 404, "Not Found")
-            return
-        if not self.node_scheduler.up_nodes():
-            # Load shedding: every backend is ejected, so queueing would
-            # only delay the inevitable — fail fast and tell the client
-            # when to come back.
-            self.stats.shed_no_backend += 1
-            self._tm_shed.inc()
-            self.failures.record(self._now(), REQUEST_SHED, subscriber)
-            await self._refuse(
-                writer, 503, "Service Unavailable", retry_after_s=self._retry_after_s()
-            )
-            return
-        pending = _PendingConnection(head, reader, writer, subscriber)
-        queue = self.queues.get(subscriber)
-        if queue is None or not queue.offer(pending):
-            self.stats.dropped_queue_full += 1
-            await self._refuse(
-                writer, 503, "Service Unavailable", retry_after_s=1
-            )
-            return
-
-    def _resume_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Wait for the next request on a kept-alive client connection."""
-        task = asyncio.ensure_future(self._keepalive_loop(reader, writer))
-        self._tasks.append(task)
-        self._tasks = [t for t in self._tasks if not t.done()]
-
-    async def _keepalive_loop(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            head = await asyncio.wait_for(
-                read_request_head(reader),
-                timeout=self.config.proxy_keepalive_idle_s,
-            )
-        except (
-            asyncio.TimeoutError,
-            HTTPError,
-            asyncio.IncompleteReadError,
-            ConnectionError,
-        ):
-            writer.close()
-            return
-        self.stats.keepalive_requests += 1
-        await self._admit(head, reader, writer)
-
-    @staticmethod
-    async def _refuse(
-        writer: asyncio.StreamWriter,
-        status: int,
-        reason: str,
-        retry_after_s: Optional[int] = None,
-    ) -> None:
-        try:
-            writer.write(_refusal_bytes(status, reason, retry_after_s))
-            await writer.drain()
-        except ConnectionError:
-            pass
-        finally:
-            writer.close()
-
-    def _retry_after_s(self) -> int:
-        """When a shed client should retry: one probe interval, >= 1 s."""
-        return max(1, int(math.ceil(self.config.proxy_probe_interval_s)))
-
     @staticmethod
     def _now() -> float:
         return asyncio.get_event_loop().time()
+
+    # -- hierarchical-credit hooks (multi-worker front end) ------------------
+
+    def credit_report(self) -> Tuple[Dict[str, ResourceVector], Dict[str, int]]:
+        """(unused credit, backlog depth) per subscriber, for the supervisor.
+
+        Mirrors :meth:`repro.core.shard.SchedulerShard.credit_report`:
+        an idle subscriber offers the positive balance it hoards beyond
+        one cycle's refill; a backlogged one offers nothing and reports
+        its queue depth instead.
+        """
+        unused: Dict[str, ResourceVector] = {}
+        backlog: Dict[str, int] = {}
+        for queue in self.queues:
+            name = queue.subscriber.name
+            depth = len(queue)
+            if depth > 0:
+                backlog[name] = depth
+                continue
+            credit, _capped = self.scheduler.ledger.cycle_credit(queue.subscriber)
+            offer = (self.accounting.account(name).balance - credit).clamped_min(0.0)
+            if offer != ResourceVector.ZERO:
+                unused[name] = offer
+        return unused, backlog
+
+    def apply_credit_grant(self, net: Dict[str, ResourceVector]) -> None:
+        """Apply the supervisor's per-subscriber balance adjustments."""
+        for name, delta in net.items():
+            if self.queues.get(name) is not None and delta != ResourceVector.ZERO:
+                self.accounting.credit(name, delta)
+
+    def balances(self) -> Dict[str, ResourceVector]:
+        """Current per-subscriber credit balances (for restart reclaim)."""
+        return {
+            account.subscriber.name: account.balance
+            for account in self.accounting.accounts()
+        }
 
     # -- dispatch ----------------------------------------------------------------
 

@@ -1,0 +1,15 @@
+"""Subprocess entry point for one proxy worker process.
+
+A dedicated runnable module: the supervisor launches workers as
+``python -m repro.proxy.worker_main <spec-file>``.  Running
+:mod:`repro.proxy.workers` itself with ``-m`` would execute it a second
+time under the name ``__main__``, so the pickled
+:class:`~repro.proxy.workers.WorkerSpec` (whose class lives in the
+canonical module) would fail the entry point's ``isinstance`` check.
+This thin wrapper keeps the module imported exactly once.
+"""
+
+from repro.proxy.workers import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

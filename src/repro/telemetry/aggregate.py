@@ -1,0 +1,112 @@
+"""Merging metric snapshots from multiple processes into one view.
+
+Each proxy worker process has its own process-wide
+:class:`~repro.telemetry.registry.MetricRegistry`; the supervisor
+receives their snapshots over the control channel and merges them here
+so ``repro.proxy.*`` and scheduler metrics stay one coherent,
+cluster-wide view regardless of how many workers the data plane runs.
+
+Merge rules per metric kind:
+
+- **counter** — values sum (events counted anywhere are events);
+- **gauge** — values sum (per-worker occupancies/balances are shard
+  slices of one whole), extremes take the min/max across workers;
+- **histogram** — counts, sums, and per-bucket tallies sum when bucket
+  bounds agree; a snapshot with different bounds for the same name is
+  skipped rather than silently mis-bucketed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+def _opt_min(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _merge_counter(into: Dict[str, object], entry: Dict[str, object]) -> None:
+    into["value"] = float(into.get("value", 0.0)) + float(entry.get("value", 0.0))
+
+
+def _merge_gauge(into: Dict[str, object], entry: Dict[str, object]) -> None:
+    into["value"] = float(into.get("value", 0.0)) + float(entry.get("value", 0.0))
+    into["max"] = _opt_max(into.get("max"), entry.get("max"))
+    into["min"] = _opt_min(into.get("min"), entry.get("min"))
+
+
+def _merge_histogram(into: Dict[str, object], entry: Dict[str, object]) -> bool:
+    if list(into.get("bounds", [])) != list(entry.get("bounds", [])):
+        return False
+    into["count"] = int(into.get("count", 0)) + int(entry.get("count", 0))
+    into["sum"] = float(into.get("sum", 0.0)) + float(entry.get("sum", 0.0))
+    count = int(into["count"])
+    into["mean"] = (float(into["sum"]) / count) if count else 0.0
+    merged_buckets: List[int] = [
+        int(a) + int(b)
+        for a, b in zip(list(into.get("buckets", [])), list(entry.get("buckets", [])))
+    ]
+    into["buckets"] = merged_buckets
+    into["min"] = _opt_min(into.get("min"), entry.get("min"))
+    into["max"] = _opt_max(into.get("max"), entry.get("max"))
+    return True
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, object]], name: str = "aggregate"
+) -> Dict[str, object]:
+    """Merge registry snapshots into one snapshot-shaped document.
+
+    Input documents are the output of
+    :meth:`~repro.telemetry.registry.MetricRegistry.snapshot`; the
+    result has the same shape (so sinks, dashboards, and tests consume
+    aggregated and single-process views identically).
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    skipped: List[str] = []
+    latest_at: Optional[float] = None
+    for snapshot in snapshots:
+        at = snapshot.get("at")
+        if isinstance(at, (int, float)):
+            latest_at = at if latest_at is None else max(latest_at, float(at))
+        metrics = snapshot.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        for full_name, entry in metrics.items():
+            if not isinstance(entry, dict):
+                continue
+            kind = entry.get("kind")
+            existing = merged.get(full_name)
+            if existing is None:
+                merged[full_name] = dict(entry)
+                continue
+            if existing.get("kind") != kind:
+                skipped.append(full_name)
+                continue
+            if kind == "counter":
+                _merge_counter(existing, entry)
+            elif kind == "gauge":
+                _merge_gauge(existing, entry)
+            elif kind == "histogram":
+                if not _merge_histogram(existing, entry):
+                    skipped.append(full_name)
+            else:  # unknown kind: first snapshot wins
+                skipped.append(full_name)
+    return {
+        "registry": name,
+        "at": latest_at,
+        "metrics": merged,
+        "skipped": sorted(set(skipped)),
+    }

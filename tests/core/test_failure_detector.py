@@ -138,3 +138,68 @@ def test_detection_latency_helper():
     latency = rdn.failures.detection_latency_s(0.1, "rpn0")
     assert latency is not None
     assert latency <= (K + 1) * CYCLE + 0.011
+
+
+def test_crash_recovery_cycle_conserves_credit():
+    """Death → recovery → re-dispatch → completion leaks no credit.
+
+    The dead node's predictions are restored exactly once; after the
+    node recovers and the requeued work completes, every prediction is
+    resolved and the balance sits at (or below) the hoard cap — a double
+    restore would leave it strictly above, since :meth:`refill` keeps
+    over-cap balances instead of clipping them.
+    """
+    env = Environment()
+    rdn, dispatched = build_rdn(env)
+    for _ in range(3):
+        rdn.submit_request("a", WebRequest("a", "/x.html", 2000))
+    # One healthy, idle heartbeat at 0.1, then silence until the node
+    # "restarts" at 1.0 and reports steadily (call_later is relative, so
+    # everything is scheduled up front from t=0).
+    env.call_later(0.1, rdn.on_feedback, message("rpn0", 0.1))
+    for tick in range(10, 16):
+        env.call_later(tick * CYCLE, rdn.on_feedback, message("rpn0", tick * CYCLE))
+    env.run(until=0.06)
+    assert len(dispatched) == 3
+    env.run(until=1.0)  # silence → death: requeue + prediction restore
+    assert rdn.failures.count(NODE_DOWN) == 1  # processed exactly once
+    account = rdn.accounting.account("a")
+    assert account.pending.get("rpn0") in (None, [])
+    env.run(until=1.55)
+    assert rdn.failures.count(NODE_DOWN) == 1  # no flapping
+    assert rdn.failures.count(NODE_UP) == 1
+    assert len(dispatched) == 6  # all three re-dispatched after recovery
+    rdn.on_feedback(message("rpn0", 1.6, completed=3, usage=GENERIC.scaled(3)))
+    assert account.reported_complete == 3
+    assert not account.pending.get("rpn0")  # every prediction resolved
+    assert account.estimated.get("rpn0", ResourceVector.ZERO) == ResourceVector.ZERO
+    # Reservation 100 GRPS, 0.01s scheduling cycle, 4-cycle cap.
+    cap = ResourceVector(0.04, 0.04, 8000.0)
+    slack = ResourceVector(1e-9, 1e-9, 1e-3)
+    assert not ((cap - account.balance) + slack).any_negative
+
+
+def test_completion_after_death_does_not_double_credit():
+    """A falsely-suspected node reporting completions must not mint credit.
+
+    At death the in-flight predictions were already restored to the
+    balance; when the 'dead' node turns out alive and reports those
+    requests complete, only the measured usage may be charged —
+    restoring the predictions a second time would create credit from
+    nothing.
+    """
+    env = Environment()
+    rdn, dispatched = build_rdn(env)
+    for _ in range(2):
+        rdn.submit_request("a", WebRequest("a", "/x.html", 2000))
+    env.run(until=0.06)
+    assert len(dispatched) == 2
+    rdn.on_feedback(message("rpn0", 0.1))
+    env.run(until=1.0)  # death: predictions restored, requests requeued
+    account = rdn.accounting.account("a")
+    balance_at_death = account.balance
+    # The partitioned node reappears, reporting both requests done.
+    rdn.on_feedback(message("rpn0", 1.0, completed=2, usage=GENERIC.scaled(2)))
+    assert rdn.failures.first(NODE_UP, "rpn0") is not None
+    assert account.balance == balance_at_death - GENERIC.scaled(2)
+    assert account.reported_complete == 2

@@ -188,6 +188,36 @@ class TestBenchCompare:
         assert result.returncode == 1
         assert "figure" in result.stdout
 
+    def test_mismatched_workers_configuration_fails(self, tmp_path):
+        # A 4-worker baseline vs a 1-worker candidate is not comparable:
+        # the mismatch must fail even at the loosest tolerances.
+        old = write_suite(
+            str(tmp_path / "old"),
+            "demo",
+            [record("test_a", 0.01, {"workers": 4, "perf_rps": 1000.0})],
+        )
+        new = write_suite(
+            str(tmp_path / "new"),
+            "demo",
+            [record("test_a", 0.01, {"workers": 1, "perf_rps": 1000.0})],
+        )
+        result = run_compare(old, new, "--tolerance", "100.0")
+        assert result.returncode == 1
+        assert "not comparable" in result.stdout
+
+    def test_matching_workers_configuration_passes(self, tmp_path):
+        old = write_suite(
+            str(tmp_path / "old"),
+            "demo",
+            [record("test_a", 0.01, {"workers": 4, "perf_rps": 1000.0})],
+        )
+        new = write_suite(
+            str(tmp_path / "new"),
+            "demo",
+            [record("test_a", 0.01, {"workers": 4, "perf_rps": 1100.0})],
+        )
+        assert run_compare(old, new, "--tolerance", "0.5").returncode == 0
+
     def test_missing_benchmark_fails(self, tmp_path):
         old = write_suite(
             str(tmp_path / "old"),

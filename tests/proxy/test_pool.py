@@ -210,3 +210,33 @@ def test_invalid_parameters_rejected():
         BackendPool(size_per_backend=-1)
     with pytest.raises(ValueError):
         BackendPool(idle_timeout_s=0.0)
+
+
+def test_default_expiry_follows_the_loop_clock_across_a_jump():
+    """The pool's default clock is the *loop* clock, not time.monotonic.
+
+    Regression: entries were stamped with ``time.monotonic`` while the
+    rest of the proxy runs on ``loop.time()``; on a loop whose clock
+    jumps (suspend/resume, test clocks), idle expiry went silently
+    wrong.  A jump of the loop clock past the timeout must expire a
+    parked connection.
+    """
+
+    async def main():
+        loop = asyncio.get_event_loop()
+        pool = BackendPool(idle_timeout_s=5.0)
+        pair = await _socket_pair()
+        reader, writer = pair[0], pair[1]
+        original_time = loop.time
+        try:
+            assert pool.put("rpn0", reader, writer)
+            loop.time = lambda: original_time() + 3600.0
+            assert pool.get("rpn0") is None
+        finally:
+            loop.time = original_time
+            await _teardown(pair)
+        return pool
+
+    pool = asyncio.run(main())
+    assert pool.expired == 1
+    assert pool.hits == 0

@@ -1,0 +1,96 @@
+"""Merging per-worker metric snapshots into one coherent view."""
+
+from repro.telemetry import MetricRegistry
+from repro.telemetry.aggregate import merge_snapshots
+
+
+def _snapshot(build):
+    registry = MetricRegistry()
+    build(registry)
+    return registry.snapshot()
+
+
+class TestCounters:
+    def test_values_sum_across_snapshots(self):
+        a = _snapshot(lambda r: r.counter("repro.x").inc(3))
+        b = _snapshot(lambda r: r.counter("repro.x").inc(4))
+        merged = merge_snapshots([a, b])
+        assert merged["metrics"]["repro.x"]["value"] == 7
+
+    def test_disjoint_names_are_kept(self):
+        a = _snapshot(lambda r: r.counter("repro.a").inc(1))
+        b = _snapshot(lambda r: r.counter("repro.b").inc(2))
+        merged = merge_snapshots([a, b])
+        assert merged["metrics"]["repro.a"]["value"] == 1
+        assert merged["metrics"]["repro.b"]["value"] == 2
+
+
+class TestGauges:
+    def test_values_sum_and_extremes_span_workers(self):
+        def build_a(r):
+            g = r.gauge("repro.depth")
+            g.set(10)
+            g.set(2)
+
+        def build_b(r):
+            g = r.gauge("repro.depth")
+            g.set(5)
+
+        merged = merge_snapshots([_snapshot(build_a), _snapshot(build_b)])
+        entry = merged["metrics"]["repro.depth"]
+        assert entry["value"] == 7  # 2 + 5: shard slices of one whole
+        assert entry["max"] == 10
+        assert entry["min"] == 2
+
+
+class TestHistograms:
+    def test_counts_sums_buckets_merge_and_mean_recomputes(self):
+        def build_a(r):
+            h = r.histogram("repro.lat", bounds=[1.0, 10.0])
+            h.observe(0.5)
+            h.observe(5.0)
+
+        def build_b(r):
+            h = r.histogram("repro.lat", bounds=[1.0, 10.0])
+            h.observe(20.0)
+
+        merged = merge_snapshots([_snapshot(build_a), _snapshot(build_b)])
+        entry = merged["metrics"]["repro.lat"]
+        assert entry["count"] == 3
+        assert entry["sum"] == 25.5
+        assert entry["mean"] == 25.5 / 3
+        assert entry["buckets"] == [1, 1, 1]
+        assert merged["skipped"] == []
+
+    def test_mismatched_bounds_are_skipped_not_misbucketed(self):
+        a = _snapshot(
+            lambda r: r.histogram("repro.lat", bounds=[1.0]).observe(0.5)
+        )
+        b = _snapshot(
+            lambda r: r.histogram("repro.lat", bounds=[2.0]).observe(0.5)
+        )
+        merged = merge_snapshots([a, b])
+        assert merged["skipped"] == ["repro.lat"]
+        # First snapshot wins untouched.
+        assert merged["metrics"]["repro.lat"]["count"] == 1
+
+
+class TestShape:
+    def test_kind_mismatch_is_skipped(self):
+        a = _snapshot(lambda r: r.counter("repro.x").inc(1))
+        b = _snapshot(lambda r: r.gauge("repro.x").set(9))
+        merged = merge_snapshots([a, b])
+        assert merged["skipped"] == ["repro.x"]
+        assert merged["metrics"]["repro.x"]["kind"] == "counter"
+
+    def test_result_is_snapshot_shaped(self):
+        a = _snapshot(lambda r: r.counter("repro.x").inc(1))
+        merged = merge_snapshots([a], name="proxy-workers")
+        assert merged["registry"] == "proxy-workers"
+        assert merged["at"] == a["at"]
+        assert set(merged) == {"registry", "at", "metrics", "skipped"}
+
+    def test_empty_input(self):
+        merged = merge_snapshots([])
+        assert merged["metrics"] == {}
+        assert merged["at"] is None
