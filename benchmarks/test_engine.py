@@ -68,7 +68,7 @@ def test_scheduler_cycle(benchmark):
         accounting.register(subscriber)
     nodes.add_node("rpn0", grps(400))
     scheduler = RequestScheduler(
-        config, queues, accounting, nodes, lambda request, rpn, name: None
+        config, queues, accounting, nodes, lambda request, rpn, name, predicted: None
     )
     gold = queues.get("gold")
     bronze = queues.get("bronze")

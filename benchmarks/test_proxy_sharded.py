@@ -120,6 +120,10 @@ def test_closed_loop_keepalive_sharded(benchmark):
     benchmark.extra_info["workers"] = WORKERS
     benchmark.extra_info["requests"] = REQUESTS
     benchmark.extra_info["concurrency"] = CONCURRENCY
+    # Real process-level parallelism needs this many cores; on smaller
+    # runners bench_compare demotes this record's timing/perf gates to
+    # advisory instead of committing a time-sliced number as truth.
+    benchmark.extra_info["min_cores"] = WORKERS
     # Informational strings (ungated): these scale with the runner's
     # core count, which a committed baseline cannot pin.
     benchmark.extra_info["info_rps"] = "{:.1f}".format(result.rps)

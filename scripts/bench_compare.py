@@ -32,9 +32,17 @@ separate because the two signals have very different noise floors:
   from real-socket benchmarks); they are gated at the forgiving timing
   tolerance instead of the figure tolerance.
 - **configuration keys**: ``extra_info`` keys that name the run's
-  configuration (``workers``) must match *exactly* — a 4-worker
-  baseline diffed against a 1-worker run is meaningless at any
+  configuration (``workers``, ``min_cores``) must match *exactly* — a
+  4-worker baseline diffed against a 1-worker run is meaningless at any
   tolerance, so the mismatch itself is the failure.
+- **core-gated records**: a record whose ``extra_info`` carries a
+  numeric ``min_cores`` needs that much real parallelism for its
+  machine-dependent numbers to mean anything.  When the candidate run's
+  environment has fewer cores, timing and ``perf_`` drifts are reported
+  as *advisory* instead of failing — a 1-core runner time-slicing four
+  worker processes cannot exhibit (or refute) process-level speedup,
+  and committing its numbers as hard truth would gate on noise.
+  Fixed-seed figure keys still gate normally.
 """
 
 from __future__ import annotations
@@ -59,7 +67,24 @@ PERF_PREFIX = "perf_"
 #: OLD and NEW must match exactly — numbers measured under different
 #: configurations are not comparable at any tolerance, so a mismatched
 #: baseline fails loudly instead of silently passing the drift gate.
-CONFIG_KEYS = frozenset({"workers"})
+CONFIG_KEYS = frozenset({"workers", "min_cores"})
+
+
+def available_cores(new_doc):
+    """Cores on the machine that produced NEW.
+
+    Prefers the document's own environment stamp (``cpus``, recorded at
+    measurement time); falls back to this process's view for documents
+    written before the stamp existed.
+    """
+    environment = new_doc.get("environment", {})
+    try:
+        cores = int(environment.get("cpus", ""))
+    except (TypeError, ValueError):
+        cores = 0
+    if cores <= 0:
+        cores = os.cpu_count() or 1
+    return cores
 
 
 def _load(path):
@@ -97,6 +122,7 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
     if figure_tolerance is None:
         figure_tolerance = tolerance
     problems = []
+    cores = available_cores(new_doc)
     old_benches = old_doc["benchmarks"]
     new_benches = new_doc["benchmarks"]
     for name in sorted(old_benches):
@@ -105,13 +131,22 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
         if new_rec is None:
             problems.append("{}: missing from NEW".format(name))
             continue
+        old_extra = old_rec.get("extra_info", {})
+        new_extra = new_rec.get("extra_info", {})
+        # Machine-dependent numbers from a record that needs more cores
+        # than this runner has are advisory, not gating.
+        min_cores = new_extra.get("min_cores", old_extra.get("min_cores"))
+        advisory = (
+            isinstance(min_cores, (int, float))
+            and not isinstance(min_cores, bool)
+            and cores < float(min_cores)
+        )
         old_median = float(old_rec["median_s"])
         new_median = float(new_rec["median_s"])
         limit = old_median * (1.0 + tolerance)
         status = "ok"
         if new_median > limit and old_median > 0:
-            status = "REGRESSED"
-            problems.append(
+            message = (
                 "{}: median {:.6f}s -> {:.6f}s (+{:.1f}%, limit +{:.0f}%)".format(
                     name,
                     old_median,
@@ -120,13 +155,19 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
                     100.0 * tolerance,
                 )
             )
+            if advisory:
+                status = "advisory ({} cores < min_cores {})".format(
+                    cores, min_cores
+                )
+                print("  advisory (not gating): " + message)
+            else:
+                status = "REGRESSED"
+                problems.append(message)
         print(
             "  {:<40} median {:>10.6f}s -> {:>10.6f}s  {}".format(
                 name, old_median, new_median, status
             )
         )
-        old_extra = old_rec.get("extra_info", {})
-        new_extra = new_rec.get("extra_info", {})
         for key in sorted(old_extra):
             old_value = old_extra[key]
             if isinstance(old_value, bool) or not isinstance(old_value, (int, float)):
@@ -145,16 +186,19 @@ def compare_suites(old_doc, new_doc, tolerance, figure_tolerance=None):
                     )
                 continue
             drift = abs(float(new_value) - float(old_value))
-            key_tolerance = (
-                tolerance if key.startswith(PERF_PREFIX) else figure_tolerance
-            )
+            is_perf = key.startswith(PERF_PREFIX)
+            key_tolerance = tolerance if is_perf else figure_tolerance
             allowed = key_tolerance * max(abs(float(old_value)), 1e-9)
             if drift > allowed:
-                problems.append(
+                message = (
                     "{}: extra_info {!r} drifted {} -> {} (allowed ±{:.4g})".format(
                         name, key, old_value, new_value, allowed
                     )
                 )
+                if is_perf and advisory:
+                    print("  advisory (not gating): " + message)
+                else:
+                    problems.append(message)
     return problems
 
 

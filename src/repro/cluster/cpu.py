@@ -78,6 +78,11 @@ class CPU:
         #: Invalidates scheduled slice/burst callbacks that a newer
         #: arrival has superseded (heap entries cannot be removed).
         self._epoch = 0
+        #: End time and length of the in-flight slice while stepping
+        #: (meaningless during a burst); lets :meth:`cancel` charge the
+        #: partially-consumed slice mid-flight.
+        self._slice_end = 0.0
+        self._slice_len = 0.0
 
     def __repr__(self) -> str:
         return "<CPU runnable={} busy={:.3f}s>".format(self.runnable, self.busy_s)
@@ -141,11 +146,56 @@ class CPU:
             current.remaining = self._burst_rem
             self._epoch += 1
             boundary = self._burst_t + self._slice_of(current.remaining)
+            self._slice_end = boundary
+            self._slice_len = boundary - self._burst_t
             self.env.call_at(boundary, self._on_slice_end, self._epoch)
             self._runqueue.append(task)
         else:
             self._runqueue.append(task)
         return done
+
+    def cancel(self, done: Event) -> bool:
+        """Abort the submitted work whose completion event is ``done``.
+
+        Work already executed stays charged to the owning process (the
+        accounting walk must see resources actually consumed); the
+        remainder is dropped and ``done`` fires so the waiting process
+        resumes and can observe the cancellation.  Returns ``False`` if
+        the work is unknown — already completed or never submitted.
+        """
+        for index, task in enumerate(self._runqueue):
+            if task.done is done:
+                # Queued behind the running task: nothing consumed yet.
+                del self._runqueue[index]
+                done.succeed(None)
+                return True
+        current = self._current
+        if current is None or current.done is not done:
+            return False
+        now = self.env.now
+        if self._bursting:
+            self._replay_until(now)
+            partial = now - self._burst_t
+        else:
+            partial = now - (self._slice_end - self._slice_len)
+        if partial > 0.0:
+            current.proc.charge_cpu(partial)
+            self.busy_s += partial
+        self._bursting = False
+        self._epoch += 1
+        if self._runqueue:
+            self._current = self._runqueue.pop(0)
+            if self._runqueue:
+                boundary = now + self._slice_of(self._current.remaining)
+                self._slice_end = boundary
+                self._slice_len = boundary - now
+                self.env.call_at(boundary, self._on_slice_end, self._epoch)
+            else:
+                self._begin_burst(now)
+        else:
+            self._current = None
+        done.succeed(None)
+        return True
 
     # -- internal -------------------------------------------------------
 
@@ -217,6 +267,8 @@ class CPU:
         if self._runqueue:
             self._epoch += 1
             boundary = self.env.now + self._slice_of(self._current.remaining)
+            self._slice_end = boundary
+            self._slice_len = boundary - self.env.now
             self.env.call_at(boundary, self._on_slice_end, self._epoch)
         else:
             self._begin_burst(self.env.now)

@@ -14,7 +14,7 @@ completion times match the process-per-I/O implementation bit for bit.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.cluster.procs import SimProcess
 from repro.sim.engine import Environment
@@ -59,6 +59,13 @@ class Disk:
         self._started_at = env.now
         self._in_service = False
         self._pending: List[_IO] = []
+        #: The I/O occupying the channel and when it seized it; lets
+        #: :meth:`cancel` charge the partially-consumed channel time.
+        self._current: Optional[_IO] = None
+        self._current_started = 0.0
+        #: Invalidates the scheduled completion of a cancelled I/O
+        #: (heap entries cannot be removed).
+        self._epoch = 0
 
     def __repr__(self) -> str:
         return "<Disk ios={} busy={:.3f}s>".format(self.io_count, self.busy_s)
@@ -99,16 +106,54 @@ class Disk:
             self._start(io)
         return io.done
 
+    def cancel(self, done: Event) -> bool:
+        """Abort the issued I/O whose completion event is ``done``.
+
+        Channel time already consumed stays charged to the issuing
+        process; the remainder is freed immediately (the next pending
+        I/O starts at once) and ``done`` fires so the waiting process
+        resumes and can observe the cancellation.  A cancelled I/O does
+        not count toward :attr:`io_count` — it never completed.
+        Returns ``False`` if the I/O is unknown — already completed or
+        never issued.
+        """
+        for index, io in enumerate(self._pending):
+            if io.done is done:
+                del self._pending[index]
+                done.succeed(None)
+                return True
+        current = self._current
+        if current is None or current.done is not done:
+            return False
+        elapsed = self.env.now - self._current_started
+        if elapsed > 0.0:
+            current.proc.charge_disk(elapsed)
+            self.busy_s += elapsed
+        self._epoch += 1
+        self._current = None
+        if self._pending:
+            self._start(self._pending.pop(0))
+        else:
+            self._in_service = False
+        done.succeed(None)
+        return True
+
     # -- internal -------------------------------------------------------
 
     def _start(self, io: _IO) -> None:
         self._in_service = True
-        self.env.call_later(io.duration, self._complete, io)
+        self._current = io
+        self._current_started = self.env.now
+        self._epoch += 1
+        self.env.call_later(io.duration, self._complete, io, self._epoch)
 
-    def _complete(self, io: _IO) -> None:
+    def _complete(self, io: _IO, epoch: int) -> None:
+        if epoch != self._epoch:
+            return
         io.proc.charge_disk(io.duration)
         self.busy_s += io.duration
         self.io_count += 1
+        self._current = None
         io.done.succeed(None)
         if self._pending:
             self._start(self._pending.pop(0))

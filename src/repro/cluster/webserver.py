@@ -14,7 +14,10 @@ object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a layer cycle
+    from repro.core.hedge import ServiceHandle
 
 from repro.cluster.machine import Machine
 from repro.cluster.procs import SimProcess
@@ -137,10 +140,22 @@ class WebServer:
     #: mechanisms."
     CGI_PREFIX = "/cgi/"
 
-    def service_request(self, request: WebRequest, conn: Optional[Connection] = None):
+    def service_request(
+        self,
+        request: WebRequest,
+        conn: Optional[Connection] = None,
+        handle: Optional["ServiceHandle"] = None,
+    ):
         """Service one request; a generator to run as a simulation process.
 
         Returns (via StopIteration value) the :class:`WebResponse`.
+
+        ``handle`` (hedging only) is a cancellation token: around every
+        resource wait it is armed with the matching mid-service abort,
+        and a cancellation observed at any checkpoint abandons the
+        request — resources already consumed stay charged to the site's
+        subtree, but the request neither completes nor runs the
+        completion hooks, and returns ``None``.
         """
         site = self.sites.get(request.host)
         if site is None:
@@ -160,8 +175,14 @@ class WebServer:
         site.busy += 1
         disk_s = 0.0
         cgi_s = 0.0
+        cpu = self.machine.cpu
+        disk = self.machine.disk
         with site.workers.request() as slot:
             yield slot
+            if handle is not None and handle.cancelled:
+                # Cancelled while queued for a worker: nothing consumed.
+                site.busy -= 1
+                return None
             worker = site.next_worker()
             cpu_total = self.cost_model.cpu_seconds(request) + self.overhead_cpu_s
             if dynamic:
@@ -171,18 +192,46 @@ class WebServer:
                 cgi_s = max(request.cpu_extra_s, 0.0)
             # Parse + prepare phase (most of the CPU), then the read, then
             # the transmit phase.
-            yield self.machine.cpu.execute(worker, cpu_total * 0.6)
+            done = cpu.execute(worker, cpu_total * 0.6)
+            if handle is not None:
+                handle.arm(lambda d=done: cpu.cancel(d))
+            yield done
+            if handle is not None and handle.disarm():
+                site.busy -= 1
+                return None
             if dynamic:
                 cgi_proc = self.machine.procs.spawn(
                     "cgi[{}]".format(request.path), parent=worker
                 )
-                yield self.machine.cpu.execute(cgi_proc, cgi_s)
+                done = cpu.execute(cgi_proc, cgi_s)
+                if handle is not None:
+                    handle.arm(lambda d=done: cpu.cancel(d))
+                yield done
                 self.machine.procs.kill(cgi_proc)
+                if handle is not None and handle.disarm():
+                    site.busy -= 1
+                    return None
             elif not self.machine.cache.lookup(path):
-                disk_s = self.machine.disk.io_time(size)
-                yield self.machine.disk.read(worker, size)
+                disk_s = disk.io_time(size)
+                done = disk.read(worker, size)
+                if handle is not None:
+                    handle.arm(lambda d=done: disk.cancel(d))
+                yield done
+                if handle is not None and handle.disarm():
+                    # The read never finished; the page is not cached.
+                    site.busy -= 1
+                    return None
                 self.machine.cache.insert(path, size)
-            yield self.machine.cpu.execute(worker, cpu_total * 0.4)
+            done = cpu.execute(worker, cpu_total * 0.4)
+            if handle is not None:
+                handle.arm(lambda d=done: cpu.cancel(d))
+            yield done
+            if handle is not None and handle.disarm():
+                site.busy -= 1
+                return None
+            if handle is not None:
+                # Past the last abort point: the response is committed.
+                handle.finished = True
             response = WebResponse(request, size_bytes=size)
             if conn is not None:
                 try:

@@ -21,6 +21,7 @@ from repro.core.estimator import UsageEstimator
 from repro.core.feedback import AccountingMessage, RPNUsageReport
 from repro.core.control import DelegateHandshake, DispatchOrder, HandshakeComplete
 from repro.core.grps import GENERIC_REQUEST, ResourceVector, grps
+from repro.core.hedge import HedgeHooks, HedgeManager, ServiceHandle
 from repro.core.metrics import (
     DeviationReport,
     FailureEvent,
@@ -61,6 +62,8 @@ __all__ = [
     "GENERIC_REQUEST",
     "GlobalAllocator",
     "HandshakeComplete",
+    "HedgeHooks",
+    "HedgeManager",
     "LocalServiceManager",
     "NodeScheduler",
     "PacketClass",
@@ -78,6 +81,7 @@ __all__ = [
     "ScheduleDecision",
     "SchedulerShard",
     "SecondaryRDN",
+    "ServiceHandle",
     "ServiceReport",
     "ShardCreditReport",
     "ShardMap",

@@ -62,6 +62,14 @@ class RDNAccounting:
         #: (time, subscriber, usage) samples, for deviation analysis.
         self.usage_log: List[Tuple[float, str, ResourceVector]] = []
         self.keep_usage_log = True
+        #: Conservation ledger: every prediction charged at dispatch is
+        #: eventually backed out by feedback, refunded by cancellation,
+        #: or restored by a node death — or is still pending.  See
+        #: :meth:`conservation_delta`.
+        self.total_charged = ResourceVector.ZERO
+        self.total_backed_out = ResourceVector.ZERO
+        self.total_refunded = ResourceVector.ZERO
+        self.total_forgotten = ResourceVector.ZERO
         registry = get_registry()
         self._tm_messages = registry.counter("repro.core.accounting_messages")
         self._tm_completions = registry.counter("repro.core.completions_reported")
@@ -138,6 +146,43 @@ class RDNAccounting:
         )
         account.pending.setdefault(rpn_id, deque()).append(predicted)
         account.dispatched += 1
+        self.total_charged = self.total_charged + predicted
+
+    def on_cancel(self, name: str, rpn_id: str, predicted: ResourceVector) -> bool:
+        """Refund the prediction of a cancelled (hedge-loser) dispatch.
+
+        The newest matching prediction in the (subscriber, RPN) pending
+        FIFO is removed and its value restored to the balance — the
+        cancelled request will never appear in that RPN's completion
+        counts, so leaving the prediction queued would misalign the
+        count-based back-out forever.  Searching from the *right* keeps
+        feedback for already-completed older requests matched with their
+        own (older) predictions.  Returns ``False`` when there is
+        nothing to refund — the node died first and ``forget_rpn``
+        already restored everything (refund and forget are idempotent
+        with each other), or feedback already consumed the queue.
+        """
+        account = self._accounts.get(name)
+        if account is None:
+            return False
+        queue = account.pending.get(rpn_id)
+        if not queue:
+            return False
+        index = len(queue) - 1
+        while index >= 0 and queue[index] != predicted:
+            index -= 1
+        if index < 0:
+            # The exact vector is gone (already backed out by a racing
+            # feedback message); drop the newest so the count alignment
+            # of future feedback stays intact.
+            index = len(queue) - 1
+        removed = queue[index]
+        del queue[index]
+        account.balance = account.balance + removed
+        element = account.estimated.get(rpn_id, ResourceVector.ZERO)
+        account.estimated[rpn_id] = (element - removed).clamped_min(0.0)
+        self.total_refunded = self.total_refunded + removed
+        return True
 
     # -- feedback-side operations -------------------------------------------
 
@@ -166,6 +211,7 @@ class RDNAccounting:
             account.reported_complete += report.completed
             self._tm_completions.inc(report.completed)
             account.measured_usage_total = account.measured_usage_total + report.usage
+            self.total_backed_out = self.total_backed_out + removed
             backed_out[name] = removed
             if self.keep_usage_log:
                 self.usage_log.append((message.cycle_end_s, name, report.usage))
@@ -190,8 +236,39 @@ class RDNAccounting:
             for predicted in queue:
                 total = total + predicted
             account.balance = account.balance + total
+            self.total_forgotten = self.total_forgotten + total
             restored[name] = total
         return restored
+
+    # -- conservation -------------------------------------------------------
+
+    def pending_total(self) -> ResourceVector:
+        """Predictions charged but not yet backed out/refunded/forgotten."""
+        total = ResourceVector.ZERO
+        for account in self._accounts.values():
+            for queue in account.pending.values():
+                for predicted in queue:
+                    total = total + predicted
+        return total
+
+    def conservation_delta(self) -> ResourceVector:
+        """How far the credit ledger is from exact conservation.
+
+        Every charge must be accounted for exactly once:
+
+            Σcharged == Σbacked_out + Σrefunded + Σforgotten + Σpending
+
+        The returned vector is the left side minus the right side; it is
+        zero (up to float summation noise) whenever the invariant holds,
+        with hedging and cancellation on or off.
+        """
+        settled = (
+            self.total_backed_out
+            + self.total_refunded
+            + self.total_forgotten
+            + self.pending_total()
+        )
+        return self.total_charged - settled
 
     @staticmethod
     def _pop_predictions(

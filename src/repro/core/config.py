@@ -24,6 +24,11 @@ NODES_ROUND_ROBIN = "round_robin"
 NODES_RANDOM = "random"
 NODES_LOCALITY = "locality"
 
+#: Hedging policies (tail-latency extension; not part of the paper).
+HEDGE_OFF = "off"
+HEDGE_FIXED = "fixed"
+HEDGE_P95 = "p95"
+
 
 @dataclass
 class GageConfig:
@@ -91,6 +96,33 @@ class GageConfig:
         process may miss reporting on the control channel before the
         supervisor declares it dead, reclaims its credit, and restarts
         it.
+    hedge_policy:
+        Tail-latency hedging (an extension beyond the paper, off by
+        default so paper-fidelity runs are untouched): ``"off"`` never
+        clones; ``"fixed"`` clones a still-unfinished request to a
+        second node after ``hedge_delay_s``; ``"p95"`` adapts the delay
+        to the observed p95 completion latency, falling back to
+        ``hedge_delay_s`` until enough samples accumulate.
+    hedge_delay_s:
+        Fixed hedge delay, and the adaptive policy's fallback while its
+        latency histogram is still empty.
+    hedge_max_clones:
+        Upper bound on extra copies per request (1 = classic hedged
+        request: at most one clone).
+    proxy_retry_budget:
+        Token-bucket capacity bounding proxy retries: each retry spends
+        a token, the bucket refills at ``proxy_retry_budget_refill_per_s``,
+        and an empty bucket suppresses the retry (counted by
+        ``repro.proxy.retry_budget_exhausted``) so retries plus hedges
+        cannot storm a degraded backend.  ``None`` leaves retries
+        unbudgeted.
+    proxy_retry_budget_refill_per_s:
+        Retry tokens restored per second, up to the budget cap.
+    proxy_request_deadline_s:
+        Per-request deadline measured from admission: a request that is
+        still queued when it expires is answered 504 without dialing a
+        backend, and backend waits never extend past the remaining
+        deadline.  ``None`` disables deadlines.
     """
 
     scheduling_cycle_s: float = 0.010
@@ -118,6 +150,12 @@ class GageConfig:
     proxy_pool_idle_s: float = 30.0
     proxy_keepalive_idle_s: float = 15.0
     proxy_worker_miss_limit: int = 3
+    hedge_policy: str = HEDGE_OFF
+    hedge_delay_s: float = 0.050
+    hedge_max_clones: int = 1
+    proxy_retry_budget: Optional[int] = None
+    proxy_retry_budget_refill_per_s: float = 1.0
+    proxy_request_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -167,3 +205,15 @@ class GageConfig:
             raise ValueError("keep-alive idle timeout must be positive")
         if self.proxy_worker_miss_limit < 1:
             raise ValueError("worker miss limit must be at least 1")
+        if self.hedge_policy not in (HEDGE_OFF, HEDGE_FIXED, HEDGE_P95):
+            raise ValueError("unknown hedge policy: {!r}".format(self.hedge_policy))
+        if self.hedge_delay_s <= 0:
+            raise ValueError("hedge delay must be positive")
+        if self.hedge_max_clones < 1:
+            raise ValueError("hedge max clones must be at least 1")
+        if self.proxy_retry_budget is not None and self.proxy_retry_budget < 0:
+            raise ValueError("retry budget must be non-negative (or None)")
+        if self.proxy_retry_budget_refill_per_s < 0:
+            raise ValueError("retry budget refill rate must be non-negative")
+        if self.proxy_request_deadline_s is not None and self.proxy_request_deadline_s <= 0:
+            raise ValueError("request deadline must be positive (or None)")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.config import (
     NODES_LEAST_LOAD,
@@ -174,14 +174,19 @@ class NodeScheduler:
     # -- selection -----------------------------------------------------------
 
     def pick(
-        self, predicted: ResourceVector, request: object = None
+        self,
+        predicted: ResourceVector,
+        request: object = None,
+        exclude: Optional[FrozenSet[str]] = None,
     ) -> Optional[str]:
         """Choose the RPN for a request with ``predicted`` usage.
 
         ``request`` is consulted only by the ``locality`` policy (the
-        §3.6 content-aware optimization).  Returns None when no node has
-        headroom (cluster saturated); the request stays queued for a
-        later scheduling cycle.
+        §3.6 content-aware optimization).  ``exclude`` names nodes that
+        must not be chosen — the hedging layer passes the nodes already
+        holding a copy, so a clone always lands elsewhere.  Returns None
+        when no (non-excluded) node has headroom (cluster saturated);
+        the request stays queued for a later scheduling cycle.
         """
         if self.policy == NODES_LEAST_LOAD:
             # Single pass, no eligibility list: the default policy runs on
@@ -193,6 +198,8 @@ class NodeScheduler:
             best_load = 0.0
             for status in self._nodes.values():
                 if not status.up:
+                    continue
+                if exclude is not None and status.rpn_id in exclude:
                     continue
                 capacity = status.capacity_per_s
                 after = status.outstanding + predicted
@@ -206,7 +213,9 @@ class NodeScheduler:
         eligible = [
             status
             for status in self._nodes.values()
-            if status.up and status.has_headroom(predicted, self.window_s)
+            if status.up
+            and (exclude is None or status.rpn_id not in exclude)
+            and status.has_headroom(predicted, self.window_s)
         ]
         if not eligible:
             return None

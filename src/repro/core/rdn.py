@@ -22,7 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.accounting import RDNAccounting
 from repro.core.classifier import PacketClass, RequestClassifier
-from repro.core.config import GageConfig
+from repro.core.config import HEDGE_OFF, GageConfig
 from repro.core.conntable import ConnectionTable
 from repro.core.control import (
     CONTROL_PAYLOAD_LEN,
@@ -33,6 +33,7 @@ from repro.core.control import (
 )
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
+from repro.core.hedge import HedgeHooks, HedgeManager
 from repro.core.metrics import (
     CONNECTIONS_RESET,
     DELEGATE_TIMEOUT,
@@ -151,6 +152,25 @@ class PrimaryRDN:
         self.nic: Optional[NIC] = None
         #: Flow-mode delivery: (request, rpn_id, subscriber) -> None.
         self.flow_dispatch: Optional[Callable[[object, str, str], None]] = None
+        #: Mid-service abort, installed by the cluster harness when the
+        #: transport supports it: (request, rpn_id) -> cancelled.
+        self.cancel_service: Optional[Callable[[object, str], bool]] = None
+        #: The hedging layer — only constructed when the policy is on,
+        #: so default runs carry zero extra state or events.
+        self.hedges: Optional[HedgeManager] = None
+        if config.hedge_policy != HEDGE_OFF:
+            self.hedges = HedgeManager(
+                env,
+                config,
+                HedgeHooks(
+                    pick_clone=self._pick_clone_node,
+                    charge=self._charge_clone,
+                    refund=self._refund_clone,
+                    dispatch_clone=self._dispatch_clone,
+                    cancel_service=self._cancel_service,
+                    discard_in_flight=self._discard_in_flight,
+                ),
+            )
         #: Secondary RDNs available for handshake offload, by MAC.
         self._secondaries: List[MACAddress] = []
         self._next_secondary = 0
@@ -273,10 +293,15 @@ class PrimaryRDN:
             queue = self.queues.get(name)
             if queue is None:
                 continue
+            resurrect: List[object] = list(items)
+            if self.hedges is not None:
+                # Copies with a live sibling elsewhere are not requeued —
+                # the hedge already is the retry.
+                resurrect = self.hedges.filter_requeue(rpn_id, resurrect)
             # appendleft-ing in reverse keeps FIFO order at the head.
-            for item in reversed(items):
+            for item in reversed(resurrect):
                 queue.requeue(item)
-            requeued += len(items)
+            requeued += len(resurrect)
         if requeued:
             self.failures.record(now, REQUESTS_REQUEUED, rpn_id, detail=float(requeued))
         dropped = self.conntable.remove_rpn(rpn_id)
@@ -570,7 +595,9 @@ class PrimaryRDN:
 
     # -- dispatch ----------------------------------------------------------------
 
-    def _dispatch(self, item: object, rpn_id: str, subscriber: str) -> None:
+    def _dispatch(
+        self, item: object, rpn_id: str, subscriber: str, predicted: ResourceVector
+    ) -> None:
         self.ops.dispatches += 1
         self._tm_dispatches.inc()
         self._note_dispatch_latency(item, subscriber)
@@ -579,10 +606,62 @@ class PrimaryRDN:
         )
         if isinstance(item, PendingRequest):
             self._dispatch_packet_mode(item, rpn_id)
-        elif self.flow_dispatch is not None:
-            self.flow_dispatch(item, rpn_id, subscriber)
-        else:
+            return
+        if self.flow_dispatch is None:
             raise RuntimeError("no flow_dispatch installed for flow-mode request")
+        if self.hedges is not None:
+            # Track *before* delivery so an instantaneous completion
+            # (zero-cost request) still finds its entry.
+            self.hedges.on_primary_dispatch(item, rpn_id, subscriber, predicted)
+        self.flow_dispatch(item, rpn_id, subscriber)
+
+    # -- hedging hooks (flow mode only) -------------------------------------------
+
+    def _pick_clone_node(
+        self, item: object, predicted: ResourceVector, exclude: frozenset
+    ) -> Optional[str]:
+        return self.node_scheduler.pick(predicted, request=item, exclude=exclude)
+
+    def _charge_clone(
+        self, subscriber: str, rpn_id: str, predicted: ResourceVector
+    ) -> None:
+        """A clone dispatch debits the ledger exactly like a primary one."""
+        self.accounting.on_dispatch(subscriber, rpn_id, predicted)
+        self.node_scheduler.on_dispatch(rpn_id, predicted)
+
+    def _refund_clone(
+        self, subscriber: str, rpn_id: str, predicted: ResourceVector
+    ) -> bool:
+        refunded = self.accounting.on_cancel(subscriber, rpn_id, predicted)
+        if refunded:
+            # The cancelled copy will never be reported complete, so its
+            # share of the node's outstanding window is released here.
+            self.node_scheduler.on_feedback(rpn_id, predicted)
+        return refunded
+
+    def _dispatch_clone(self, item: object, rpn_id: str, subscriber: str) -> None:
+        self.ops.dispatches += 1
+        self._tm_dispatches.inc()
+        self._in_flight.setdefault(rpn_id, {}).setdefault(subscriber, deque()).append(
+            item
+        )
+        if self.flow_dispatch is not None:
+            self.flow_dispatch(item, rpn_id, subscriber)
+
+    def _cancel_service(self, item: object, rpn_id: str) -> bool:
+        if self.cancel_service is None:
+            return False
+        return self.cancel_service(item, rpn_id)
+
+    def _discard_in_flight(self, item: object, rpn_id: str, subscriber: str) -> None:
+        """Remove one cancelled copy from in-flight tracking, by identity."""
+        items = self._in_flight.get(rpn_id, {}).get(subscriber)
+        if not items:
+            return
+        for index, queued in enumerate(items):
+            if queued is item:
+                del items[index]
+                return
 
     def _note_dispatch_latency(self, item: object, subscriber: str) -> None:
         """Histogram the queue-wait of one dispatched request."""

@@ -32,8 +32,10 @@ from repro.core.node_scheduler import NodeScheduler
 from repro.core.queues import RequestQueue, SubscriberQueues
 from repro.telemetry.registry import get_registry
 
-#: Invoked for every dispatched request as (request, rpn_id, subscriber).
-DispatchFn = Callable[[object, str, str], None]
+#: Invoked for every dispatched request as (request, rpn_id, subscriber,
+#: predicted) — the exact prediction charged at dispatch rides along so
+#: downstream layers (hedging, retries) can refund it on cancellation.
+DispatchFn = Callable[[object, str, str, ResourceVector], None]
 
 #: Bucket bounds for the prediction-error histogram, in percent.
 PREDICTION_ERROR_BUCKETS_PCT = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0]
@@ -167,7 +169,7 @@ class RequestScheduler:
             request = queue.take()
             self.accounting.on_dispatch(name, rpn_id, predicted)
             self.node_scheduler.on_dispatch(rpn_id, predicted)
-            self.dispatch_fn(request, rpn_id, name)
+            self.dispatch_fn(request, rpn_id, name, predicted)
             self.reserved_dispatches += 1
             self._reserved_counter.inc()
             decisions.append(ScheduleDecision(name, rpn_id, predicted, spare=False))
@@ -255,7 +257,7 @@ class RequestScheduler:
                     self.accounting.credit(name, predicted)
                     self.accounting.on_dispatch(name, rpn_id, predicted)
                     self.node_scheduler.on_dispatch(rpn_id, predicted)
-                    self.dispatch_fn(request, rpn_id, name)
+                    self.dispatch_fn(request, rpn_id, name, predicted)
                     self.spare_dispatches += 1
                     self._spare_counter.inc()
                     decisions.append(

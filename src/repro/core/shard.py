@@ -41,8 +41,10 @@ from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler, ScheduleDecision
 from repro.core.subscriber import Subscriber
 
-#: Invoked for every dispatched request as (request, rpn_id, subscriber).
-DispatchFn = Callable[[object, str, str], None]
+#: Invoked for every dispatched request as (request, rpn_id, subscriber,
+#: predicted) — the dispatch-time prediction rides along so downstream
+#: layers (hedging, retries) can refund it on cancellation.
+DispatchFn = Callable[[object, str, str, ResourceVector], None]
 
 
 class ShardMap:
@@ -374,7 +376,7 @@ class ShardedScheduler:
             {subscriber.name: subscriber.reservation_grps for subscriber in subscribers}
         )
         self._dispatch_fn: DispatchFn = dispatch_fn if dispatch_fn is not None else (
-            lambda request, rpn_id, name: None
+            lambda request, rpn_id, name, predicted: None
         )
         by_name = {subscriber.name: subscriber for subscriber in subscribers}
         groups = self.shard_map.partition(list(by_name))

@@ -22,9 +22,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.machine import Machine
 from repro.cluster.webserver import WebServer
-from repro.core.config import GageConfig
+from repro.core.config import HEDGE_OFF, GageConfig
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
+from repro.core.hedge import ServiceHandle
 from repro.core.metrics import ServiceReport
 from repro.core.rdn import PrimaryRDN
 from repro.core.rpn import LocalServiceManager, RPNAccountingAgent
@@ -123,6 +124,10 @@ class GageCluster:
         #: (time, kind, target) of every fault applied to this cluster.
         self.fault_log: List[Tuple[float, str, str]] = []
         self._servers: Dict[str, WebServer] = {}
+        #: Hedging (flow mode): cancellation handle per live service,
+        #: keyed rpn -> id(request).  Empty unless the policy is on.
+        self._service_handles: Dict[str, Dict[int, ServiceHandle]] = {}
+        self._hedging = self.config.hedge_policy != HEDGE_OFF
         self._agent_by_id: Dict[str, RPNAccountingAgent] = {}
         self._secondary_by_name: Dict[str, SecondaryRDN] = {}
         self._secondary_macs: Dict[str, MACAddress] = {}
@@ -202,6 +207,17 @@ class GageCluster:
             # failure detector fires).
             self.lost_in_flight += 1
             return
+        if self._hedging:
+            handles = self._service_handles.get(rpn_id)
+            if handles is not None:
+                handles.pop(id(request), None)
+            if self.rdn.hedges is not None and not self.rdn.hedges.on_completion(
+                request, rpn_id
+            ):
+                # A hedge loser that outran its cancellation: the request
+                # was already answered by the winning copy, so this
+                # completion must not enter the stats a second time.
+                return
         self._on_complete(host, request, usage, at)
 
     def _on_complete(self, host: str, request: WebRequest, usage, at: float) -> None:
@@ -252,15 +268,43 @@ class GageCluster:
                 self.lost_in_flight += 1
                 return
             if rpn_id in self.hung_rpns:
+                if self._hedging:
+                    self._register_handle(rpn_id, request)
                 self._hold_buffers.setdefault(rpn_id, []).append(request)
                 return
             server = servers[rpn_id]
-            self.env.call_later(
-                self._flow_dispatch_latency_s,
-                lambda: self.env.process(server.service_request(request)),
-            )
+            if not self._hedging:
+                self.env.call_later(
+                    self._flow_dispatch_latency_s,
+                    lambda: self.env.process(server.service_request(request)),
+                )
+                return
+            handle = self._register_handle(rpn_id, request)
+
+            def _start() -> None:
+                if handle.cancelled:
+                    return  # cancelled while the dispatch was in flight
+                self.env.process(server.service_request(request, handle=handle))
+
+            self.env.call_later(self._flow_dispatch_latency_s, _start)
 
         self.rdn.flow_dispatch = flow_dispatch
+        self.rdn.cancel_service = self._cancel_service
+
+    def _register_handle(self, rpn_id: str, request: object) -> ServiceHandle:
+        handle = ServiceHandle()
+        self._service_handles.setdefault(rpn_id, {})[id(request)] = handle
+        return handle
+
+    def _cancel_service(self, request: object, rpn_id: str) -> bool:
+        """Hedge-loser abort: stop the copy of ``request`` on ``rpn_id``."""
+        handles = self._service_handles.get(rpn_id)
+        if not handles:
+            return False
+        handle = handles.pop(id(request), None)
+        if handle is None:
+            return False
+        return handle.cancel()
 
     def _flow_feedback(self, message: AccountingMessage) -> None:
         self.env.call_later(
@@ -425,6 +469,7 @@ class GageCluster:
         self.down_rpns.add(target)
         self.hung_rpns.discard(target)
         self.lost_in_flight += len(self._hold_buffers.pop(target, []))
+        self._service_handles.pop(target, None)
         agent.up = False
         iface = self._iface_by_target.get(target)
         if iface is not None:
@@ -475,10 +520,22 @@ class GageCluster:
         status = self.rdn.node_scheduler.get(target)
         if status is not None and not status.up:
             self.lost_in_flight += len(held)
+            if self._hedging:
+                handles = self._service_handles.get(target, {})
+                for request in held:
+                    handles.pop(id(request), None)
         else:
             server = self._servers[target]
+            handles = self._service_handles.get(target, {})
             for request in held:
-                self.env.process(server.service_request(request))
+                handle = handles.get(id(request)) if self._hedging else None
+                if self._hedging and (handle is None or handle.cancelled):
+                    # A hedge clone already answered this request while
+                    # the node was wedged (cancellation removed or marked
+                    # its handle); don't service the stale copy.
+                    handles.pop(id(request), None)
+                    continue
+                self.env.process(server.service_request(request, handle=handle))
         agent.up = True
         self._log_fault("resume", target)
 

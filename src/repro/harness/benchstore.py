@@ -43,12 +43,18 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def environment_stamp() -> Dict[str, str]:
-    """Where the numbers were measured (informational, not compared)."""
+    """Where the numbers were measured (informational, not compared).
+
+    ``cpus`` lets the compare script demote assertions that need real
+    parallelism (``min_cores`` in a record's ``extra_info``) to advisory
+    on small runners instead of committing their numbers as truth.
+    """
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpus": str(os.cpu_count() or 0),
     }
 
 

@@ -135,6 +135,9 @@ def run_deviation_experiment(
     reservation_grps: float = 150.0,
     num_subscribers: int = 4,
     seed: int = 0,
+    hedge_policy: Optional[str] = None,
+    hedge_delay_s: Optional[float] = None,
+    hedge_max_clones: Optional[int] = None,
 ) -> DeviationCurve:
     """Measure deviation-from-reservation at one accounting cycle.
 
@@ -158,9 +161,20 @@ def run_deviation_experiment(
     subscribers = [
         Subscriber(name, reservation_grps, queue_capacity=2048) for name in names
     ]
+    # Hedge knobs pass straight through so the fig3-style deviation run
+    # can be repeated with cloning on — the guarantee check behind
+    # BENCH_proxy_hedged.  All default to GageConfig's (hedging off).
+    hedge_kwargs: Dict[str, object] = {}
+    if hedge_policy is not None:
+        hedge_kwargs["hedge_policy"] = hedge_policy
+    if hedge_delay_s is not None:
+        hedge_kwargs["hedge_delay_s"] = hedge_delay_s
+    if hedge_max_clones is not None:
+        hedge_kwargs["hedge_max_clones"] = hedge_max_clones
     config = GageConfig(
         accounting_cycle_s=accounting_cycle_s,
         spare_policy="none",
+        **hedge_kwargs,  # type: ignore[arg-type]
     )
 
     site_files: Dict[str, Dict[str, int]] = {}

@@ -16,7 +16,7 @@ when the transport's write buffer passes its high-water mark.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.proxy.http import (
     HTTPError,
@@ -51,6 +51,11 @@ class BackendServer:
         ``time_scale`` below 1.0 to shrink modeled sleeps in tests.
     keepalive_idle_s:
         How long an idle keep-alive connection is held before closing.
+    extra_delay_fn:
+        Optional ``(host, path) -> seconds`` of extra wall-clock service
+        delay, added verbatim (not scaled by ``time_scale``).  Lets
+        tests and benchmarks inject heavy-tailed (e.g. Pareto) or
+        fault-shaped service times without touching the cost model.
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class BackendServer:
         time_scale: float = 1.0,
         host: str = "127.0.0.1",
         keepalive_idle_s: float = 15.0,
+        extra_delay_fn: Optional[Callable[[str, str], float]] = None,
     ) -> None:
         if time_scale < 0:
             raise ValueError("negative time scale")
@@ -70,6 +76,7 @@ class BackendServer:
         self.time_scale = time_scale
         self.host = host
         self.keepalive_idle_s = keepalive_idle_s
+        self.extra_delay_fn = extra_delay_fn
         self.port: Optional[int] = None
         self.requests_served = 0
         self.errors = 0
@@ -167,6 +174,8 @@ class BackendServer:
             disk_s = self.cost_model.disk_seconds(request)
             self._warm[key] = True
         service_s = (cpu_s + disk_s) * self.time_scale
+        if self.extra_delay_fn is not None:
+            service_s += self.extra_delay_fn(host, head.path)
         if service_s > 0:
             await asyncio.sleep(service_s)
 

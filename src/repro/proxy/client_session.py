@@ -30,6 +30,10 @@ class _PendingConnection:
     reader: asyncio.StreamReader
     writer: asyncio.StreamWriter
     subscriber: str
+    #: Loop-clock time the request entered its subscriber queue; the
+    #: per-request deadline (``proxy_request_deadline_s``) counts from
+    #: here, so time spent queued behind the WRR gate is included.
+    enqueued_at: float = 0.0
 
 
 #: Rendered refusal heads, keyed (status, reason, retry_after_s).  A
@@ -101,7 +105,9 @@ class ClientSessionMixin:
                 writer, 503, "Service Unavailable", retry_after_s=self._retry_after_s()
             )
             return
-        pending = _PendingConnection(head, reader, writer, subscriber)
+        pending = _PendingConnection(
+            head, reader, writer, subscriber, enqueued_at=self._now()
+        )
         queue = self.queues.get(subscriber)
         if queue is None or not queue.offer(pending):
             self.stats.dropped_queue_full += 1

@@ -27,12 +27,13 @@ transport-to-transport under flow control
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.accounting import RDNAccounting
 from repro.core.classifier import RequestClassifier
-from repro.core.config import GageConfig
+from repro.core.config import HEDGE_OFF, HEDGE_P95, GageConfig
 from repro.core.feedback import AccountingMessage, RPNUsageReport
 from repro.core.metrics import (
     BACKEND_EJECTED,
@@ -48,6 +49,7 @@ from repro.proxy.backend_pool import BackendPool
 from repro.proxy.client_session import ClientSessionMixin, _PendingConnection
 from repro.proxy.http import (
     HTTPError,
+    HTTPResponseHead,
     read_response_head,
     render_request_head,
     render_response_head,
@@ -77,6 +79,16 @@ class ProxyStats:
     shed_no_backend: int = 0
     #: Requests that arrived on an already-open client connection.
     keepalive_requests: int = 0
+    #: Hedge clones fired after the hedge delay expired unanswered.
+    hedges_fired: int = 0
+    #: Hedged requests where a clone's response head arrived first.
+    hedges_won: int = 0
+    #: Hedge losers cancelled (drained/closed) after resolution.
+    hedges_cancelled: int = 0
+    #: Retries skipped because the retry-budget token bucket was empty.
+    retry_budget_exhausted: int = 0
+    #: Requests 504ed because their deadline passed before service began.
+    deadline_expired: int = 0
 
 
 #: Default per-backend capacity: one CPU-second and disk-second per
@@ -149,6 +161,14 @@ class GageProxy(ClientSessionMixin):
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
+        #: Retry-budget token bucket (None = unlimited, the default).
+        #: Refilled by the scheduler loop at the configured rate; a
+        #: retry that finds the bucket empty is skipped, so retries plus
+        #: hedges cannot storm a degraded backend.
+        budget = self.config.proxy_retry_budget
+        self._retry_tokens: Optional[float] = None if budget is None else float(budget)
+        #: Seeded source of backoff jitter — deterministic under test.
+        self._retry_rng = random.Random(0x9A9E)
         registry = get_registry()
         self._tm_connect_latency = registry.histogram("repro.proxy.connect_latency_s")
         self._tm_response_latency = registry.histogram("repro.proxy.response_latency_s")
@@ -157,6 +177,14 @@ class GageProxy(ClientSessionMixin):
         self._tm_timeouts = registry.counter("repro.proxy.timeouts")
         self._tm_ejections = registry.counter("repro.proxy.ejections")
         self._tm_readmissions = registry.counter("repro.proxy.readmissions")
+        self._tm_hedge_fired = registry.counter("repro.proxy.hedge.fired")
+        self._tm_hedge_won = registry.counter("repro.proxy.hedge.won")
+        self._tm_hedge_cancelled = registry.counter("repro.proxy.hedge.cancelled")
+        self._tm_hedge_refunded = registry.counter("repro.proxy.hedge.refunded_grps")
+        self._tm_retry_budget_exhausted = registry.counter(
+            "repro.proxy.retry_budget_exhausted"
+        )
+        self._tm_deadline_expired = registry.counter("repro.proxy.deadline_expired")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -208,6 +236,13 @@ class GageProxy(ClientSessionMixin):
     async def _scheduler_loop(self) -> None:
         while not self._stopping:
             await asyncio.sleep(self.config.scheduling_cycle_s)
+            if self._retry_tokens is not None:
+                self._retry_tokens = min(
+                    float(self.config.proxy_retry_budget or 0),
+                    self._retry_tokens
+                    + self.config.proxy_retry_budget_refill_per_s
+                    * self.config.scheduling_cycle_s,
+                )
             self.scheduler.run_cycle()
             self.pool.sweep()
             get_registry().tick()
@@ -285,10 +320,20 @@ class GageProxy(ClientSessionMixin):
 
     # -- dispatch ----------------------------------------------------------------
 
-    def _dispatch(self, item: object, backend_id: str, subscriber: str) -> None:
+    def _dispatch(
+        self, item: object, backend_id: str, subscriber: str,
+        predicted: ResourceVector,
+    ) -> None:
         assert isinstance(item, _PendingConnection)
         self.stats.dispatched += 1
-        task = asyncio.ensure_future(self._serve(item, backend_id, subscriber))
+        if self.config.hedge_policy != HEDGE_OFF and item.head.content_length == 0:
+            # Only bodyless requests are hedged: a request body is
+            # consumed from the client stream once, so it cannot be
+            # replayed to a second backend.
+            coro = self._serve_hedged(item, backend_id, subscriber, predicted)
+        else:
+            coro = self._serve(item, backend_id, subscriber)
+        task = asyncio.ensure_future(coro)
         self._tasks.append(task)
         self._tasks = [t for t in self._tasks if not t.done()]
 
@@ -321,6 +366,7 @@ class GageProxy(ClientSessionMixin):
         client_writer: asyncio.StreamWriter,
         backend_reader: asyncio.StreamReader,
         backend_writer: asyncio.StreamWriter,
+        timeout: Optional[float] = None,
     ):
         """Send one request to the backend and read its response head."""
         await splice_exactly(
@@ -329,7 +375,10 @@ class GageProxy(ClientSessionMixin):
         await backend_writer.drain()
         return await asyncio.wait_for(
             read_response_head(backend_reader),
-            timeout=self.config.proxy_response_timeout_s,
+            timeout=(
+                timeout if timeout is not None
+                else self.config.proxy_response_timeout_s
+            ),
         )
 
     async def _serve(
@@ -350,6 +399,13 @@ class GageProxy(ClientSessionMixin):
         waiting for its next request instead of being closed.
         """
         client_reader, client_writer = pending.reader, pending.writer
+        remaining = self._deadline_remaining(pending)
+        if remaining is not None and remaining <= 0:
+            await self._expire(pending, backend_id, subscriber)
+            return
+        response_timeout = self.config.proxy_response_timeout_s
+        if remaining is not None:
+            response_timeout = min(response_timeout, remaining)
         head = pending.head
         client_keep_alive = wants_keep_alive(head)
         body_len = head.content_length
@@ -369,11 +425,16 @@ class GageProxy(ClientSessionMixin):
             except (OSError, asyncio.TimeoutError):
                 self._note_backend_failure(current)
                 alternate = self._pick_alternate(tried)
-                if attempt == 0 and alternate is not None:
+                if attempt == 0 and alternate is not None and self._take_retry_token():
                     self.stats.retried += 1
                     self._tm_retries.inc()
+                    # Full-jitter exponential backoff: a burst of failures
+                    # spreads its retries over [0, base * 2^attempt)
+                    # instead of hammering the alternate in lockstep.
                     await asyncio.sleep(
-                        self.config.proxy_retry_backoff_s * (2 ** attempt)
+                        self._retry_rng.uniform(
+                            0.0, self.config.proxy_retry_backoff_s * (2 ** attempt)
+                        )
                     )
                     current = alternate
                     continue
@@ -406,6 +467,7 @@ class GageProxy(ClientSessionMixin):
                         client_writer,
                         backend_reader,
                         backend_writer,
+                        timeout=response_timeout,
                     )
                     break
                 except (ConnectionError, asyncio.IncompleteReadError) as exc:
@@ -439,7 +501,7 @@ class GageProxy(ClientSessionMixin):
                     response.content_length,
                     prefix=response_head,
                 ),
-                timeout=self.config.proxy_response_timeout_s,
+                timeout=response_timeout,
             )
             await client_writer.drain()
             self.stats.completed += 1
@@ -478,6 +540,343 @@ class GageProxy(ClientSessionMixin):
                 self._resume_client(client_reader, client_writer)
             else:
                 client_writer.close()
+
+    # -- deadlines and retry budget ------------------------------------------
+
+    def _deadline_remaining(self, pending: _PendingConnection) -> Optional[float]:
+        """Seconds left before this request's deadline (None = no deadline)."""
+        deadline = self.config.proxy_request_deadline_s
+        if deadline is None:
+            return None
+        return deadline - (self._now() - pending.enqueued_at)
+
+    async def _expire(
+        self, pending: _PendingConnection, backend_id: str, subscriber: str
+    ) -> None:
+        """504 a request whose deadline passed while it sat queued.
+
+        The scheduler already charged the dispatch, so a zero-usage
+        completion is recorded to keep the prediction back-out aligned.
+        """
+        self.stats.deadline_expired += 1
+        self._tm_deadline_expired.inc()
+        self.stats.failed += 1
+        self._record(backend_id, subscriber, ResourceVector.ZERO, completed=1)
+        await self._refuse(pending.writer, 504, "Gateway Timeout")
+
+    def _take_retry_token(self) -> bool:
+        """Spend one retry-budget token; False (and counted) when empty."""
+        if self._retry_tokens is None:
+            return True
+        if self._retry_tokens >= 1.0:
+            self._retry_tokens -= 1.0
+            return True
+        self.stats.retry_budget_exhausted += 1
+        self._tm_retry_budget_exhausted.inc()
+        return False
+
+    # -- hedging -------------------------------------------------------------
+
+    def _hedge_delay(self) -> float:
+        """Seconds to wait for the primary before firing a hedge clone.
+
+        Under the adaptive policy the delay tracks the observed p95
+        response latency (so only the slowest ~5% of requests hedge),
+        falling back to the fixed delay until enough samples exist.
+        """
+        if self.config.hedge_policy == HEDGE_P95:
+            histogram = self._tm_response_latency
+            if histogram.count >= 10:
+                quantile = histogram.quantile(0.95)
+                if quantile > 0:
+                    return quantile
+        return self.config.hedge_delay_s
+
+    async def _fetch_head(
+        self, backend_id: str, request_head: bytes, timeout: float
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, HTTPResponseHead]:
+        """One hedged attempt: acquire, send the head, read the response head.
+
+        Closes its socket on any failure — including cancellation — so a
+        lost attempt never leaks a connection.  A pooled socket that went
+        stale while parked is redialed fresh once, exactly like the
+        unhedged path.
+        """
+        reader, writer, reused = await self._acquire(backend_id)
+        try:
+            while True:
+                try:
+                    writer.write(request_head)
+                    await writer.drain()
+                    response = await asyncio.wait_for(
+                        read_response_head(reader), timeout=timeout
+                    )
+                    return reader, writer, response
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    if not reused:
+                        raise
+                    writer.close()
+                    reader, writer, reused = await self._acquire(
+                        backend_id, fresh=True
+                    )
+        except BaseException:
+            writer.close()
+            raise
+
+    async def _serve_hedged(
+        self,
+        pending: _PendingConnection,
+        backend_id: str,
+        subscriber: str,
+        predicted: ResourceVector,
+    ) -> None:
+        """Serve one dispatched request with tail-latency hedging.
+
+        The primary attempt goes to ``backend_id`` (charged by the
+        scheduler at dispatch).  If no response head arrives within the
+        hedge delay, a clone is charged against — and dialed to — the
+        least-loaded backend not yet holding a copy; the first head to
+        arrive wins and its body is relayed to the client.  Every loser's
+        prediction is refunded (:meth:`RDNAccounting.on_cancel` keeps the
+        credit ledger conserved) and its socket is drained in the
+        background and returned to the pool, never leaked.
+        """
+        client_writer = pending.writer
+        remaining = self._deadline_remaining(pending)
+        if remaining is not None and remaining <= 0:
+            await self._expire(pending, backend_id, subscriber)
+            return
+        response_timeout = self.config.proxy_response_timeout_s
+        if remaining is not None:
+            response_timeout = min(response_timeout, remaining)
+        head = pending.head
+        client_keep_alive = wants_keep_alive(head)
+        head.headers["connection"] = "keep-alive"
+        request_head = render_request_head(head)
+        started = self._now()
+
+        #: backend -> the prediction charged for its copy of the request.
+        charged: Dict[str, ResourceVector] = {backend_id: predicted}
+        tasks: Dict[asyncio.Task, str] = {}
+        primary = asyncio.ensure_future(
+            self._fetch_head(backend_id, request_head, response_timeout)
+        )
+        tasks[primary] = backend_id
+
+        winner_id: Optional[str] = None
+        winner = None
+        #: Attempts whose head arrived in the same wakeup as the winner's.
+        late: List[Tuple[str, Tuple[
+            asyncio.StreamReader, asyncio.StreamWriter, HTTPResponseHead
+        ]]] = []
+        hedge_wait: Optional[float] = self._hedge_delay()
+        while tasks:
+            done, _ = await asyncio.wait(
+                set(tasks), timeout=hedge_wait,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not done:
+                # The hedge timer fired with every attempt still pending.
+                clone_id = None
+                if len(charged) - 1 < self.config.hedge_max_clones:
+                    clone_id = self._pick_alternate(set(charged))
+                if clone_id is None:
+                    hedge_wait = None  # nowhere (left) to clone; just wait
+                    continue
+                clone_predicted = self.scheduler.estimator(subscriber).predict()
+                self.accounting.on_dispatch(subscriber, clone_id, clone_predicted)
+                self.node_scheduler.on_dispatch(clone_id, clone_predicted)
+                charged[clone_id] = clone_predicted
+                self.stats.hedges_fired += 1
+                self._tm_hedge_fired.inc()
+                clone = asyncio.ensure_future(
+                    self._fetch_head(clone_id, request_head, response_timeout)
+                )
+                tasks[clone] = clone_id
+                if len(charged) - 1 >= self.config.hedge_max_clones:
+                    hedge_wait = None
+                continue
+            for task in done:
+                attempt_id = tasks.pop(task)
+                try:
+                    result = task.result()
+                except (OSError, HTTPError, ConnectionError,
+                        asyncio.TimeoutError, asyncio.IncompleteReadError):
+                    # A failed attempt settles its own charge: zero usage,
+                    # one completion, exactly like the unhedged path.
+                    self._note_backend_failure(attempt_id)
+                    self._record(
+                        attempt_id, subscriber, ResourceVector.ZERO, completed=1
+                    )
+                    charged.pop(attempt_id, None)
+                    continue
+                if winner_id is None:
+                    winner_id, winner = attempt_id, result
+                else:
+                    late.append((attempt_id, result))
+            if winner_id is not None:
+                break
+
+        if winner_id is None or winner is None:
+            self.stats.failed += 1
+            if self.node_scheduler.up_nodes():
+                await self._refuse(client_writer, 502, "Bad Gateway")
+            else:
+                self.stats.shed_no_backend += 1
+                self._tm_shed.inc()
+                self.failures.record(self._now(), REQUEST_SHED, subscriber)
+                await self._refuse(
+                    client_writer,
+                    503,
+                    "Service Unavailable",
+                    retry_after_s=self._retry_after_s(),
+                )
+            return
+
+        if winner_id != backend_id:
+            self.stats.hedges_won += 1
+            self._tm_hedge_won.inc()
+        # Cancel the losers: refund each one's prediction now (before any
+        # accounting flush can race) and drain its socket in background.
+        for task, loser_id in list(tasks.items()):
+            self._refund_loser(loser_id, subscriber, charged)
+            reap = asyncio.ensure_future(
+                self._reap_loser(task, loser_id, subscriber)
+            )
+            self._tasks.append(reap)
+        tasks.clear()
+        for loser_id, result in late:
+            self._refund_loser(loser_id, subscriber, charged)
+            reap = asyncio.ensure_future(
+                self._drain_loser(result, loser_id, subscriber)
+            )
+            self._tasks.append(reap)
+
+        backend_reader, backend_writer, response = winner
+        released = False
+        client_ok = False
+        try:
+            usage_triple = response.usage()
+            backend_keep_alive = wants_keep_alive(response)
+            response.headers["connection"] = (
+                "keep-alive" if client_keep_alive else "close"
+            )
+            response_head = render_response_head(response, drop_usage=True)
+            relayed = await asyncio.wait_for(
+                splice_exactly(
+                    backend_reader,
+                    backend_writer,
+                    client_writer,
+                    response.content_length,
+                    prefix=response_head,
+                ),
+                timeout=response_timeout,
+            )
+            await client_writer.drain()
+            self.stats.completed += 1
+            self._tm_response_latency.observe(self._now() - started)
+            self.stats.bytes_relayed += relayed
+            usage = (
+                ResourceVector(*usage_triple)
+                if usage_triple is not None
+                else ResourceVector(0.0, 0.0, float(relayed))
+            )
+            self._record(winner_id, subscriber, usage, completed=1)
+            self._consecutive_failures[winner_id] = 0
+            if backend_keep_alive and not self._stopping:
+                released = self.pool.put(winner_id, backend_reader, backend_writer)
+            client_ok = True
+        except asyncio.TimeoutError:
+            self.stats.timed_out += 1
+            self._tm_timeouts.inc()
+            self.stats.failed += 1
+            self._note_backend_failure(winner_id)
+            self._record(winner_id, subscriber, ResourceVector.ZERO, completed=1)
+            # The response head already started toward the client; no
+            # error status can follow, just cut the stalled transfer.
+        except (HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            self.stats.failed += 1
+            self._note_backend_failure(winner_id)
+            self._record(winner_id, subscriber, ResourceVector.ZERO, completed=1)
+        finally:
+            if not released:
+                backend_writer.close()
+            if client_ok and client_keep_alive:
+                self._resume_client(pending.reader, client_writer)
+            else:
+                client_writer.close()
+
+    def _refund_loser(
+        self, loser_id: str, subscriber: str, charged: Dict[str, ResourceVector]
+    ) -> None:
+        """Refund a hedge loser's dispatch-time prediction."""
+        loser_predicted = charged.pop(loser_id, None)
+        if loser_predicted is not None and self.accounting.on_cancel(
+            subscriber, loser_id, loser_predicted
+        ):
+            self.node_scheduler.on_feedback(loser_id, loser_predicted)
+            self._tm_hedge_refunded.inc(
+                loser_predicted.in_generic_requests(self.config.generic_request)
+            )
+        self.stats.hedges_cancelled += 1
+        self._tm_hedge_cancelled.inc()
+
+    async def _reap_loser(
+        self, task: "asyncio.Task", loser_id: str, subscriber: str
+    ) -> None:
+        """Wait out a cancelled hedge attempt, then drain and recycle it."""
+        try:
+            result = await task
+        except (OSError, HTTPError, ConnectionError,
+                asyncio.TimeoutError, asyncio.IncompleteReadError):
+            # A loser that never answered is a real backend signal —
+            # count it so a hung backend still gets ejected.
+            self._note_backend_failure(loser_id)
+            return  # _fetch_head already closed its socket
+        await self._drain_loser(result, loser_id, subscriber)
+
+    async def _drain_loser(
+        self,
+        result: Tuple[asyncio.StreamReader, asyncio.StreamWriter, HTTPResponseHead],
+        loser_id: str,
+        subscriber: str,
+    ) -> None:
+        """Consume a loser's response body; pool the socket, bill the usage.
+
+        The prediction was refunded at resolution; the *measured* usage
+        is billed with ``completed=0`` so the subscriber still pays for
+        the work the backend actually did, without disturbing the
+        count-based prediction back-out.
+        """
+        reader, writer, response = result
+        try:
+            await asyncio.wait_for(
+                self._discard_body(reader, response.content_length),
+                timeout=self.config.proxy_response_timeout_s,
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            writer.close()
+            return
+        usage_triple = response.usage()
+        if usage_triple is not None:
+            self._record(
+                loser_id, subscriber, ResourceVector(*usage_triple), completed=0
+            )
+        released = False
+        if wants_keep_alive(response) and not self._stopping:
+            released = self.pool.put(loser_id, reader, writer)
+        if not released:
+            writer.close()
+
+    @staticmethod
+    async def _discard_body(reader: asyncio.StreamReader, nbytes: int) -> None:
+        """Read and drop exactly ``nbytes`` from a backend stream."""
+        remaining = nbytes
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                raise asyncio.IncompleteReadError(partial=b"", expected=remaining)
+            remaining -= len(chunk)
 
     # -- backend health ----------------------------------------------------------
 

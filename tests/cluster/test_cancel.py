@@ -1,0 +1,353 @@
+"""Mid-service cancellation semantics: CPU, disk, and the web server.
+
+The hedging layer cancels the losing copy of a cloned request while it
+may be half-way through a CPU burst or a disk I/O.  These tests pin the
+accounting contract: work already executed stays charged to the owning
+process (the §3.5 accounting walk must see resources actually
+consumed), the remainder is dropped, and the waiting process resumes
+immediately without completing.
+"""
+
+import pytest
+
+from repro.cluster import CPU, Disk, Machine, ProcessTable, WebServer
+from repro.core.hedge import ServiceHandle
+from repro.sim import Environment
+from repro.workload import WebRequest
+
+
+# -- CPU ----------------------------------------------------------------
+
+
+def test_cpu_cancel_mid_burst_charges_partial():
+    """Cancelling the sole (bursting) task charges exactly the elapsed
+    time — whole boundaries via replay plus the in-flight fraction."""
+    env = Environment()
+    cpu = CPU(env, quantum_s=0.001)
+    proc = ProcessTable().spawn("p")
+    resumed_at = []
+
+    def runner(env):
+        yield cpu.execute(proc, 0.050)
+        resumed_at.append(env.now)
+
+    def canceller(env, done_holder):
+        yield env.timeout(0.0205)
+        assert cpu.cancel(done_holder[0]) is True
+
+    holder = []
+
+    def submit(env):
+        done = cpu.execute(proc, 0.050)
+        holder.append(done)
+        yield done
+        resumed_at.append(env.now)
+
+    env.process(submit(env))
+    env.process(canceller(env, holder))
+    env.run()
+    # 20 whole 1 ms slices replayed + 0.5 ms of the 21st slice.
+    assert resumed_at == [pytest.approx(0.0205)]
+    assert proc.cpu_s == pytest.approx(0.0205)
+    assert cpu.busy_s == pytest.approx(0.0205)
+    assert cpu.runnable == 0
+
+
+def test_cpu_cancel_queued_task_charges_nothing():
+    env = Environment()
+    cpu = CPU(env, quantum_s=0.001)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+    finish = {}
+    holder = {}
+
+    def submit(env, name, proc):
+        done = cpu.execute(proc, 0.050)
+        holder[name] = done
+        yield done
+        finish[name] = env.now
+
+    def canceller(env):
+        # b is queued behind a's first slice; cancel before it ever runs.
+        yield env.timeout(0.0005)
+        assert cpu.cancel(holder["b"]) is True
+
+    env.process(submit(env, "a", pa))
+    env.process(submit(env, "b", pb))
+    env.process(canceller(env))
+    env.run()
+    assert pb.cpu_s == 0.0
+    assert finish["b"] == pytest.approx(0.0005)
+    # a never shared a slice with b, so it runs solo to completion.
+    assert finish["a"] == pytest.approx(0.050)
+    assert pa.cpu_s == pytest.approx(0.050)
+
+
+def test_cpu_cancel_stepped_current_promotes_next():
+    """Cancelling the in-service task mid-slice charges the consumed
+    fraction and hands the CPU to the queued task at once."""
+    env = Environment()
+    cpu = CPU(env, quantum_s=0.001)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+    finish = {}
+    holder = {}
+
+    def submit(env, name, proc):
+        done = cpu.execute(proc, 0.050)
+        holder[name] = done
+        yield done
+        finish[name] = env.now
+
+    def canceller(env):
+        yield env.timeout(0.0005)
+        assert cpu.cancel(holder["a"]) is True
+
+    env.process(submit(env, "a", pa))
+    env.process(submit(env, "b", pb))
+    env.process(canceller(env))
+    env.run()
+    assert pa.cpu_s == pytest.approx(0.0005)
+    assert finish["a"] == pytest.approx(0.0005)
+    # b becomes the sole runnable task and bursts to completion.
+    assert finish["b"] == pytest.approx(0.0505)
+    assert pb.cpu_s == pytest.approx(0.050)
+
+
+def test_cpu_cancel_unknown_or_completed_is_false():
+    env = Environment()
+    cpu = CPU(env, quantum_s=0.001)
+    proc = ProcessTable().spawn("p")
+    from repro.sim.events import Event
+
+    assert cpu.cancel(Event(env)) is False
+    done = cpu.execute(proc, 0.002)
+    env.run()
+    assert cpu.cancel(done) is False
+    assert proc.cpu_s == pytest.approx(0.002)
+
+
+# -- Disk ---------------------------------------------------------------
+
+
+def test_disk_cancel_pending_charges_nothing():
+    env = Environment()
+    disk = Disk(env, seek_s=0.005, transfer_bps=1e6)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+    finish = {}
+    holder = {}
+
+    def submit(env, name, proc, nbytes):
+        done = disk.read(proc, nbytes)
+        holder[name] = done
+        yield done
+        finish[name] = env.now
+
+    def canceller(env):
+        yield env.timeout(0.001)
+        assert disk.cancel(holder["b"]) is True
+
+    env.process(submit(env, "a", pa, 10_000))
+    env.process(submit(env, "b", pb, 10_000))
+    env.process(canceller(env))
+    env.run()
+    assert pb.disk_s == 0.0
+    assert finish["b"] == pytest.approx(0.001)
+    assert finish["a"] == pytest.approx(disk.io_time(10_000))
+    assert disk.io_count == 1
+
+
+def test_disk_cancel_in_service_charges_elapsed_and_starts_next():
+    env = Environment()
+    disk = Disk(env, seek_s=0.005, transfer_bps=1e6)
+    table = ProcessTable()
+    pa, pb = table.spawn("a"), table.spawn("b")
+    finish = {}
+    holder = {}
+
+    def submit(env, name, proc, nbytes):
+        done = disk.read(proc, nbytes)
+        holder[name] = done
+        yield done
+        finish[name] = env.now
+
+    def canceller(env):
+        yield env.timeout(0.003)
+        assert disk.cancel(holder["a"]) is True
+
+    env.process(submit(env, "a", pa, 10_000))
+    env.process(submit(env, "b", pb, 10_000))
+    env.process(canceller(env))
+    env.run()
+    # Elapsed channel time stays charged; a cancelled I/O never counts.
+    assert pa.disk_s == pytest.approx(0.003)
+    assert finish["a"] == pytest.approx(0.003)
+    # b seizes the channel the instant a is cancelled.
+    assert finish["b"] == pytest.approx(0.003 + disk.io_time(10_000))
+    assert pb.disk_s == pytest.approx(disk.io_time(10_000))
+    assert disk.io_count == 1
+    assert disk.busy_s == pytest.approx(0.003 + disk.io_time(10_000))
+
+
+def test_disk_cancel_unknown_or_completed_is_false():
+    env = Environment()
+    disk = Disk(env)
+    proc = ProcessTable().spawn("p")
+    from repro.sim.events import Event
+
+    assert disk.cancel(Event(env)) is False
+    done = disk.read(proc, 1000)
+    env.run()
+    assert disk.cancel(done) is False
+    assert disk.io_count == 1
+
+
+# -- ServiceHandle ------------------------------------------------------
+
+
+def test_service_handle_cancel_fires_armed_abort_once():
+    fired = []
+    handle = ServiceHandle()
+    handle.arm(lambda: fired.append(True) or True)
+    assert handle.cancel() is True
+    assert fired == [True]
+    # Idempotent: a second cancel is a no-op.
+    assert handle.cancel() is False
+    assert handle.cancelled is True
+
+
+def test_service_handle_refuses_after_finish():
+    handle = ServiceHandle()
+    handle.finished = True
+    assert handle.cancel() is False
+    assert handle.cancelled is False
+
+
+def test_service_handle_disarm_reports_cancellation():
+    handle = ServiceHandle()
+    handle.arm(lambda: True)
+    assert handle.disarm() is False
+    handle.cancelled = True
+    assert handle.disarm() is True
+
+
+# -- WebServer ----------------------------------------------------------
+
+
+def make_server(env, **kwargs):
+    machine = Machine(env, "rpn1")
+    server = WebServer(machine, **kwargs)
+    server.host_site("site1.example.com", files={"index.html": 6000})
+    return machine, server
+
+
+def request(path="/index.html", host="site1.example.com", size=6000):
+    return WebRequest(host=host, path=path, size_bytes=size)
+
+
+def test_webserver_cancel_mid_service_abandons_request():
+    env = Environment()
+    machine, server = make_server(env)
+    completions = []
+    server.on_complete.append(lambda *a: completions.append(a))
+    handle = ServiceHandle()
+    outcome = []
+
+    def serve(env):
+        result = yield env.process(server.service_request(request(), handle=handle))
+        outcome.append(result)
+
+    def canceller(env):
+        yield env.timeout(0.0001)  # mid first CPU phase
+        assert handle.cancel() is True
+
+    env.process(serve(env))
+    env.process(canceller(env))
+    env.run()
+    site = server.sites["site1.example.com"]
+    assert outcome == [None]
+    assert site.completed == 0
+    assert site.busy == 0
+    assert completions == []
+    # The CPU already burned stays charged to the site's subtree.
+    subtree = site.master.subtree_usage()
+    assert subtree.cpu_s == pytest.approx(0.0001)
+    assert subtree.net_bytes == 0
+
+
+def test_webserver_cancel_during_disk_read_skips_cache_insert():
+    env = Environment()
+    machine, server = make_server(env)
+    handle = ServiceHandle()
+    outcome = []
+
+    def serve(env):
+        result = yield env.process(server.service_request(request(), handle=handle))
+        outcome.append(result)
+
+    def canceller(env):
+        # Past the 60% CPU phase and into the disk read: the read's
+        # io_time dominates, so any instant shortly after the CPU phase
+        # lands inside it.
+        cpu_phase = server.cost_model.cpu_seconds(request()) * 0.6
+        yield env.timeout(cpu_phase + machine.disk.io_time(6000) * 0.5)
+        assert handle.cancel() is True
+
+    env.process(serve(env))
+    env.process(canceller(env))
+    env.run()
+    assert outcome == [None]
+    # The read never finished: nothing cached, no completed I/O.
+    assert not machine.cache.lookup("/sites/site1.example.com/index.html")
+    assert machine.disk.io_count == 0
+    assert server.sites["site1.example.com"].busy == 0
+
+
+def test_webserver_cancel_while_queued_for_worker_consumes_nothing():
+    env = Environment()
+    machine = Machine(env, "rpn1")
+    server = WebServer(machine, workers_per_site=1)
+    server.host_site("s.example.com", files={"f.html": 200_000})
+    handle = ServiceHandle()
+    outcome = []
+
+    def first(env):
+        yield env.process(
+            server.service_request(WebRequest("s.example.com", "/f.html", 200_000))
+        )
+
+    def second(env):
+        result = yield env.process(
+            server.service_request(
+                WebRequest("s.example.com", "/f.html", 200_000), handle=handle
+            )
+        )
+        outcome.append(result)
+
+    def canceller(env):
+        yield env.timeout(1e-6)  # second is still waiting for the slot
+        handle.cancelled = True
+
+    env.process(first(env))
+    env.process(second(env))
+    env.process(canceller(env))
+    env.run()
+    site = server.sites["s.example.com"]
+    assert outcome == [None]
+    assert site.completed == 1
+    assert site.busy == 0
+
+
+def test_webserver_uncancelled_handle_completes_normally():
+    env = Environment()
+    machine, server = make_server(env)
+    handle = ServiceHandle()
+    result = env.run(
+        until=env.process(server.service_request(request(), handle=handle))
+    )
+    assert result.status == 200
+    assert handle.finished is True
+    # Too late to cancel: the response is committed.
+    assert handle.cancel() is False
+    assert server.sites["site1.example.com"].completed == 1

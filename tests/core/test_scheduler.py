@@ -36,7 +36,7 @@ def build(subscribers, rpns=4, config=None):
         queues,
         accounting,
         nodes,
-        dispatch_fn=lambda req, rpn, name: dispatched.append((req, rpn, name)),
+        dispatch_fn=lambda req, rpn, name, predicted: dispatched.append((req, rpn, name)),
     )
     return scheduler, queues, accounting, nodes, dispatched
 

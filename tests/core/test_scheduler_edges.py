@@ -29,7 +29,7 @@ def build(subscribers, rpns=2, config=None):
     dispatched = []
     scheduler = RequestScheduler(
         config, queues, accounting, nodes,
-        dispatch_fn=lambda req, rpn, name: dispatched.append((req, rpn, name)),
+        dispatch_fn=lambda req, rpn, name, predicted: dispatched.append((req, rpn, name)),
     )
     return scheduler, queues, dispatched
 

@@ -207,7 +207,7 @@ def build_legacy(subscribers, config, rpns=4):
     for index in range(rpns):
         nodes.add_node("rpn{}".format(index), RPN_CAPACITY)
     scheduler = RequestScheduler(
-        config, queues, accounting, nodes, dispatch_fn=lambda req, rpn, name: None
+        config, queues, accounting, nodes, dispatch_fn=lambda req, rpn, name, predicted: None
     )
     return scheduler, queues
 

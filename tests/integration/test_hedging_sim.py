@@ -1,0 +1,101 @@
+"""Chaos integration: hedging rescues the tail when one RPN degrades.
+
+A four-node flow-mode cluster takes a steady workload while a
+:class:`FaultInjector` slows one RPN to 5% speed.  Without hedging the
+requests stranded on the slow node dominate p99; with the fixed-delay
+policy the straggling copies are cloned onto healthy nodes, the first
+completion wins, and the loser is cancelled with its credits refunded.
+The test pins three properties at once: the tail actually recovers, the
+credit-conservation ledger still balances exactly, and no request is
+ever counted twice (cancelled losers are suppressed from the samples).
+"""
+
+import pytest
+
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.faults import SLOW, FaultAction, FaultSchedule
+from repro.harness.benchstore import percentile
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload
+
+DURATION_S = 8.0
+SLOW_AT_S = 1.0
+SLOW_FACTOR = 0.05  # 20x slower CPU on the degraded node
+
+
+def run_cluster(hedge_policy):
+    env = Environment()
+    subscribers = [Subscriber("a", 120.0, queue_capacity=4096)]
+    workload = SyntheticWorkload(rates={"a": 80.0}, duration_s=DURATION_S, file_bytes=2048)
+    config = GageConfig(hedge_policy=hedge_policy, hedge_delay_s=0.050)
+    cluster = GageCluster(
+        env,
+        subscribers,
+        {"a": workload.site_files("a")},
+        num_rpns=4,
+        config=config,
+    )
+    cluster.prewarm_caches()
+    injector = cluster.install_faults(
+        FaultSchedule(
+            [FaultAction(at_s=SLOW_AT_S, kind=SLOW, target="rpn0", factor=SLOW_FACTOR)]
+        )
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(DURATION_S)
+    assert injector.applied  # the fault really fired
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {"off": run_cluster("off"), "fixed": run_cluster("fixed")}
+
+
+def p99(cluster):
+    return percentile([latency for _, _, latency in cluster.latencies], 0.99)
+
+
+def test_hedging_recovers_the_tail(runs):
+    baseline, hedged = p99(runs["off"]), p99(runs["fixed"])
+    assert hedged < baseline
+    assert baseline / hedged >= 2.0, (
+        "p99 {:.3f}s unhedged vs {:.3f}s hedged: less than 2x recovery".format(
+            baseline, hedged
+        )
+    )
+
+
+def test_hedging_actually_fired_clones(runs):
+    assert runs["off"].rdn.hedges is None
+    hedges = runs["fixed"].rdn.hedges
+    assert hedges is not None
+    # Every completed request passed through the manager's resolution.
+    assert hedges.latency.count == len(runs["fixed"].completions)
+    assert hedges._tm_fired.value > 0
+    assert hedges._tm_cancelled.value > 0
+    assert hedges._tm_refunded_grps.value > 0
+
+
+def test_credit_conservation_holds_with_cancellations(runs):
+    for cluster in runs.values():
+        delta = cluster.rdn.accounting.conservation_delta()
+        assert delta.cpu_s == pytest.approx(0.0, abs=1e-9)
+        assert delta.disk_s == pytest.approx(0.0, abs=1e-9)
+        assert delta.net_bytes == pytest.approx(0.0, abs=1e-3)
+
+
+def test_no_request_is_counted_twice(runs):
+    for cluster in runs.values():
+        admitted = sum(1 for _, _, ok in cluster.arrivals if ok)
+        assert len(cluster.completions) == len(cluster.latencies)
+        assert len(cluster.completions) <= admitted
+
+
+def test_guarantee_delivery_is_not_regressed(runs):
+    """Hedging must not trade throughput for tail latency: the hedged
+    run serves at least as many requests as the unhedged one."""
+    report_off = runs["off"].service_report("a", SLOW_AT_S, DURATION_S)
+    report_hedged = runs["fixed"].service_report("a", SLOW_AT_S, DURATION_S)
+    assert report_hedged.served >= report_off.served
+    assert report_hedged.dropped <= report_off.dropped
