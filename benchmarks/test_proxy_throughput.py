@@ -17,6 +17,8 @@ pre-rework (connection-per-request) baseline.
 import asyncio
 
 from repro.harness.loadgen import ProxyRig, closed_loop, open_loop
+from repro.proxy import loop_policy
+from repro.proxy.splice import splice_stats
 
 from .conftest import print_banner
 
@@ -45,6 +47,7 @@ def _closed_round(keep_alive: bool):
                 total_requests=50,
                 keep_alive=keep_alive,
             )
+            splice_stats.reset()
             result = await closed_loop(
                 "127.0.0.1",
                 port,
@@ -53,7 +56,12 @@ def _closed_round(keep_alive: bool):
                 total_requests=REQUESTS,
                 keep_alive=keep_alive,
             )
-            return result, rig.proxy.pool.hit_rate
+            zero_copy = dict(splice_stats.snapshot())
+            zero_copy["sendfile_served"] = sum(
+                backend.sendfile_served for backend in rig.backends
+            )
+            zero_copy["loop"] = loop_policy.running_loop_kind()
+            return result, rig.proxy.pool.hit_rate, zero_copy
         finally:
             await rig.stop()
 
@@ -83,10 +91,15 @@ def test_closed_loop_keepalive(benchmark):
     outcome = {}
 
     def one_round():
-        outcome["result"], outcome["hit_rate"] = _closed_round(keep_alive=True)
+        (
+            outcome["result"],
+            outcome["hit_rate"],
+            outcome["zero_copy"],
+        ) = _closed_round(keep_alive=True)
 
     benchmark.pedantic(one_round, rounds=3, warmup_rounds=1)
     result, hit_rate = outcome["result"], outcome["hit_rate"]
+    zero_copy = outcome["zero_copy"]
 
     print_banner("BENCH_proxy: closed-loop keep-alive")
     print(
@@ -99,6 +112,15 @@ def test_closed_loop_keepalive(benchmark):
             hit_rate,
         )
     )
+    print(
+        "  loop {}   sendmsg {} writes/{} B   sendfile {} bodies/{} B".format(
+            zero_copy["loop"],
+            zero_copy["sendmsg_writes"],
+            zero_copy["sendmsg_bytes"],
+            zero_copy["sendfile_served"],
+            zero_copy["sendfile_bytes"],
+        )
+    )
 
     assert result.errors == 0
     assert result.completed == REQUESTS
@@ -106,11 +128,18 @@ def test_closed_loop_keepalive(benchmark):
     # population instead of scaling with the request count.
     assert result.connects <= CONCURRENCY * 2
     assert hit_rate > 0.8
+    # The zero-copy paths must actually engage: warm bodies leave via
+    # sendfile and at least some head+body writes go out vectored.
+    assert zero_copy["sendfile_served"] > 0
+    assert zero_copy["sendmsg_writes"] > 0
 
     benchmark.extra_info["perf_rps"] = round(result.rps, 1)
     benchmark.extra_info["perf_p50_ms"] = round(result.latency_s(0.5) * 1e3, 3)
     benchmark.extra_info["perf_p95_ms"] = round(result.latency_s(0.95) * 1e3, 3)
     benchmark.extra_info["perf_pool_hit_rate"] = round(hit_rate, 4)
+    benchmark.extra_info["perf_sendmsg_writes"] = zero_copy["sendmsg_writes"]
+    benchmark.extra_info["perf_sendfile_bodies"] = zero_copy["sendfile_served"]
+    benchmark.extra_info["event_loop"] = zero_copy["loop"] or "asyncio"
     benchmark.extra_info["requests"] = REQUESTS
     benchmark.extra_info["concurrency"] = CONCURRENCY
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Gate the compiled core's speedup over the pure build (CI).
+
+Usage::
+
+    python scripts/bench_speedup.py PURE_JSON COMPILED_JSON
+        [--min-speedup 2.0] [--benchmark NAME ...]
+
+``PURE_JSON`` and ``COMPILED_JSON`` are two benchstore documents for the
+*same* suite measured on the *same* runner in the same CI job — one with
+the mypyc extensions inactive, one with them active.  Same-runner ratios
+are robust where absolute medians are not, so unlike ``bench_compare``
+this gate has no advisory mode: a compiled build that fails to clear the
+floor on the very machine that just measured the pure build is a real
+regression, not hardware noise.
+
+Exit status: 0 when every gated benchmark clears ``--min-speedup``;
+1 when one falls short, a gated benchmark is missing, or the documents'
+build stamps show the two runs did not actually measure different
+builds; 2 on usage or unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# The script must run from a checkout without installation.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.harness.benchstore import load_suite  # noqa: E402
+
+#: Benchmarks gated by default: the two hot paths the compiled build
+#: exists to accelerate.  ``test_scheduler_cycle`` spends most of its
+#: time in uncompiled scheduler code, so it is reported but not gated.
+DEFAULT_BENCHMARKS = ("test_event_dispatch", "test_packet_forward")
+
+
+def _load(path):
+    try:
+        return load_suite(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print("error: cannot read {}: {}".format(path, exc), file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _build_of(document):
+    """The build stamp of a document, from env or any record's extra_info."""
+    environment = document.get("environment", {})
+    build = environment.get("repro_build")
+    if isinstance(build, str) and build:
+        return build
+    for record in document.get("benchmarks", {}).values():
+        value = record.get("extra_info", {}).get("build")
+        if isinstance(value, str) and value:
+            return value
+    return "unknown"
+
+
+def compare(pure_doc, compiled_doc, names, min_speedup):
+    """Returns a list of problem strings (empty = gate passes)."""
+    problems = []
+    pure_build = _build_of(pure_doc)
+    compiled_build = _build_of(compiled_doc)
+    if compiled_build != "compiled":
+        problems.append(
+            "COMPILED document's build stamp is {!r}, not 'compiled' — the "
+            "extensions were not active, so this would compare pure against "
+            "pure".format(compiled_build)
+        )
+    if pure_build == "compiled":
+        problems.append(
+            "PURE document's build stamp is 'compiled' — the baseline leg ran "
+            "with the extensions active, so the ratio is meaningless"
+        )
+    pure_benches = pure_doc["benchmarks"]
+    compiled_benches = compiled_doc["benchmarks"]
+    for name in sorted(set(pure_benches) | set(compiled_benches)):
+        pure_rec = pure_benches.get(name)
+        compiled_rec = compiled_benches.get(name)
+        gated = name in names
+        if pure_rec is None or compiled_rec is None:
+            if gated:
+                problems.append(
+                    "{}: missing from the {} document".format(
+                        name, "PURE" if pure_rec is None else "COMPILED"
+                    )
+                )
+            continue
+        pure_median = float(pure_rec["median_s"])
+        compiled_median = float(compiled_rec["median_s"])
+        if compiled_median <= 0:
+            if gated:
+                problems.append("{}: non-positive compiled median".format(name))
+            continue
+        speedup = pure_median / compiled_median
+        status = "ok" if speedup >= min_speedup else "BELOW FLOOR"
+        if not gated:
+            status = "reported only"
+        print(
+            "  {:<28} pure {:>12.6f}s  compiled {:>12.6f}s  speedup {:>5.2f}x  {}".format(
+                name, pure_median, compiled_median, speedup, status
+            )
+        )
+        if gated and speedup < min_speedup:
+            problems.append(
+                "{}: compiled speedup {:.2f}x is below the {:.2f}x floor".format(
+                    name, speedup, min_speedup
+                )
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("pure", help="benchstore JSON from the pure-Python leg")
+    parser.add_argument("compiled", help="benchstore JSON from the compiled leg")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required pure/compiled median ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        action="append",
+        metavar="NAME",
+        help="benchmark to gate (repeatable; default: {})".format(
+            ", ".join(DEFAULT_BENCHMARKS)
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.min_speedup <= 0:
+        parser.error("min speedup must be positive")
+    names = frozenset(args.benchmark or DEFAULT_BENCHMARKS)
+
+    print(
+        "bench_speedup: {} vs {} (floor {:.2f}x):".format(
+            args.pure, args.compiled, args.min_speedup
+        )
+    )
+    problems = compare(_load(args.pure), _load(args.compiled), names, args.min_speedup)
+    if problems:
+        print()
+        print("bench_speedup: {} problem(s):".format(len(problems)))
+        for problem in problems:
+            print("  - " + problem)
+        return 1
+    print("bench_speedup: compiled core clears the {:.2f}x floor".format(args.min_speedup))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

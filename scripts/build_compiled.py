@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Build (or clean) the mypyc-compiled engine core, in place.
+
+Usage::
+
+    python scripts/build_compiled.py            # build extensions + stamp
+    python scripts/build_compiled.py --clean    # remove extensions + stamp
+    python scripts/build_compiled.py --status   # print the loader decision
+
+Building runs ``setup.py build_ext --inplace`` with ``REPRO_MYPYC=1`` so
+the five hot modules (see ``repro._compiled.COMPILED_MODULES``) are
+compiled next to their sources, then writes ``_compiled_stamp.json`` —
+without the stamp the loader refuses the extensions, so a build that
+dies halfway can never be picked up silently.  Requires mypy (for
+mypyc) and a C compiler; the pure-Python tree keeps working regardless.
+
+Exit status: 0 on success, 1 on build failure or (for ``--status``)
+when the compiled build is not active.
+"""
+
+import argparse
+import glob
+import importlib.util
+import json
+import os
+import platform
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PACKAGE_DIR = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def load_loader():
+    """The repro._compiled module, loaded standalone (no package import)."""
+    path = os.path.join(PACKAGE_DIR, "_compiled.py")
+    spec = importlib.util.spec_from_file_location("_repro_compiled_meta", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def extension_paths(loader):
+    """Every built extension sitting next to the five hot modules."""
+    paths = []
+    for _name, rel_source in loader.COMPILED_MODULES:
+        root, _ = os.path.splitext(os.path.join(PACKAGE_DIR, rel_source))
+        paths.extend(sorted(glob.glob(root + ".*.so")))
+        paths.extend(sorted(glob.glob(root + ".*.pyd")))
+    return paths
+
+
+def clean(loader):
+    removed = list(extension_paths(loader))
+    for path in removed:
+        os.remove(path)
+    stamp = os.path.join(PACKAGE_DIR, loader.STAMP_FILENAME)
+    if os.path.exists(stamp):
+        os.remove(stamp)
+        removed.append(stamp)
+    for path in removed:
+        print("removed {}".format(os.path.relpath(path, REPO_ROOT)))
+    if not removed:
+        print("nothing to clean")
+    return 0
+
+
+def build(loader):
+    env = dict(os.environ)
+    env["REPRO_MYPYC"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    if proc.returncode != 0:
+        print("build_ext failed (exit {})".format(proc.returncode), file=sys.stderr)
+        return 1
+    built = extension_paths(loader)
+    missing = [
+        name
+        for name, rel in loader.COMPILED_MODULES
+        if not any(
+            os.path.basename(path).split(".")[0]
+            == os.path.splitext(os.path.basename(rel))[0]
+            and os.path.dirname(path) == os.path.dirname(os.path.join(PACKAGE_DIR, rel))
+            for path in built
+        )
+    ]
+    if missing:
+        print("build produced no extension for: {}".format(", ".join(missing)), file=sys.stderr)
+        return 1
+    stamp = {
+        "api_version": loader.API_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "modules": [name for name, _rel in loader.COMPILED_MODULES],
+    }
+    stamp_path = os.path.join(PACKAGE_DIR, loader.STAMP_FILENAME)
+    with open(stamp_path, "w") as handle:
+        json.dump(stamp, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for path in built:
+        print("built {}".format(os.path.relpath(path, REPO_ROOT)))
+    print("stamped {} (api_version={})".format(
+        os.path.relpath(stamp_path, REPO_ROOT), loader.API_VERSION))
+    return 0
+
+
+def status(loader):
+    decision = loader.probe()
+    print(repr(decision))
+    for name, path in sorted(decision.extensions.items()):
+        print("  {} -> {}".format(name, os.path.relpath(path, REPO_ROOT)))
+    return 0 if decision.active else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--clean", action="store_true", help="remove built extensions and stamp")
+    group.add_argument("--status", action="store_true", help="print the loader decision")
+    args = parser.parse_args(argv)
+    loader = load_loader()
+    if args.clean:
+        return clean(loader)
+    if args.status:
+        return status(loader)
+    return build(loader)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

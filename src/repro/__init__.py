@@ -38,7 +38,14 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.harness` — per-table/figure experiment runners.
 """
 
-from repro.core import (
+# The compiled-core loader must decide *before* any hot module is
+# imported whether mypyc extensions (if built) may serve repro.sim /
+# repro.net — and pin the pure sources when they may not.
+from repro import _compiled as _compiled
+
+_compiled.install()
+
+from repro.core import (  # noqa: E402
     GageCluster,
     GageConfig,
     GENERIC_REQUEST,
@@ -47,9 +54,9 @@ from repro.core import (
     Subscriber,
     grps,
 )
-from repro.resources import ResourceVector
-from repro.sim import Environment
-from repro.workload import SpecWeb99Workload, SyntheticWorkload
+from repro.resources import ResourceVector  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.workload import SpecWeb99Workload, SyntheticWorkload  # noqa: E402
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,251 @@
+"""Compiled-core loader: mypyc extensions with a pure-Python fallback.
+
+The simulator's event/packet hot path — :mod:`repro.sim.engine`,
+:mod:`repro.sim.events`, :mod:`repro.sim.process`, :mod:`repro.net.packet`,
+:mod:`repro.net.tcp` — is written so mypyc can compile it to C extension
+modules (see ``scripts/build_compiled.py``).  When those extensions sit
+next to their ``.py`` sources, a normal ``import repro.sim.engine`` picks
+the extension up automatically (extension loaders precede source loaders
+in the file finder), so the compiled build needs no import-site changes.
+
+This module decides, once per process and *before* any hot module is
+imported, whether the compiled build may be used:
+
+- ``REPRO_PURE=1`` in the environment forces the pure-Python sources even
+  when extensions exist — the escape hatch for debugging and for the CI
+  leg that proves the fallback stays green;
+- extensions built against a different loader API (the build stamp's
+  ``api_version``, bumped whenever the hot modules' interfaces change) or
+  with no build stamp at all are **refused**, not trusted: a stale ``.so``
+  silently shadowing newer sources is the one failure mode worse than
+  being slow;
+- anything less than the complete module set (a partially cleaned build)
+  is likewise refused — mixing compiled and source hot modules would
+  cross the native/interpreted boundary on every event.
+
+Refusing means installing :class:`_PureSourceFinder` on ``sys.meta_path``
+so the five module names resolve to their ``.py`` sources regardless of
+sibling extensions.  The decision is exposed via :func:`is_active` /
+:func:`status`, asserted by the ``build-compiled`` CI job, and stamped
+into benchmark documents by :mod:`repro.harness.benchstore`.
+
+Everything here must import cleanly with zero dependencies on the rest
+of ``repro`` — it runs first, from ``repro/__init__``.
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib.machinery
+import importlib.util
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+#: Bump whenever the compiled modules' mutual interfaces change in a way
+#: that makes previously built extensions unsafe to load against the
+#: current sources.  ``scripts/build_compiled.py`` records the value at
+#: build time; a mismatch at import time refuses the extensions.
+API_VERSION = 1
+
+#: The hot modules the compiled build covers, as (dotted name, relative
+#: source path) pairs.  Order matters for mypyc: modules earlier in the
+#: list are imported by later ones.
+COMPILED_MODULES = (
+    ("repro.sim.events", os.path.join("sim", "events.py")),
+    ("repro.sim.process", os.path.join("sim", "process.py")),
+    ("repro.sim.engine", os.path.join("sim", "engine.py")),
+    ("repro.net.packet", os.path.join("net", "packet.py")),
+    ("repro.net.tcp", os.path.join("net", "tcp.py")),
+)
+
+#: Environment variable forcing the pure-Python sources.
+PURE_ENV = "REPRO_PURE"
+
+#: Name of the build stamp written next to this file by the build script.
+STAMP_FILENAME = "_compiled_stamp.json"
+
+class CompiledStatus:
+    """The loader's decision and the reason behind it."""
+
+    __slots__ = ("active", "reason", "extensions")
+
+    def __init__(
+        self, active: bool, reason: str, extensions: Optional[Dict[str, str]] = None
+    ) -> None:
+        #: True when the compiled extensions will serve the hot modules.
+        self.active = active
+        #: Human-readable explanation of the decision.
+        self.reason = reason
+        #: module name -> extension path, for the modules found compiled.
+        self.extensions = dict(extensions or {})
+
+    def __repr__(self) -> str:
+        return "<CompiledStatus {} ({})>".format(
+            "active" if self.active else "inactive", self.reason
+        )
+
+
+def package_dir() -> str:
+    """The on-disk directory of the ``repro`` package."""
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+def _extension_for(source_path: str) -> Optional[str]:
+    """The built extension sitting next to ``source_path``, if any."""
+    root, _ = os.path.splitext(source_path)
+    for suffix in importlib.machinery.EXTENSION_SUFFIXES:
+        exact = root + suffix
+        if os.path.exists(exact):
+            return exact
+    # ABI-tagged names (engine.cpython-312-x86_64-linux-gnu.so) are the
+    # common case; match any extension suffix after the module stem.
+    candidates = sorted(glob.glob(root + ".*.so")) + sorted(
+        glob.glob(root + ".*.pyd")
+    )
+    return candidates[0] if candidates else None
+
+
+def read_stamp(root: Optional[str] = None) -> Optional[Dict[str, object]]:
+    """The build stamp written by ``scripts/build_compiled.py``, if any."""
+    path = os.path.join(root or package_dir(), STAMP_FILENAME)
+    try:
+        with open(path) as handle:
+            stamp = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return stamp if isinstance(stamp, dict) else None
+
+
+def probe(root: Optional[str] = None) -> CompiledStatus:
+    """Decide whether the compiled build at ``root`` may be used.
+
+    Pure filesystem inspection — imports nothing, so it is safe to call
+    before (and in order to decide) the hot modules' first import.
+    ``root`` defaults to the live package directory; tests point it at
+    fabricated trees.
+    """
+    root = root or package_dir()
+    if os.environ.get(PURE_ENV, "") not in ("", "0"):
+        return CompiledStatus(False, "{}=1 forces the pure-Python sources".format(PURE_ENV))
+    extensions: Dict[str, str] = {}
+    missing: List[str] = []
+    for name, rel_source in COMPILED_MODULES:
+        found = _extension_for(os.path.join(root, rel_source))
+        if found is None:
+            missing.append(name)
+        else:
+            extensions[name] = found
+    if not extensions:
+        return CompiledStatus(False, "no compiled extensions present")
+    if missing:
+        return CompiledStatus(
+            False,
+            "refused: incomplete compiled build (missing {})".format(
+                ", ".join(missing)
+            ),
+            extensions,
+        )
+    stamp = read_stamp(root)
+    if stamp is None:
+        return CompiledStatus(
+            False, "refused: extensions present but no build stamp", extensions
+        )
+    stamped = stamp.get("api_version")
+    if stamped != API_VERSION:
+        return CompiledStatus(
+            False,
+            "refused: build stamp api_version {!r} != expected {!r}".format(
+                stamped, API_VERSION
+            ),
+            extensions,
+        )
+    return CompiledStatus(True, "compiled extensions active", extensions)
+
+
+class _PureSourceFinder:
+    """A meta-path finder pinning the hot modules to their ``.py`` sources.
+
+    Installed at the head of ``sys.meta_path`` when the compiled build is
+    refused or disabled; for exactly the names in ``COMPILED_MODULES`` it
+    returns a source-loader spec, which outranks the file finder that
+    would otherwise prefer the sibling extension.  All other imports pass
+    through untouched.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._sources = {
+            name: os.path.join(root, rel_source)
+            for name, rel_source in COMPILED_MODULES
+        }
+
+    def find_spec(
+        self,
+        fullname: str,
+        path: Optional[Sequence[str]] = None,
+        target: Optional[object] = None,
+    ) -> Optional[importlib.machinery.ModuleSpec]:
+        source = self._sources.get(fullname)
+        if source is None or not os.path.exists(source):
+            return None
+        loader = importlib.machinery.SourceFileLoader(fullname, source)
+        return importlib.util.spec_from_file_location(fullname, source, loader=loader)
+
+    def __repr__(self) -> str:
+        return "<_PureSourceFinder for {} modules>".format(len(self._sources))
+
+
+_STATUS: Optional[CompiledStatus] = None
+_FINDER: Optional[_PureSourceFinder] = None
+
+
+def install() -> CompiledStatus:
+    """Decide once and enforce the decision; idempotent.
+
+    Called from ``repro/__init__`` before any hot module import.  When
+    the probe refuses (or ``REPRO_PURE`` disables) a present compiled
+    build, the pure-source finder is installed so the extensions can
+    never be imported by accident.
+    """
+    global _STATUS, _FINDER
+    if _STATUS is not None:
+        return _STATUS
+    _STATUS = probe()
+    if not _STATUS.active and _STATUS.extensions:
+        # Extensions exist on disk but must not be used: pin sources.
+        _FINDER = _PureSourceFinder(package_dir())
+        sys.meta_path.insert(0, _FINDER)
+    return _STATUS
+
+
+def status() -> CompiledStatus:
+    """The installed decision (installing it on first call)."""
+    return install()
+
+
+def is_active() -> bool:
+    """True when the compiled extensions serve the hot modules."""
+    return status().active
+
+
+def loaded_origins() -> Dict[str, str]:
+    """module name -> import origin for every hot module already imported.
+
+    The ``build-compiled`` CI job cross-checks this against
+    :func:`is_active`: an active build whose modules resolve to ``.py``
+    files (or vice versa) means the loader and the import system
+    disagree, which must fail loudly.
+    """
+    origins: Dict[str, str] = {}
+    for name, _rel in COMPILED_MODULES:
+        module = sys.modules.get(name)
+        if module is None:
+            continue
+        origins[name] = getattr(module, "__file__", "") or "<unknown>"
+    return origins
+
+
+def build_kind() -> str:
+    """``"compiled"`` or ``"pure"`` — for environment stamps."""
+    return "compiled" if is_active() else "pure"

@@ -123,6 +123,12 @@ class GageConfig:
         still queued when it expires is answered 504 without dialing a
         backend, and backend waits never extend past the remaining
         deadline.  ``None`` disables deadlines.
+    proxy_event_loop:
+        Which event loop the proxy's worker processes and CLI entry
+        points run on: ``"auto"`` (uvloop when importable, else the
+        stdlib loop), ``"uvloop"`` (required — fail if missing), or
+        ``"asyncio"`` (stdlib always).  See
+        :mod:`repro.proxy.loop_policy`.
     """
 
     scheduling_cycle_s: float = 0.010
@@ -156,6 +162,7 @@ class GageConfig:
     proxy_retry_budget: Optional[int] = None
     proxy_retry_budget_refill_per_s: float = 1.0
     proxy_request_deadline_s: Optional[float] = None
+    proxy_event_loop: str = "auto"
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -217,3 +224,7 @@ class GageConfig:
             raise ValueError("retry budget refill rate must be non-negative")
         if self.proxy_request_deadline_s is not None and self.proxy_request_deadline_s <= 0:
             raise ValueError("request deadline must be positive (or None)")
+        if self.proxy_event_loop not in ("auto", "uvloop", "asyncio"):
+            raise ValueError(
+                "proxy_event_loop must be 'auto', 'uvloop', or 'asyncio'"
+            )

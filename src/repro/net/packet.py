@@ -132,23 +132,24 @@ class Packet:
     def copy(self, **changes: object) -> "Packet":
         """A field-for-field copy (fresh packet id) with optional overrides.
 
-        This is the forwarding path's copy-on-mutate primitive: it skips
-        ``__init__`` entirely (the source packet already passed
-        validation) and touches only the headers the caller overrides.
+        This is the forwarding path's copy-on-mutate primitive: a direct
+        positional constructor call (no ``__new__`` tricks — the compiled
+        build forbids creating native instances without ``__init__``),
+        touching only the headers the caller overrides afterwards.
         """
-        new = Packet.__new__(Packet)
-        new.src_mac = self.src_mac
-        new.dst_mac = self.dst_mac
-        new.src_ip = self.src_ip
-        new.dst_ip = self.dst_ip
-        new.src_port = self.src_port
-        new.dst_port = self.dst_port
-        new.seq = self.seq
-        new.ack = self.ack
-        new.flags = self.flags
-        new.payload = self.payload
-        new.payload_len = self.payload_len
-        new.pid = next(_packet_ids)
+        new = Packet(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.flags,
+            self.payload,
+            self.payload_len,
+        )
         if changes:
             for name, value in changes.items():
                 setattr(new, name, value)

@@ -14,7 +14,7 @@ Gage operates above TCP's transmission policy.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.net.addresses import IPAddress, MACAddress
 from repro.net.conn import Quadruple
@@ -90,7 +90,7 @@ class Connection:
     """
 
     #: Sentinel delivered to receivers when the peer closes.
-    EOF = _EOF()
+    EOF: ClassVar[_EOF] = _EOF()
 
     def __init__(self, stack: "HostStack", quad: Quadruple, isn: int) -> None:
         self.stack = stack
@@ -410,8 +410,10 @@ class HostStack:
         self.default_mac: Optional[MACAddress] = None
         #: Optional dynamic resolver (see :mod:`repro.net.arp`): frames
         #: whose destination MAC could not be determined statically are
-        #: resolved on the wire instead of broadcast.
-        self.arp_service = None
+        #: resolved on the wire instead of broadcast.  Typed ``Any`` so the
+        #: compiled build keeps it a plain boxed attribute — the resolver
+        #: class lives in an uncompiled module assigned from outside.
+        self.arp_service: Optional[Any] = None
         self._conns: Dict[Quadruple, Connection] = {}
         self._listeners: Dict[int, Acceptor] = {}
         self._filter: Optional["FrameFilter"] = None

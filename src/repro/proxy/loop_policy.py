@@ -1,0 +1,104 @@
+"""Event-loop selection for the proxy's processes.
+
+The data plane is event-loop bound, so when `uvloop
+<https://github.com/MagicStack/uvloop>`_ is importable the proxy runs on
+it; the stdlib selector loop remains the portable default.  The choice is
+a :class:`~repro.core.config.GageConfig` knob (``proxy_event_loop``):
+
+- ``"auto"`` (default) — uvloop if importable, else asyncio; never fails;
+- ``"uvloop"`` — require uvloop, raise if it cannot be imported;
+- ``"asyncio"`` — stdlib loop even when uvloop is installed (the escape
+  hatch for debugging and for like-for-like benchmarking).
+
+Nothing here imports uvloop at module import time: the container this
+repo develops in does not ship it, and the proxy must stay dependency-free
+by default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Optional, Tuple, TypeVar
+
+#: Valid values of ``GageConfig.proxy_event_loop``.
+POLICIES = ("auto", "uvloop", "asyncio")
+
+_ResultT = TypeVar("_ResultT")
+
+
+def uvloop_available() -> bool:
+    """Whether uvloop can be imported in this interpreter."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve(policy: str = "auto") -> str:
+    """Map a policy knob to the loop implementation to use.
+
+    Returns ``"uvloop"`` or ``"asyncio"``.  Raises ``ValueError`` for an
+    unknown policy and ``RuntimeError`` when ``"uvloop"`` is demanded but
+    not importable.
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            "unknown event-loop policy {!r}; expected one of {}".format(
+                policy, ", ".join(POLICIES)
+            )
+        )
+    if policy == "asyncio":
+        return "asyncio"
+    if uvloop_available():
+        return "uvloop"
+    if policy == "uvloop":
+        raise RuntimeError("proxy_event_loop='uvloop' but uvloop is not importable")
+    return "asyncio"
+
+
+def new_event_loop(policy: str = "auto") -> Tuple[asyncio.AbstractEventLoop, str]:
+    """A fresh event loop per ``policy``; returns ``(loop, implementation)``."""
+    implementation = resolve(policy)
+    if implementation == "uvloop":
+        import uvloop
+
+        return uvloop.new_event_loop(), implementation
+    return asyncio.new_event_loop(), implementation
+
+
+def run(main: "Awaitable[_ResultT]", policy: str = "auto") -> _ResultT:
+    """``asyncio.run`` honoring the loop policy.
+
+    Worker processes and CLI entry points call this instead of
+    ``asyncio.run`` so the knob applies at every place a proxy loop is
+    born.  Code already running inside a loop (tests, embedding callers)
+    is unaffected by the knob — the loop that exists wins.
+    """
+    implementation = resolve(policy)
+    if implementation == "uvloop":
+        import uvloop
+
+        if hasattr(uvloop, "run"):  # uvloop >= 0.17
+            return uvloop.run(main)
+        uvloop.install()
+        try:
+            return asyncio.run(main)
+        finally:
+            asyncio.set_event_loop_policy(None)
+    return asyncio.run(main)
+
+
+def running_loop_kind() -> Optional[str]:
+    """``"uvloop"`` / ``"asyncio"`` for the current loop, None outside one.
+
+    Detection is by module: uvloop's loop class lives in the ``uvloop``
+    package.  Recorded into proxy stats and benchmark documents so a
+    result can always be traced to the loop it ran on.
+    """
+    try:
+        loop = asyncio.get_running_loop()
+    except RuntimeError:
+        return None
+    module = type(loop).__module__ or ""
+    return "uvloop" if module.split(".")[0] == "uvloop" else "asyncio"

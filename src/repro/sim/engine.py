@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Generator, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import NORMAL_PRIORITY, URGENT_PRIORITY, Event, Timeout
-from repro.sim.process import Process
+from repro.sim.process import Process, ProcessGenerator
 from repro.telemetry.registry import get_registry
 
 __all__ = [
@@ -34,7 +34,7 @@ class _ScheduledCallback:
 
     __slots__ = ("fn", "args")
 
-    def __init__(self, fn, args: tuple) -> None:
+    def __init__(self, fn: Callable[..., object], args: Tuple[object, ...]) -> None:
         self.fn = fn
         self.args = args
 
@@ -104,11 +104,11 @@ class Environment:
         """Create a :class:`Timeout` that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: ProcessGenerator) -> Process:
         """Start a new simulated :class:`Process` from a generator."""
         return Process(self, generator)
 
-    def call_later(self, delay: float, fn, *args: object) -> None:
+    def call_later(self, delay: float, fn: Callable[..., object], *args: object) -> None:
         """Invoke ``fn(*args)`` after ``delay`` seconds of simulated time.
 
         Lighter than spawning a process; used for fire-and-forget actions
@@ -123,7 +123,7 @@ class Environment:
             (self._now + delay, NORMAL_PRIORITY, self._seq, _ScheduledCallback(fn, args)),
         )
 
-    def call_at(self, when: float, fn, *args: object) -> None:
+    def call_at(self, when: float, fn: Callable[..., object], *args: object) -> None:
         """Invoke ``fn(*args)`` at absolute simulated time ``when``.
 
         Unlike :meth:`call_later`, the fire time is taken verbatim — no
@@ -165,11 +165,15 @@ class Environment:
         self.events_dispatched += 1
         if not (self.events_dispatched & _PUBLISH_MASK):
             self._publish_telemetry()
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        if type(event) is _ScheduledCallback:
-            event.fn(*event.args)
+        item = heapq.heappop(self._heap)
+        self._now = item[0]
+        popped = item[3]
+        if type(popped) is _ScheduledCallback:
+            popped.fn(*popped.args)
             return
+        # Heap items are only ever Events or _ScheduledCallbacks; the
+        # annotation re-narrows what the heterogeneous heap tuple erased.
+        event: Event = popped  # type: ignore[assignment]
         callbacks = event.callbacks
         if callbacks is None:
             raise SimulationError("event processed twice: {!r}".format(event))
@@ -197,11 +201,12 @@ class Environment:
             pass
         elif isinstance(until, Event):
             wait_event = until
-            if wait_event.processed:
+            wait_callbacks = wait_event.callbacks
+            if wait_callbacks is None:  # already processed
                 return wait_event.value
-            wait_event.callbacks.append(self._stop_on_event)
+            wait_callbacks.append(self._stop_on_event)
         else:
-            stop_at = float(until)
+            stop_at = float(until)  # type: ignore[arg-type]
             if stop_at < self._now:
                 raise SimulationError(
                     "until={} is in the past (now={})".format(stop_at, self._now)
@@ -232,12 +237,13 @@ class Environment:
                         self.events_dispatched = dispatched
                         self.queue_depth_peak = peak
                         self._publish_telemetry()
-                    event = item[3]
-                    if type(event) is _ScheduledCallback:
+                    popped = item[3]
+                    if type(popped) is _ScheduledCallback:
                         # Fast path: call_later timers are the single most
                         # common heap item in cluster runs.
-                        event.fn(*event.args)
+                        popped.fn(*popped.args)
                         continue
+                    event: Event = popped  # type: ignore[assignment]
                     callbacks = event.callbacks
                     if callbacks is None:
                         raise SimulationError(

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional, Union, cast
 
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
+
+#: The generator protocol processes implement.  The yield type is
+#: deliberately ``object`` rather than ``Event``: yielding a non-event is
+#: a guarded *runtime* error path (``_resume`` throws ``SimulationError``
+#: into the offender), and declaring ``Event`` here would let the compiled
+#: build short-circuit that path with a checked-cast ``TypeError`` instead.
+ProcessGenerator = Generator[object, object, object]
 
 
 class _Trigger:
@@ -50,7 +57,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on")
 
-    def __init__(self, env: "Environment", generator: Generator) -> None:
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(
                 "Process requires a generator, got {!r}".format(type(generator))
@@ -99,7 +106,7 @@ class Process(Event):
 
     # -- internal -------------------------------------------------------
 
-    def _resume(self, trigger) -> None:
+    def _resume(self, trigger: Union[Event, _Trigger]) -> None:
         self._waiting_on = None
         env = self.env
         previous = env._active_process
@@ -109,7 +116,7 @@ class Process(Event):
                 target = self._generator.send(trigger._value)
             else:
                 trigger._defused = True
-                target = self._generator.throw(trigger._value)
+                target = self._generator.throw(cast(BaseException, trigger._value))
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -132,7 +139,7 @@ class Process(Event):
             # `yield already_done_event` legal, matching SimPy semantics).
             if not target._ok:
                 target._defused = True
-            env.call_later(0.0, self._resume, _Trigger(target._ok, target._value))
+            env.call_later(0.0, self._resume, _Trigger(bool(target._ok), target._value))
         else:
             self._waiting_on = target
             # A waiter exists, so a failure of `target` is handled by being

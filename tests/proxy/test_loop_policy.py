@@ -1,0 +1,74 @@
+"""Tests for event-loop selection (:mod:`repro.proxy.loop_policy`).
+
+The development container has no uvloop, so the interesting branches
+here are the stdlib ones: ``auto`` degrading gracefully, ``uvloop``
+failing loudly, and the config knob validating its values.  When uvloop
+*is* present (CI variants may install it) the same tests still hold —
+they branch on :func:`uvloop_available` instead of assuming either way.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GageConfig
+from repro.proxy import loop_policy
+
+
+def test_resolve_asyncio_always_wins():
+    assert loop_policy.resolve("asyncio") == "asyncio"
+
+
+def test_resolve_unknown_policy_raises():
+    with pytest.raises(ValueError):
+        loop_policy.resolve("gevent")
+
+
+def test_resolve_auto_matches_availability():
+    expected = "uvloop" if loop_policy.uvloop_available() else "asyncio"
+    assert loop_policy.resolve("auto") == expected
+
+
+def test_resolve_uvloop_demanded_but_missing_raises():
+    if loop_policy.uvloop_available():
+        assert loop_policy.resolve("uvloop") == "uvloop"
+    else:
+        with pytest.raises(RuntimeError):
+            loop_policy.resolve("uvloop")
+
+
+def test_new_event_loop_returns_working_loop():
+    loop, implementation = loop_policy.new_event_loop("asyncio")
+    try:
+        assert implementation == "asyncio"
+        assert loop.run_until_complete(asyncio.sleep(0, result=42)) == 42
+    finally:
+        loop.close()
+
+
+def test_run_executes_and_returns():
+    async def main():
+        return loop_policy.running_loop_kind()
+
+    kind = loop_policy.run(main(), policy="asyncio")
+    assert kind == "asyncio"
+
+
+def test_run_auto_reports_the_loop_it_picked():
+    async def main():
+        return loop_policy.running_loop_kind()
+
+    expected = loop_policy.resolve("auto")
+    assert loop_policy.run(main(), policy="auto") == expected
+
+
+def test_running_loop_kind_outside_a_loop_is_none():
+    assert loop_policy.running_loop_kind() is None
+
+
+def test_config_knob_defaults_to_auto_and_validates():
+    assert GageConfig().proxy_event_loop == "auto"
+    for valid in loop_policy.POLICIES:
+        assert GageConfig(proxy_event_loop=valid).proxy_event_loop == valid
+    with pytest.raises(ValueError):
+        GageConfig(proxy_event_loop="twisted")

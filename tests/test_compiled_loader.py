@@ -1,0 +1,135 @@
+"""Tests for the compiled-core loader (:mod:`repro._compiled`).
+
+The probe is pure filesystem inspection, so every decision branch can be
+exercised against fabricated package trees under ``tmp_path`` — no mypyc
+build is needed (the container these tests develop in has none).  The
+real compiled build is exercised by the ``build-compiled`` CI job.
+"""
+
+import importlib.machinery
+import json
+
+import pytest
+
+from repro import _compiled
+
+#: A realistic ABI-tagged extension suffix for fabricated builds.
+EXT_SUFFIX = importlib.machinery.EXTENSION_SUFFIXES[0]
+
+ALL_MODULES = tuple(name for name, _rel in _compiled.COMPILED_MODULES)
+
+
+@pytest.fixture(autouse=True)
+def clean_pure_env(monkeypatch):
+    """Probe decisions must come from the tree, not this session's env."""
+    monkeypatch.delenv(_compiled.PURE_ENV, raising=False)
+
+
+def make_tree(tmp_path, compiled=ALL_MODULES, stamp="current"):
+    """Fabricate a package tree: sources for all, extensions for some.
+
+    ``stamp`` is ``"current"`` (valid build stamp), ``None`` (no stamp
+    file), or a dict written verbatim.
+    """
+    for name, rel_source in _compiled.COMPILED_MODULES:
+        source = tmp_path / rel_source
+        source.parent.mkdir(parents=True, exist_ok=True)
+        source.write_text("# fabricated source for {}\n".format(name))
+        if name in compiled:
+            extension = source.with_name(source.name[: -len(".py")] + EXT_SUFFIX)
+            extension.write_bytes(b"\x7fELF-not-really")
+    if stamp is not None:
+        if stamp == "current":
+            stamp = {"api_version": _compiled.API_VERSION}
+        (tmp_path / _compiled.STAMP_FILENAME).write_text(json.dumps(stamp))
+    return str(tmp_path)
+
+
+def test_probe_no_extensions(tmp_path):
+    root = make_tree(tmp_path, compiled=(), stamp=None)
+    status = _compiled.probe(root)
+    assert not status.active
+    assert "no compiled extensions" in status.reason
+    assert status.extensions == {}
+
+
+def test_probe_full_build_is_active(tmp_path):
+    root = make_tree(tmp_path)
+    status = _compiled.probe(root)
+    assert status.active
+    assert set(status.extensions) == set(ALL_MODULES)
+    for path in status.extensions.values():
+        assert path.endswith(EXT_SUFFIX)
+
+
+def test_probe_repro_pure_overrides_a_valid_build(tmp_path, monkeypatch):
+    root = make_tree(tmp_path)
+    monkeypatch.setenv(_compiled.PURE_ENV, "1")
+    status = _compiled.probe(root)
+    assert not status.active
+    assert _compiled.PURE_ENV in status.reason
+
+
+def test_probe_repro_pure_zero_means_off(tmp_path, monkeypatch):
+    root = make_tree(tmp_path)
+    monkeypatch.setenv(_compiled.PURE_ENV, "0")
+    assert _compiled.probe(root).active
+
+
+def test_probe_refuses_partial_build(tmp_path):
+    # A half-cleaned build must never mix native and interpreted hot
+    # modules: refuse and name the missing ones.
+    root = make_tree(tmp_path, compiled=ALL_MODULES[:2])
+    status = _compiled.probe(root)
+    assert not status.active
+    assert "incomplete" in status.reason
+    for name in ALL_MODULES[2:]:
+        assert name in status.reason
+
+
+def test_probe_refuses_unstamped_extensions(tmp_path):
+    root = make_tree(tmp_path, stamp=None)
+    status = _compiled.probe(root)
+    assert not status.active
+    assert "no build stamp" in status.reason
+    # The refused extensions are still reported for diagnostics.
+    assert set(status.extensions) == set(ALL_MODULES)
+
+
+def test_probe_refuses_api_version_mismatch(tmp_path):
+    root = make_tree(tmp_path, stamp={"api_version": _compiled.API_VERSION + 1})
+    status = _compiled.probe(root)
+    assert not status.active
+    assert "api_version" in status.reason
+
+
+def test_probe_refuses_corrupt_stamp(tmp_path):
+    root = make_tree(tmp_path, stamp=None)
+    (tmp_path / _compiled.STAMP_FILENAME).write_text("not json {")
+    status = _compiled.probe(root)
+    assert not status.active
+    assert "no build stamp" in status.reason
+
+
+def test_pure_source_finder_pins_hot_modules_only():
+    finder = _compiled._PureSourceFinder(_compiled.package_dir())
+    spec = finder.find_spec("repro.sim.engine")
+    assert spec is not None
+    assert spec.origin.endswith("engine.py")
+    assert isinstance(spec.loader, importlib.machinery.SourceFileLoader)
+    # Everything outside the hot set passes through to the normal finders.
+    assert finder.find_spec("repro.core.config") is None
+    assert finder.find_spec("json") is None
+
+
+def test_this_session_runs_pure_and_consistent():
+    # The development container has no mypyc build: the loader must
+    # report pure, and the modules actually imported must agree.
+    status = _compiled.status()
+    assert status is _compiled.status(), "decision must be cached"
+    assert not status.active
+    assert _compiled.build_kind() == "pure"
+    origins = _compiled.loaded_origins()
+    assert set(origins) == set(ALL_MODULES)  # tier-1 imports them all
+    for origin in origins.values():
+        assert origin.endswith(".py"), origin
