@@ -65,7 +65,17 @@ def _closed_round(workers: int):
             alive = supervisor.alive_workers() if supervisor else 1
             restarts = supervisor.restarts if supervisor else 0
             rebalances = supervisor.allocator.rebalances if supervisor else 0
-            return result, alive, restarts, rebalances
+            accepts = {}
+            if supervisor is not None:
+                # Accept counters ride the periodic worker reports; give
+                # the last report one beat to land before sampling.
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while asyncio.get_event_loop().time() < deadline:
+                    accepts = supervisor.accept_counts()
+                    if sum(accepts.values()) >= CONCURRENCY:
+                        break
+                    await asyncio.sleep(0.1)
+            return result, alive, restarts, rebalances, accepts
         finally:
             await rig.stop()
 
@@ -75,7 +85,7 @@ def _closed_round(workers: int):
 def test_closed_loop_keepalive_sharded(benchmark):
     """16 keep-alive clients against 4 SO_REUSEPORT worker processes."""
     cores = os.cpu_count() or 1
-    single, _, _, _ = _closed_round(workers=1)
+    single, _, _, _, _ = _closed_round(workers=1)
 
     outcome = {}
 
@@ -83,8 +93,11 @@ def test_closed_loop_keepalive_sharded(benchmark):
         outcome["round"] = _closed_round(workers=WORKERS)
 
     benchmark.pedantic(one_round, rounds=3, warmup_rounds=1)
-    result, alive, restarts, rebalances = outcome["round"]
+    result, alive, restarts, rebalances, accepts = outcome["round"]
     speedup = result.rps / single.rps if single.rps > 0 else 0.0
+    accept_total = sum(accepts.values())
+    accepting_workers = sum(1 for count in accepts.values() if count > 0)
+    min_share = min(accepts.values()) / accept_total if accept_total else 0.0
 
     print_banner("BENCH_proxy_sharded: {} workers".format(WORKERS))
     print(
@@ -105,6 +118,9 @@ def test_closed_loop_keepalive_sharded(benchmark):
     assert alive == WORKERS
     assert restarts == 0
     assert rebalances > 0  # the credit channel was exercised
+    # SO_REUSEPORT accept balance: every worker's listening socket took
+    # a share of the kernel's connection hash.
+    assert accepting_workers == WORKERS, accepts
     if cores >= WORKERS:
         # Process-level scaling needs real cores; a 1-core box merely
         # time-slices the workers and proves nothing either way.
@@ -124,6 +140,13 @@ def test_closed_loop_keepalive_sharded(benchmark):
     # runners bench_compare demotes this record's timing/perf gates to
     # advisory instead of committing a time-sliced number as truth.
     benchmark.extra_info["min_cores"] = WORKERS
+    # Accept-balance counters (perf_: gated with the wide perf
+    # tolerance — the kernel's reuseport hash is not deterministic, but
+    # every worker taking a share is pinned by the assert above).
+    benchmark.extra_info["perf_accepting_workers"] = accepting_workers
+    benchmark.extra_info["perf_accept_min_share_pct"] = round(
+        100.0 * min_share, 1
+    )
     # Informational strings (ungated): these scale with the runner's
     # core count, which a committed baseline cannot pin.
     benchmark.extra_info["info_rps"] = "{:.1f}".format(result.rps)

@@ -170,7 +170,20 @@ class WebServer:
             size = self.machine.fs.size_of(path)
             if size is None:
                 site.errors += 1
-                return (yield from self._respond_error(request, conn, status=404))
+                response = yield from self._respond_error(request, conn, status=404)
+                # The error page is still an *answered* request: it must
+                # count as completed so the accounting cycle backs out the
+                # RDN's dispatch-time prediction — otherwise every 404
+                # leaks outstanding load on this node forever.
+                site.completed += 1
+                usage = ResourceVector(
+                    cpu_s=0.0,
+                    disk_s=0.0,
+                    net_bytes=float(self.error_response_bytes),
+                )
+                for hook in self.on_complete:
+                    hook(site.host, request, usage, self.env.now)
+                return response
 
         site.busy += 1
         disk_s = 0.0

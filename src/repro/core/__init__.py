@@ -30,6 +30,12 @@ from repro.core.metrics import (
     deviation_from_reservation,
 )
 from repro.core.node_scheduler import NodeScheduler, RPNStatus
+from repro.core.placement import (
+    Embedding,
+    NodeView,
+    PlacementEngine,
+    PlacementStats,
+)
 from repro.core.queues import RequestQueue, SubscriberQueues
 from repro.core.rdn import PendingRequest, PrimaryRDN, RDNOpCounters
 from repro.core.rpn import LocalServiceManager, RPNAccountingAgent
@@ -44,7 +50,7 @@ from repro.core.shard import (
     ShardMap,
 )
 from repro.core.simulation import GageCluster, default_rpn_capacity
-from repro.core.subscriber import Subscriber
+from repro.core.subscriber import Subscriber, SubscriberTable
 
 __all__ = [
     "AccountingMessage",
@@ -55,6 +61,7 @@ __all__ = [
     "DelegateHandshake",
     "DeviationReport",
     "DispatchOrder",
+    "Embedding",
     "FailureEvent",
     "FailureLog",
     "GageCluster",
@@ -66,8 +73,11 @@ __all__ = [
     "HedgeManager",
     "LocalServiceManager",
     "NodeScheduler",
+    "NodeView",
     "PacketClass",
     "PendingRequest",
+    "PlacementEngine",
+    "PlacementStats",
     "PrimaryRDN",
     "RDNAccounting",
     "RDNOpCounters",
@@ -89,6 +99,7 @@ __all__ = [
     "Subscriber",
     "SubscriberAccount",
     "SubscriberQueues",
+    "SubscriberTable",
     "UsageEstimator",
     "default_rpn_capacity",
     "deviation_from_reservation",

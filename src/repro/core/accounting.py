@@ -8,17 +8,26 @@ For each subscriber the RDN maintains:
   the prediction is backed out and replaced by the measurement;
 - the **estimated resource usage array** — per RPN, the summed predicted
   usage of requests dispatched there and not yet reported complete.
+
+Scale notes: accounts live in a flat list indexed by the interned
+subscriber id (shared :class:`~repro.core.subscriber.SubscriberTable`),
+and the collection keeps a **dirty id set** — every balance mutation
+that is *not* the scheduler's own refill (credit, dispatch, cancel,
+feedback, node death, or any by-name account lookup that might mutate)
+marks the subscriber dirty, which is the signal the lazy scheduler uses
+to wake a settled subscriber.  The refill itself must not mark, or no
+subscriber would ever settle.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.feedback import AccountingMessage
 from repro.core.grps import ResourceVector
-from repro.core.subscriber import Subscriber
+from repro.core.subscriber import Subscriber, SubscriberTable
 from repro.telemetry.registry import get_registry
 
 
@@ -28,6 +37,8 @@ class SubscriberAccount:
 
     subscriber: Subscriber
     balance: ResourceVector = field(default_factory=lambda: ResourceVector.ZERO)
+    #: Dense interned id; -1 until registered with RDNAccounting.
+    sid: int = -1
     #: Per-RPN sum of predicted usage of in-flight requests.
     estimated: Dict[str, ResourceVector] = field(default_factory=dict)
     #: Per-RPN FIFO of individual dispatch-time predictions, so feedback
@@ -52,12 +63,25 @@ class RDNAccounting:
 
     ``partition`` names the subscribers this instance accounts for;
     registering one outside it raises (``None`` = unpartitioned).
+    ``table`` is the shared id table; pass the queues' table so the
+    scheduler can address accounts by dense id.
     """
 
-    def __init__(self, partition: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        partition: Optional[Iterable[str]] = None,
+        table: Optional[SubscriberTable] = None,
+    ) -> None:
         self._accounts: Dict[str, SubscriberAccount] = {}
-        self.partition: Optional[frozenset] = (
-            None if partition is None else frozenset(partition)
+        self._owns_table = table is None
+        self.table = table if table is not None else SubscriberTable()
+        #: id → account; None marks an unregistered (or foreign-id) slot.
+        self._by_id: List[Optional[SubscriberAccount]] = []
+        #: Ids whose balance may have changed outside the refill path
+        #: since the scheduler last drained the set.
+        self._dirty: Set[int] = set()
+        self.partition: Optional[Set[str]] = (
+            None if partition is None else set(partition)
         )
         #: (time, subscriber, usage) samples, for deviation analysis.
         self.usage_log: List[Tuple[float, str, ResourceVector]] = []
@@ -88,20 +112,84 @@ class RDNAccounting:
                 )
             )
         account = SubscriberAccount(subscriber)
+        sid = self.table.intern(subscriber.name)
+        account.sid = sid
         self._accounts[subscriber.name] = account
+        while len(self._by_id) <= sid:
+            self._by_id.append(None)
+        self._by_id[sid] = account
+        self._dirty.add(sid)
         return account
 
+    def unregister(self, name: str) -> Optional[SubscriberAccount]:
+        """Retire a subscriber's account (churn).
+
+        Any predictions still pending against RPNs are folded into
+        ``total_forgotten`` so the conservation invariant
+        (Σcharged == Σbacked_out + Σrefunded + Σforgotten + Σpending)
+        survives the departure.  The id is released for reuse only when
+        this instance owns its table.
+        """
+        account = self._accounts.pop(name, None)
+        if account is None:
+            return None
+        for queue in account.pending.values():
+            for predicted in queue:
+                self.total_forgotten = self.total_forgotten + predicted
+        account.pending.clear()
+        account.estimated.clear()
+        self._by_id[account.sid] = None
+        self._dirty.discard(account.sid)
+        if self.partition is not None:
+            self.partition.discard(name)
+        if self._owns_table:
+            self.table.release(name)
+        return account
+
+    def extend_partition(self, name: str) -> None:
+        """Admit one more name into this instance's partition (churn)."""
+        if self.partition is not None:
+            self.partition.add(name)
+
     def account(self, name: str) -> SubscriberAccount:
-        """Look up an account (KeyError if unknown)."""
-        return self._accounts[name]
+        """Look up an account (KeyError if unknown).
+
+        The caller may mutate the returned account, so its subscriber is
+        conservatively marked dirty (woken for the next lazy cycle).
+        """
+        account = self._accounts[name]
+        self._dirty.add(account.sid)
+        return account
+
+    def account_by_id(self, sid: int) -> Optional[SubscriberAccount]:
+        """Dense-id lookup for the scheduler's hot path (no dirty mark)."""
+        if 0 <= sid < len(self._by_id):
+            return self._by_id[sid]
+        return None
 
     def get(self, name: str) -> Optional[SubscriberAccount]:
         """Look up an account, or None."""
-        return self._accounts.get(name)
+        account = self._accounts.get(name)
+        if account is not None:
+            self._dirty.add(account.sid)
+        return account
 
     def accounts(self) -> List[SubscriberAccount]:
-        """All accounts in registration order."""
-        return list(self._accounts.values())
+        """All accounts in visit (ascending-id) order."""
+        out: List[SubscriberAccount] = []
+        for account in self._by_id:
+            if account is not None:
+                self._dirty.add(account.sid)
+                out.append(account)
+        return out
+
+    def drain_dirty(self) -> List[int]:
+        """Ids mutated outside the refill path since the last drain."""
+        if not self._dirty:
+            return []
+        out = list(self._dirty)
+        self._dirty.clear()
+        return out
 
     # -- scheduler-side operations ----------------------------------------
 
@@ -117,9 +205,27 @@ class RDNAccounting:
           clipped — the cap limits how much an idle queue can hoard, but
           destroying correction-restored balance would systematically
           underdeliver against the reservation on noisy workloads.
-        """
-        account = self._accounts[name]
 
+        Deliberately does **not** mark the subscriber dirty: the refill
+        is the scheduler's own act, and a subscriber whose refill is a
+        fixed point (at cap, or zero reservation) must be allowed to
+        settle out of the per-cycle walk.
+        """
+        self.refill_account(self._accounts[name], credit, cap)
+
+    def refill_by_id(
+        self, sid: int, credit: ResourceVector, cap: ResourceVector
+    ) -> None:
+        """Dense-id refill for the scheduler's hot path."""
+        account = self._by_id[sid]
+        if account is not None:
+            self.refill_account(account, credit, cap)
+
+    @staticmethod
+    def refill_account(
+        account: SubscriberAccount, credit: ResourceVector, cap: ResourceVector
+    ) -> None:
+        """Refill an already-resolved account (no lookup, no dirty mark)."""
         def refill_component(balance: float, add: float, limit: float) -> float:
             if balance >= limit:
                 return balance  # above cap: keep, but accrue no further
@@ -136,6 +242,7 @@ class RDNAccounting:
         """Add uncapped credit (used to fund spare-pass dispatches)."""
         account = self._accounts[name]
         account.balance = account.balance + amount
+        self._dirty.add(account.sid)
 
     def on_dispatch(self, name: str, rpn_id: str, predicted: ResourceVector) -> None:
         """Charge a dispatch: balance down, estimated array up."""
@@ -147,6 +254,7 @@ class RDNAccounting:
         account.pending.setdefault(rpn_id, deque()).append(predicted)
         account.dispatched += 1
         self.total_charged = self.total_charged + predicted
+        self._dirty.add(account.sid)
 
     def on_cancel(self, name: str, rpn_id: str, predicted: ResourceVector) -> bool:
         """Refund the prediction of a cancelled (hedge-loser) dispatch.
@@ -182,6 +290,7 @@ class RDNAccounting:
         element = account.estimated.get(rpn_id, ResourceVector.ZERO)
         account.estimated[rpn_id] = (element - removed).clamped_min(0.0)
         self.total_refunded = self.total_refunded + removed
+        self._dirty.add(account.sid)
         return True
 
     # -- feedback-side operations -------------------------------------------
@@ -213,6 +322,7 @@ class RDNAccounting:
             account.measured_usage_total = account.measured_usage_total + report.usage
             self.total_backed_out = self.total_backed_out + removed
             backed_out[name] = removed
+            self._dirty.add(account.sid)
             if self.keep_usage_log:
                 self.usage_log.append((message.cycle_end_s, name, report.usage))
         return backed_out
@@ -227,7 +337,9 @@ class RDNAccounting:
         at re-dispatch).  Returns the per-subscriber restored usage.
         """
         restored: Dict[str, ResourceVector] = {}
-        for name, account in self._accounts.items():
+        for account in self._by_id:
+            if account is None:
+                continue
             queue = account.pending.pop(rpn_id, None)
             account.estimated.pop(rpn_id, None)
             if not queue:
@@ -237,7 +349,8 @@ class RDNAccounting:
                 total = total + predicted
             account.balance = account.balance + total
             self.total_forgotten = self.total_forgotten + total
-            restored[name] = total
+            self._dirty.add(account.sid)
+            restored[account.subscriber.name] = total
         return restored
 
     # -- conservation -------------------------------------------------------
@@ -260,7 +373,9 @@ class RDNAccounting:
 
         The returned vector is the left side minus the right side; it is
         zero (up to float summation noise) whenever the invariant holds,
-        with hedging and cancellation on or off.
+        with hedging and cancellation on or off — and across subscriber
+        churn, since :meth:`unregister` folds a departing subscriber's
+        pending predictions into ``total_forgotten``.
         """
         settled = (
             self.total_backed_out

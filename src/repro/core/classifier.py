@@ -17,7 +17,9 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.core.subscriber import SubscriberTable
 from repro.net.packet import Packet, TCPFlags
+from repro.telemetry.registry import get_registry
 
 
 class PacketClass(enum.Enum):
@@ -34,6 +36,9 @@ class Classification:
 
     packet_class: PacketClass
     subscriber: Optional[str] = None  # set only for REQUEST packets
+    #: The subscriber's dense interned id when the classifier shares a
+    #: :class:`~repro.core.subscriber.SubscriberTable`; -1 otherwise.
+    sid: int = -1
 
 
 #: Extracts the service-specific subscriber key from a request payload.
@@ -58,17 +63,36 @@ def web_host_extractor(payload: object) -> Optional[str]:
 class RequestClassifier:
     """Maps packets to {handshake, request, other} and requests to subscribers."""
 
-    def __init__(self, host_extractor: HostExtractor = web_host_extractor) -> None:
+    def __init__(
+        self,
+        host_extractor: HostExtractor = web_host_extractor,
+        table: Optional[SubscriberTable] = None,
+    ) -> None:
         self._host_extractor = host_extractor
+        #: The shared subscriber-id table, when the RDN threads one
+        #: through: REQUEST verdicts then carry the dense id so
+        #: downstream lookups skip the name-keyed dict.
+        self.table = table
         self._subscribers: Dict[str, str] = {}
         #: subscriber name -> its (immutable, shareable) REQUEST verdict.
         self._request_verdicts: Dict[str, Classification] = {}
         self.classified = 0
         self.unknown_subscriber = 0
+        self._tm_unknown = get_registry().counter(
+            "repro.scheduler.unknown_subscriber"
+        )
 
     def register_host(self, host: str, subscriber: str) -> None:
         """Bind a host name to a subscriber (a subscriber may own many)."""
         self._subscribers[host] = subscriber
+
+    def unregister_subscriber(self, subscriber: str) -> None:
+        """Drop every host binding and memoized verdict of a departing
+        subscriber (churn): later requests for its hosts classify as
+        unknown instead of resolving to a dead queue."""
+        self._request_verdicts.pop(subscriber, None)
+        for host in [h for h, s in self._subscribers.items() if s == subscriber]:
+            del self._subscribers[host]
 
     def subscriber_for_host(self, host: str) -> Optional[str]:
         """The subscriber owning ``host``, or None."""
@@ -82,6 +106,7 @@ class RequestClassifier:
         subscriber = self._subscribers.get(host)
         if subscriber is None:
             self.unknown_subscriber += 1
+            self._tm_unknown.inc()
         return subscriber
 
     def classify(self, packet: Packet) -> Classification:
@@ -94,8 +119,13 @@ class RequestClassifier:
             if subscriber is not None:
                 verdict = self._request_verdicts.get(subscriber)
                 if verdict is None:
+                    sid = -1
+                    if self.table is not None:
+                        found = self.table.get_id(subscriber)
+                        if found is not None:
+                            sid = found
                     verdict = Classification(
-                        PacketClass.REQUEST, subscriber=subscriber
+                        PacketClass.REQUEST, subscriber=subscriber, sid=sid
                     )
                     self._request_verdicts[subscriber] = verdict
                 return verdict

@@ -29,6 +29,12 @@ HEDGE_OFF = "off"
 HEDGE_FIXED = "fixed"
 HEDGE_P95 = "p95"
 
+#: Placement / admission-control policies (online virtual-cluster
+#: embedding — an extension beyond the paper, off by default).
+PLACEMENT_OFF = "off"
+PLACEMENT_UTILIZATION = "utilization"
+PLACEMENT_PROFIT = "profit"
+
 
 @dataclass
 class GageConfig:
@@ -163,6 +169,15 @@ class GageConfig:
     proxy_retry_budget_refill_per_s: float = 1.0
     proxy_request_deadline_s: Optional[float] = None
     proxy_event_loop: str = "auto"
+    #: Online placement with admission control (extension, §Placement in
+    #: the docs): ``"off"`` admits everything and leaves dispatch
+    #: unrestricted (the paper's model); ``"utilization"`` packs
+    #: best-fit; ``"profit"`` spreads and rejects marginal placements on
+    #: nearly-full nodes.  When on, a subscriber is embedded on one
+    #: primary RPN plus ``placement_k_backup`` backup RPNs whose
+    #: capacity is reserved ahead of failures.
+    placement_policy: str = PLACEMENT_OFF
+    placement_k_backup: int = 1
 
     def __post_init__(self) -> None:
         if self.scheduling_cycle_s <= 0:
@@ -224,6 +239,16 @@ class GageConfig:
             raise ValueError("retry budget refill rate must be non-negative")
         if self.proxy_request_deadline_s is not None and self.proxy_request_deadline_s <= 0:
             raise ValueError("request deadline must be positive (or None)")
+        if self.placement_policy not in (
+            PLACEMENT_OFF,
+            PLACEMENT_UTILIZATION,
+            PLACEMENT_PROFIT,
+        ):
+            raise ValueError(
+                "unknown placement policy: {!r}".format(self.placement_policy)
+            )
+        if self.placement_k_backup < 0:
+            raise ValueError("placement k_backup must be non-negative")
         if self.proxy_event_loop not in ("auto", "uvloop", "asyncio"):
             raise ValueError(
                 "proxy_event_loop must be 'auto', 'uvloop', or 'asyncio'"

@@ -9,9 +9,16 @@ themselves:
 
 - the **credit memo** — each subscriber's per-cycle refill vector and
   hoard cap depend only on its reservation and two config constants, so
-  they are computed once and reused every 10 ms cycle;
+  they are computed once and reused every 10 ms cycle.  The memo is
+  array-backed by the interned subscriber id on the hot path
+  (:meth:`cycle_credit_by_id`), with the name-keyed :meth:`cycle_credit`
+  kept for standalone use;
 - the **reserved-sum memo** — the summed reservation vector behind the
-  spare-pool computation (capacity minus reservations);
+  spare-pool computation (capacity minus reservations).  The scheduler
+  feeds registrations through :meth:`add_reservation` /
+  :meth:`remove_reservation` so the sum is maintained incrementally:
+  O(1) per cycle instead of an O(total) rebuild whenever the subscriber
+  tuple changes;
 - the **spare deficit** — deficit-round-robin rollover of unused spare
   share, without which each queue forfeits its fractional share every
   cycle.
@@ -19,12 +26,16 @@ themselves:
 All arithmetic is kept in exactly the order the scheduler performed it
 before the extraction: a fixed-seed run through the ledger is
 byte-identical to one through the pre-extraction scheduler (the golden
-digest pins this).
+digest pins this).  In particular the incremental reserved sum adds
+vectors in registration order — the same float-summation order as the
+historical full rebuild — so no-churn runs are bit-equal; only a
+removal (churn) produces a sum the rebuild would not, and nothing is
+pinned under churn.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import (
     SPARE_BY_INPUT_LOAD,
@@ -35,6 +46,9 @@ from repro.core.grps import ResourceVector
 from repro.core.queues import RequestQueue
 from repro.core.subscriber import Subscriber
 
+#: One credit-memo entry: (reservation_grps, refill, hoard cap).
+_CreditEntry = Tuple[float, ResourceVector, ResourceVector]
+
 
 class CreditLedger:
     """Credit vectors, spare-pool math, and deficit rollover for one
@@ -43,10 +57,20 @@ class CreditLedger:
     def __init__(self, config: GageConfig) -> None:
         self.config = config
         #: Per-subscriber (reservation_grps, credit, capped_credit) memo.
-        self._credit_cache: Dict[str, Tuple[float, ResourceVector, ResourceVector]] = {}
+        self._credit_cache: Dict[str, _CreditEntry] = {}
+        #: Dense-id mirror of the credit memo for the scheduler hot path.
+        self._credit_by_id: List[Optional[_CreditEntry]] = []
         #: (per-subscriber reservation key, summed reservation vector)
-        #: memo for the spare-pool computation.
-        self._reserved_cache: Tuple[tuple, ResourceVector] = ((), ResourceVector.ZERO)
+        #: memo for the legacy spare-pool computation.
+        self._reserved_cache: Tuple[Tuple[Tuple[str, float], ...], ResourceVector] = (
+            (),
+            ResourceVector.ZERO,
+        )
+        #: Incrementally-tracked reservation sum (per cycle) over the
+        #: subscribers fed through add_reservation/remove_reservation.
+        self._tracked_reserved = ResourceVector.ZERO
+        #: name → tracked per-cycle reservation vector, for exact removal.
+        self._tracked: Dict[str, ResourceVector] = {}
         #: Deficit-round-robin rollover of unused spare share.
         self._spare_deficit: Dict[str, ResourceVector] = {}
 
@@ -66,11 +90,37 @@ class CreditLedger:
         cached = self._credit_cache.get(subscriber.name)
         if cached is not None and cached[0] == grps:
             return cached[1], cached[2]
+        entry = self._compute_credit(subscriber)
+        self._credit_cache[subscriber.name] = entry
+        return entry[1], entry[2]
+
+    def cycle_credit_by_id(
+        self, sid: int, subscriber: Subscriber
+    ) -> Tuple[ResourceVector, ResourceVector]:
+        """Dense-id variant of :meth:`cycle_credit` (the hot path)."""
+        cache = self._credit_by_id
+        if sid < len(cache):
+            cached = cache[sid]
+            if cached is not None and cached[0] == subscriber.reservation_grps:
+                return cached[1], cached[2]
+        entry = self._compute_credit(subscriber)
+        while len(cache) <= sid:
+            cache.append(None)
+        cache[sid] = entry
+        self._credit_cache[subscriber.name] = entry
+        return entry[1], entry[2]
+
+    def forget_credit(self, name: str, sid: int = -1) -> None:
+        """Drop a departed subscriber's memo entries (churn)."""
+        self._credit_cache.pop(name, None)
+        if 0 <= sid < len(self._credit_by_id):
+            self._credit_by_id[sid] = None
+
+    def _compute_credit(self, subscriber: Subscriber) -> _CreditEntry:
         cycle = self.config.scheduling_cycle_s
         credit = subscriber.reservation_vector(self.config.generic_request).scaled(cycle)
         capped = credit.scaled(self.config.credit_cap_cycles)
-        self._credit_cache[subscriber.name] = (grps, credit, capped)
-        return credit, capped
+        return (subscriber.reservation_grps, credit, capped)
 
     @staticmethod
     def refill_cap(
@@ -86,10 +136,46 @@ class CreditLedger:
 
     # -- spare pool ---------------------------------------------------------
 
+    def add_reservation(self, subscriber: Subscriber) -> None:
+        """Fold one subscriber's reservation into the tracked sum.
+
+        Idempotent per name (re-adding with an unchanged reservation is
+        a no-op); a changed reservation replaces the old contribution.
+        """
+        cycle = self.config.scheduling_cycle_s
+        vec = subscriber.reservation_vector(self.config.generic_request).scaled(cycle)
+        old = self._tracked.get(subscriber.name)
+        if old is not None:
+            if old == vec:
+                return
+            self._tracked_reserved = self._tracked_reserved - old
+        self._tracked[subscriber.name] = vec
+        self._tracked_reserved = self._tracked_reserved + vec
+
+    def remove_reservation(self, name: str) -> None:
+        """Subtract a departing subscriber's reservation from the sum."""
+        vec = self._tracked.pop(name, None)
+        if vec is not None:
+            self._tracked_reserved = self._tracked_reserved - vec
+
+    def spare_pool_tracked(self, capacity_per_s: ResourceVector) -> ResourceVector:
+        """Capacity this cycle beyond the tracked reservation sum.
+
+        O(1): uses the incrementally-maintained sum instead of walking
+        every subscriber — the scheduler keeps the tracked set in sync
+        through its queue-registration hooks.
+        """
+        capacity = capacity_per_s.scaled(self.config.scheduling_cycle_s)
+        return (capacity - self._tracked_reserved).clamped_min(0.0)
+
     def spare_pool(
         self, capacity_per_s: ResourceVector, subscribers: List[Subscriber]
     ) -> ResourceVector:
-        """Capacity this cycle beyond the sum of all reservations."""
+        """Capacity this cycle beyond the sum of all reservations.
+
+        The legacy O(total)-rebuild form, kept for standalone callers
+        that do not maintain the tracked sum.
+        """
         cycle = self.config.scheduling_cycle_s
         capacity = capacity_per_s.scaled(cycle)
         key = tuple((s.name, s.reservation_grps) for s in subscribers)
@@ -106,6 +192,7 @@ class CreditLedger:
 
     def spare_weights(self, backlogged: List[RequestQueue]) -> Dict[str, float]:
         """Normalized spare-share weights over the backlogged queues."""
+        weights: Dict[str, float]
         if self.config.spare_policy == SPARE_BY_RESERVATION:
             weights = {
                 q.subscriber.name: q.subscriber.reservation_grps for q in backlogged
@@ -144,8 +231,14 @@ class CreditLedger:
         """Roll a queue's unspent first-round share over to the next cycle."""
         self._spare_deficit[name] = remainder.clamped_min(0.0)
 
-    def drop_stale_deficits(self, active: "set[str]") -> None:
-        """Queues that were never backlogged this cycle hoard no deficit."""
+    def drop_stale_deficits(self, active: Set[str]) -> None:
+        """Queues that were never backlogged this cycle hoard no deficit.
+
+        Stale entries are deleted outright (a missing entry reads as
+        zero in :meth:`roll_in_deficit`, so this is observationally the
+        zeroing the ledger used to do) — the dict stays sized by the
+        backlogged set, not by every subscriber ever backlogged.
+        """
         for name in list(self._spare_deficit):
             if name not in active:
-                self._spare_deficit[name] = ResourceVector.ZERO
+                del self._spare_deficit[name]

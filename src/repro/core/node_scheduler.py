@@ -178,15 +178,20 @@ class NodeScheduler:
         predicted: ResourceVector,
         request: object = None,
         exclude: Optional[FrozenSet[str]] = None,
+        allowed: Optional[FrozenSet[str]] = None,
     ) -> Optional[str]:
         """Choose the RPN for a request with ``predicted`` usage.
 
         ``request`` is consulted only by the ``locality`` policy (the
         §3.6 content-aware optimization).  ``exclude`` names nodes that
         must not be chosen — the hedging layer passes the nodes already
-        holding a copy, so a clone always lands elsewhere.  Returns None
-        when no (non-excluded) node has headroom (cluster saturated);
-        the request stays queued for a later scheduling cycle.
+        holding a copy, so a clone always lands elsewhere.  ``allowed``,
+        when not None, restricts the choice to that set — the placement
+        layer passes the subscriber's embedded primary, so dispatch
+        follows the embedding (an empty set means no node may serve the
+        subscriber).  Returns None when no eligible node has headroom
+        (cluster saturated); the request stays queued for a later
+        scheduling cycle.
         """
         if self.policy == NODES_LEAST_LOAD:
             # Single pass, no eligibility list: the default policy runs on
@@ -200,6 +205,8 @@ class NodeScheduler:
                 if not status.up:
                     continue
                 if exclude is not None and status.rpn_id in exclude:
+                    continue
+                if allowed is not None and status.rpn_id not in allowed:
                     continue
                 capacity = status.capacity_per_s
                 after = status.outstanding + predicted
@@ -215,6 +222,7 @@ class NodeScheduler:
             for status in self._nodes.values()
             if status.up
             and (exclude is None or status.rpn_id not in exclude)
+            and (allowed is None or status.rpn_id in allowed)
             and status.has_headroom(predicted, self.window_s)
         ]
         if not eligible:

@@ -4,14 +4,26 @@
 Requests within a queue are serviced in a FIFO order."  Queues are
 bounded; when a queue is full, newly arriving requests are dropped —
 this is where Table 1's "Dropped" column comes from.
+
+Scale notes: queues are stored in a flat list indexed by the interned
+subscriber id (:class:`~repro.core.subscriber.SubscriberTable`), and the
+collection tracks two id sets the scheduler needs to stay O(active):
+
+- the **backlogged set** — ids of queues holding at least one request,
+  maintained on empty↔non-empty transitions so the spare pass never
+  scans idle queues;
+- the **activity set** — ids touched by an ``offer``/``requeue`` since
+  the scheduler last drained it, so a settled (idle, fully-refilled)
+  subscriber re-enters the scheduling walk the cycle it gets traffic.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
-from typing import Deque, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Set
 
-from repro.core.subscriber import Subscriber
+from repro.core.subscriber import Subscriber, SubscriberTable
 from repro.telemetry.registry import get_registry
 
 
@@ -20,6 +32,10 @@ class RequestQueue:
 
     def __init__(self, subscriber: Subscriber) -> None:
         self.subscriber = subscriber
+        #: Dense interned id; -1 until registered with SubscriberQueues.
+        self.sid = -1
+        #: The owning collection, for backlog/activity bookkeeping.
+        self._owner: Optional["SubscriberQueues"] = None
         self._items: Deque[object] = deque()
         self.arrived = 0
         self.dropped = 0
@@ -63,6 +79,8 @@ class RequestQueue:
             return False
         self._items.append(request)
         self._occupancy.set(len(self._items))
+        if self._owner is not None:
+            self._owner.note_enqueue(self.sid)
         return True
 
     def requeue(self, request: object) -> None:
@@ -76,6 +94,8 @@ class RequestQueue:
         self.requeued += 1
         self._items.appendleft(request)
         self._occupancy.set(len(self._items))
+        if self._owner is not None:
+            self._owner.note_enqueue(self.sid)
 
     def peek(self) -> Optional[object]:
         """The request at the head, without removing it."""
@@ -88,7 +108,18 @@ class RequestQueue:
         self.dispatched += 1
         item = self._items.popleft()
         self._occupancy.set(len(self._items))
+        if not self._items and self._owner is not None:
+            self._owner.note_emptied(self.sid)
         return item
+
+    def clear(self) -> List[object]:
+        """Drop every queued request (deregistration); returns them."""
+        items = list(self._items)
+        self._items.clear()
+        self._occupancy.set(0)
+        if items and self._owner is not None:
+            self._owner.note_emptied(self.sid)
+        return items
 
 
 class SubscriberQueues:
@@ -99,19 +130,46 @@ class SubscriberQueues:
     default) is the unpartitioned single-instance control plane.  A
     sharded control plane (:mod:`repro.core.shard`) runs one instance
     per partition.
+
+    ``table`` is the shared :class:`SubscriberTable`; passing the same
+    instance to the accounting and the classifier gives every component
+    the same dense id for a name.  When omitted the collection owns a
+    private table (and releases ids on :meth:`unregister` itself).
     """
 
-    def __init__(self, partition: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        partition: Optional[Iterable[str]] = None,
+        table: Optional[SubscriberTable] = None,
+    ) -> None:
         self._queues: Dict[str, RequestQueue] = {}
-        self.partition: Optional[frozenset] = (
-            None if partition is None else frozenset(partition)
+        self._owns_table = table is None
+        self.table = table if table is not None else SubscriberTable()
+        #: id → queue; None marks an unregistered (or foreign-id) slot.
+        self._by_id: List[Optional[RequestQueue]] = []
+        #: Live ids in ascending order (== registration order sans churn).
+        self._sorted_ids: List[int] = []
+        #: Ids of queues with at least one pending request.
+        self._backlogged_ids: Set[int] = set()
+        #: Ids touched by offer/requeue since the last drain_activity().
+        self._activity: Set[int] = set()
+        #: Registration hooks: called as fn(queue) after (un)register.
+        self.on_register: List[Callable[[RequestQueue], None]] = []
+        self.on_unregister: List[Callable[[RequestQueue], None]] = []
+        self.partition: Optional[Set[str]] = (
+            None if partition is None else set(partition)
         )
 
     def __len__(self) -> int:
         return len(self._queues)
 
     def __iter__(self) -> Iterator[RequestQueue]:
-        return iter(self._queues.values())
+        """Queues in visit (ascending-id) order."""
+        by_id = self._by_id
+        for sid in self._sorted_ids:
+            queue = by_id[sid]
+            if queue is not None:
+                yield queue
 
     def __contains__(self, name: str) -> bool:
         return name in self._queues
@@ -125,17 +183,111 @@ class SubscriberQueues:
                 "subscriber {!r} outside this queue partition".format(subscriber.name)
             )
         queue = RequestQueue(subscriber)
+        sid = self.table.intern(subscriber.name)
+        queue.sid = sid
+        queue._owner = self
         self._queues[subscriber.name] = queue
+        while len(self._by_id) <= sid:
+            self._by_id.append(None)
+        self._by_id[sid] = queue
+        self._insort_id(sid)
+        self._activity.add(sid)
+        for hook in self.on_register:
+            hook(queue)
         return queue
+
+    def unregister(self, name: str) -> Optional[RequestQueue]:
+        """Remove a subscriber's queue (churn); pending requests are dropped.
+
+        Returns the removed queue (its dropped requests are retrievable
+        via the queue object), or None if the name was never registered.
+        The interned id is released for reuse only when this collection
+        owns its table; with a shared table the release belongs to the
+        coordinating layer (the RDN), after every component let go.
+        """
+        queue = self._queues.pop(name, None)
+        if queue is None:
+            return None
+        queue.clear()
+        sid = queue.sid
+        self._by_id[sid] = None
+        self._remove_id(sid)
+        self._backlogged_ids.discard(sid)
+        self._activity.discard(sid)
+        for hook in self.on_unregister:
+            hook(queue)
+        queue._owner = None
+        if self.partition is not None:
+            self.partition.discard(name)
+        if self._owns_table:
+            self.table.release(name)
+        return queue
+
+    def extend_partition(self, name: str) -> None:
+        """Admit one more name into this instance's partition (churn)."""
+        if self.partition is not None:
+            self.partition.add(name)
 
     def get(self, name: str) -> Optional[RequestQueue]:
         """The queue for ``name``, or None."""
         return self._queues.get(name)
 
+    def get_by_id(self, sid: int) -> Optional[RequestQueue]:
+        """The queue for a dense subscriber id, or None."""
+        if 0 <= sid < len(self._by_id):
+            return self._by_id[sid]
+        return None
+
+    def sorted_ids(self) -> List[int]:
+        """Live queue ids in visit order (ascending; do not mutate)."""
+        return self._sorted_ids
+
     def backlogged(self) -> List[RequestQueue]:
-        """Queues with at least one pending request, in visit order."""
-        return [queue for queue in self._queues.values() if queue.backlogged]
+        """Queues with at least one pending request, in visit order.
+
+        O(backlogged log backlogged): built from the maintained backlog
+        id set, never by scanning the full (possibly 10⁵-wide) table.
+        """
+        by_id = self._by_id
+        out: List[RequestQueue] = []
+        for sid in sorted(self._backlogged_ids):
+            queue = by_id[sid]
+            if queue is not None:
+                out.append(queue)
+        return out
 
     def subscribers(self) -> List[Subscriber]:
-        """All registered subscribers, in registration order."""
-        return [queue.subscriber for queue in self._queues.values()]
+        """All registered subscribers, in visit order."""
+        return [queue.subscriber for queue in self]
+
+    # -- scheduler bookkeeping ---------------------------------------------
+
+    def note_enqueue(self, sid: int) -> None:
+        """A queue gained an item: mark it backlogged and active."""
+        self._backlogged_ids.add(sid)
+        self._activity.add(sid)
+
+    def note_emptied(self, sid: int) -> None:
+        """A queue ran empty: leave the backlogged set."""
+        self._backlogged_ids.discard(sid)
+
+    def drain_activity(self) -> List[int]:
+        """Ids touched since the last drain; clears the set."""
+        if not self._activity:
+            return []
+        out = list(self._activity)
+        self._activity.clear()
+        return out
+
+    def _insort_id(self, sid: int) -> None:
+        ids = self._sorted_ids
+        if not ids or sid > ids[-1]:
+            ids.append(sid)
+            return
+        bisect.insort(ids, sid)
+
+    def _remove_id(self, sid: int) -> None:
+        ids = self._sorted_ids
+        index = bisect.bisect_left(ids, sid)
+        if index < len(ids) and ids[index] == sid:
+            del ids[index]

@@ -22,7 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.accounting import RDNAccounting
 from repro.core.classifier import PacketClass, RequestClassifier
-from repro.core.config import HEDGE_OFF, GageConfig
+from repro.core.config import HEDGE_OFF, PLACEMENT_OFF, GageConfig
 from repro.core.conntable import ConnectionTable
 from repro.core.control import (
     CONTROL_PAYLOAD_LEN,
@@ -45,6 +45,7 @@ from repro.core.metrics import (
     FailureLog,
 )
 from repro.core.node_scheduler import NodeScheduler
+from repro.core.placement import PlacementEngine
 from repro.core.queues import SubscriberQueues
 from repro.core.scheduler import RequestScheduler
 from repro.core.subscriber import Subscriber
@@ -130,19 +131,38 @@ class PrimaryRDN:
         self.env = env
         self.config = config
         self.cluster_ip = cluster_ip
-        self.classifier = RequestClassifier()
         self.conntable = ConnectionTable()
+        # One SubscriberTable spans the queues, the accounting, and the
+        # classifier, so every component resolves a name to the same
+        # dense interned id.
         self.queues = SubscriberQueues()
-        self.accounting = RDNAccounting()
+        self.accounting = RDNAccounting(table=self.queues.table)
+        self.classifier = RequestClassifier(table=self.queues.table)
         self.node_scheduler = NodeScheduler(
             policy=config.node_policy, window_s=config.dispatch_window_s
         )
+        #: The placement / admission-control layer (extension, off by
+        #: default): when on, subscribers are embedded onto a primary
+        #: RPN plus backup reservations, and dispatch follows the
+        #: embedding.
+        self.placement: Optional[PlacementEngine] = None
+        if config.placement_policy != PLACEMENT_OFF:
+            self.placement = PlacementEngine(
+                k_backup=config.placement_k_backup,
+                objective=config.placement_policy,
+                generic=config.generic_request,
+            )
+        #: Subscribers awaiting embedding because no RPN had been
+        #: registered yet when they arrived (constructor-time
+        #: subscribers); drained by :meth:`add_rpn`.
+        self._placement_deferred: List[Subscriber] = []
         self.scheduler = RequestScheduler(
             config,
             self.queues,
             self.accounting,
             self.node_scheduler,
             dispatch_fn=self._dispatch,
+            placement=self.placement,
         )
         self.ops = RDNOpCounters()
         self._half_open: Dict[Quadruple, HalfOpenConnection] = {}
@@ -207,6 +227,10 @@ class PrimaryRDN:
             self.accounting.register(subscriber)
             host = (host_map or {}).get(subscriber.name, subscriber.name)
             self.classifier.register_host(host, subscriber.name)
+            if self.placement is not None:
+                # No RPNs exist yet at construction time; the embedding
+                # happens when the first nodes are added.
+                self._placement_deferred.append(subscriber)
         self._scheduler_proc = env.process(self._scheduler_loop())
 
     def __repr__(self) -> str:
@@ -235,10 +259,83 @@ class PrimaryRDN:
             self._rpn_macs[rpn_id] = mac
         if ip is not None:
             self._rpn_ips[rpn_id] = ip
+        if self.placement is not None:
+            self.placement.add_node(rpn_id, capacity_per_s)
+            self._drain_deferred_placements()
+
+    def _drain_deferred_placements(self) -> None:
+        """Embed subscribers that arrived before any RPN existed.
+
+        A deferred subscriber the engine rejects stays registered with
+        an empty allowed set — its requests queue but never dispatch —
+        and is retried whenever another node joins, so capacity added
+        later can still admit it.
+        """
+        if self.placement is None or not self._placement_deferred:
+            return
+        still_deferred: List[Subscriber] = []
+        for subscriber in self._placement_deferred:
+            if not self.placement.place(subscriber):
+                still_deferred.append(subscriber)
+        self._placement_deferred = still_deferred
 
     def add_secondary(self, mac: MACAddress) -> None:
         """Register a secondary RDN for handshake offload (§3.2)."""
         self._secondaries.append(mac)
+
+    # -- subscriber churn (join/leave while serving) ---------------------------
+
+    def register_subscriber(
+        self, subscriber: Subscriber, hosts: Optional[List[str]] = None
+    ) -> bool:
+        """Admit one subscriber while the cluster is serving.
+
+        With placement on, admission control runs first: a reservation
+        that cannot be embedded without overcommitting any node is
+        rejected and **nothing** is registered (the caller sees False).
+        With placement off (the paper's model) every registration is
+        accepted.  When no RPN exists yet the embedding is deferred to
+        :meth:`add_rpn`, like constructor-time subscribers.
+        """
+        if subscriber.name in self.queues:
+            raise RuntimeError(
+                "subscriber {!r} already registered".format(subscriber.name)
+            )
+        if self.placement is not None:
+            if len(self.node_scheduler) == 0:
+                self._placement_deferred.append(subscriber)
+            elif not self.placement.place(subscriber):
+                return False
+        self.queues.register(subscriber)
+        self.accounting.register(subscriber)
+        for host in hosts if hosts is not None else [subscriber.name]:
+            self.classifier.register_host(host, subscriber.name)
+        return True
+
+    def deregister_subscriber(self, name: str) -> bool:
+        """Remove one subscriber while the cluster is serving (churn).
+
+        Pending and in-flight requests are dropped (their predictions
+        fold into the accounting's ``total_forgotten``, keeping the
+        conservation invariant), the classifier stops resolving the
+        subscriber's hosts, the embedding's capacity is released, and
+        the interned id returns to the shared table for reuse.
+        """
+        if name not in self.queues:
+            return False
+        self.classifier.unregister_subscriber(name)
+        if self.placement is not None:
+            self.placement.release(name)
+            self._placement_deferred = [
+                s for s in self._placement_deferred if s.name != name
+            ]
+        for per_node in self._in_flight.values():
+            per_node.pop(name, None)
+        # Accounting must let go before the queues release the shared
+        # table id (the queues collection owns the table).
+        self.accounting.unregister(name)
+        self.queues.unregister(name)
+        return True
 
     # -- the scheduler polling loop (§3.4) ------------------------------------
 
@@ -309,6 +406,11 @@ class PrimaryRDN:
             self.failures.record(
                 now, CONNECTIONS_RESET, rpn_id, detail=float(len(dropped))
             )
+        if self.placement is not None:
+            # Promote every subscriber embedded on the dead node to a
+            # backup whose capacity was reserved in advance; their
+            # requeued requests re-dispatch to the new primary.
+            self.placement.on_node_death(rpn_id)
 
     def _on_node_recovery(self, rpn_id: str) -> None:
         """Re-admit a node whose accounting stream resumed."""
@@ -318,6 +420,9 @@ class PrimaryRDN:
         get_registry().emit(
             {"event": "node_up", "target": rpn_id, "at": self.env.now}
         )
+        if self.placement is not None:
+            self.placement.on_node_recovery(rpn_id)
+            self._drain_deferred_placements()
 
     def _next_isn(self) -> int:
         self._isn = (self._isn + 128_000) % SEQ_SPACE

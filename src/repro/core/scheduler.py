@@ -13,14 +13,36 @@ in a cyclic fashion:
    those queues that are still not empty according to their resource
    reservations" — the policy Table 2 demonstrates ("higher reservation
    gets larger share of spare resource").
+
+Scale notes (the million-subscriber refactor): the per-cycle walk is
+**O(active)**, not O(registered).  A subscriber *settles* out of the
+walk once it is idle and its refill is an exact fixed point — queue
+empty, and per resource component either the balance already sits at
+the hoard cap or the refill component is zero.  Skipping such a
+subscriber is provably a no-op: the refill would not change the balance,
+the drain would not dispatch, and the balance gauge would re-export the
+same value.  It re-enters the walk ("wakes") when its queue sees an
+``offer``/``requeue`` (the queues' activity set) or any non-refill
+balance mutation lands (the accounting's dirty set) — feedback,
+spare credit, cancellation refunds, node death, or an external by-name
+account access.  Because settling requires the *exact* fixed point, the
+fixed-seed dispatch/accounting stream is byte-identical to the historic
+every-subscriber walk (the golden digest pins this).
+
+The O(active) path needs queue ids and account ids to agree, i.e. the
+queues and the accounting must share one
+:class:`~repro.core.subscriber.SubscriberTable`.  With separate tables
+(legacy wiring, many unit tests) the scheduler transparently falls back
+to the historic every-subscriber walk — same decisions, original cost.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
-from repro.core.accounting import RDNAccounting
+from repro.core.accounting import RDNAccounting, SubscriberAccount
 from repro.core.config import (
     SPARE_NONE,
     GageConfig,
@@ -29,6 +51,7 @@ from repro.core.credit import CreditLedger
 from repro.core.estimator import UsageEstimator
 from repro.core.grps import ResourceVector
 from repro.core.node_scheduler import NodeScheduler
+from repro.core.placement import PlacementEngine
 from repro.core.queues import RequestQueue, SubscriberQueues
 from repro.telemetry.registry import get_registry
 
@@ -63,6 +86,7 @@ class RequestScheduler:
         dispatch_fn: DispatchFn,
         ledger: Optional[CreditLedger] = None,
         partition: Optional[Iterable[str]] = None,
+        placement: Optional[PlacementEngine] = None,
     ) -> None:
         self.config = config
         self.queues = queues
@@ -73,11 +97,14 @@ class RequestScheduler:
         #: rollover live in the (injectable) ledger so a sharded control
         #: plane can run one per partition.
         self.ledger = ledger if ledger is not None else CreditLedger(config)
+        #: Optional placement layer: when present, each subscriber may
+        #: only be dispatched to the RPNs its embedding allows.
+        self.placement = placement
         #: The subscriber names this instance is responsible for (None =
         #: unpartitioned, the single-instance control plane).  Queues
         #: registered outside the partition are a wiring bug.
-        self.partition: Optional[frozenset] = (
-            None if partition is None else frozenset(partition)
+        self.partition: Optional[Set[str]] = (
+            None if partition is None else set(partition)
         )
         if self.partition is not None:
             for subscriber in queues.subscribers():
@@ -86,6 +113,15 @@ class RequestScheduler:
                         "queue {!r} outside scheduler partition".format(subscriber.name)
                     )
         self._estimators: Dict[str, UsageEstimator] = {}
+        #: O(active) machinery: ids scheduled next cycle.  Lazy settling
+        #: needs queue ids == account ids (one shared SubscriberTable);
+        #: otherwise every registered queue stays permanently active.
+        self._lazy = queues.table is accounting.table
+        self._active: Set[int] = set(queues.sorted_ids())
+        for queue in queues:
+            self.ledger.add_reservation(queue.subscriber)
+        queues.on_register.append(self._on_queue_registered)
+        queues.on_unregister.append(self._on_queue_unregistered)
         self.cycles = 0
         self.reserved_dispatches = 0
         self.spare_dispatches = 0
@@ -101,15 +137,52 @@ class RequestScheduler:
         )
         self._balance_gauges: Dict[str, object] = {}
 
+    # -- registration hooks (subscriber churn) -------------------------------
+
+    def _on_queue_registered(self, queue: RequestQueue) -> None:
+        self.ledger.add_reservation(queue.subscriber)
+        self._active.add(queue.sid)
+        if self.partition is not None:
+            self.partition.add(queue.subscriber.name)
+
+    def _on_queue_unregistered(self, queue: RequestQueue) -> None:
+        name = queue.subscriber.name
+        self.ledger.remove_reservation(name)
+        self.ledger.forget_credit(name, queue.sid)
+        self._active.discard(queue.sid)
+        self._estimators.pop(name, None)
+        self._balance_gauges.pop(name, None)
+        if self.partition is not None:
+            self.partition.discard(name)
+
     def estimator(self, name: str) -> UsageEstimator:
-        """The usage estimator for one subscriber's queue."""
-        if name not in self._estimators:
-            self._estimators[name] = UsageEstimator(
+        """The usage estimator for one subscriber's queue.
+
+        External access wakes the subscriber: the caller may mutate the
+        estimator, which changes the refill cap a settled subscriber was
+        judged against.
+        """
+        estimator = self._estimator(name)
+        if self._lazy:
+            queue = self.queues.get(name)
+            if queue is not None:
+                self._active.add(queue.sid)
+        return estimator
+
+    def _estimator(self, name: str) -> UsageEstimator:
+        estimator = self._estimators.get(name)
+        if estimator is None:
+            estimator = UsageEstimator(
                 policy=self.config.estimator_policy,
                 alpha=self.config.estimator_alpha,
                 initial=self.config.generic_request,
             )
-        return self._estimators[name]
+            self._estimators[name] = estimator
+        return estimator
+
+    def active_count(self) -> int:
+        """Subscribers currently in the per-cycle scheduling walk."""
+        return len(self._active)
 
     # -- one scheduling cycle -------------------------------------------------
 
@@ -118,27 +191,64 @@ class RequestScheduler:
         self.cycles += 1
         self._cycle_counter.inc()
         decisions: List[ScheduleDecision] = []
+        queues = self.queues
+        active = self._active
 
-        # Pass 1: reserved credit, weighted round-robin over all queues.
-        # The visit order rotates each cycle ("visits each subscriber's
-        # queue in a cyclic fashion", §3.4), so no queue systematically
-        # claims node headroom first.
-        ordered = list(self.queues)
-        if ordered:
-            start = self.cycles % len(ordered)
-            ordered = ordered[start:] + ordered[:start]
-        for queue in ordered:
-            subscriber = queue.subscriber
-            credit, capped = self.ledger.cycle_credit(subscriber)
-            # The cap bounds idle-time credit hoarding, but must always
-            # admit at least one predicted request or a subscriber whose
-            # requests are larger than credit_cap_cycles' worth of credit
-            # (heavy-tailed workloads) could never dispatch again.
-            predicted = self.estimator(subscriber.name).predict()
-            cap = self.ledger.refill_cap(capped, predicted)
-            self.accounting.refill(subscriber.name, credit, cap)
-            decisions.extend(self._drain_reserved(queue))
-            self._note_balance(subscriber.name)
+        # Wake subscribers with activity since the last cycle.
+        for sid in queues.drain_activity():
+            active.add(sid)
+        if self._lazy:
+            for sid in self.accounting.drain_dirty():
+                active.add(sid)
+        else:
+            # Separate id spaces: no settling, walk every queue (the
+            # historic behavior and cost).
+            active.update(queues.sorted_ids())
+
+        # Pass 1: reserved credit, weighted round-robin over the active
+        # queues.  The visit order rotates each cycle over the *full*
+        # registered order ("visits each subscriber's queue in a cyclic
+        # fashion", §3.4), so no queue systematically claims node
+        # headroom first; the active subset is visited in that same
+        # rotated cyclic order.
+        order = queues.sorted_ids()
+        if order and active:
+            pivot = order[self.cycles % len(order)]
+            ready = sorted(active)
+            split = bisect.bisect_left(ready, pivot)
+            for sid in ready[split:] + ready[:split]:
+                queue = queues.get_by_id(sid)
+                if queue is None:
+                    active.discard(sid)
+                    continue
+                subscriber = queue.subscriber
+                name = subscriber.name
+                credit, capped = self.ledger.cycle_credit_by_id(sid, subscriber)
+                # The cap bounds idle-time credit hoarding, but must always
+                # admit at least one predicted request or a subscriber whose
+                # requests are larger than credit_cap_cycles' worth of credit
+                # (heavy-tailed workloads) could never dispatch again.
+                estimator = self._estimator(name)
+                predicted = estimator.predict()
+                cap = self.ledger.refill_cap(capped, predicted)
+                account: Optional[SubscriberAccount] = None
+                if self._lazy:
+                    account = self.accounting.account_by_id(sid)
+                if account is None:
+                    account = self.accounting.account(name)
+                self.accounting.refill_account(account, credit, cap)
+                decisions.extend(self._drain_reserved(queue, account, estimator))
+                self._note_balance(name, account)
+                if self._lazy and not queue.backlogged:
+                    # Settle once the refill is an exact fixed point:
+                    # skipping this subscriber next cycle is a no-op.
+                    balance = account.balance
+                    if (
+                        (balance[0] >= cap[0] or credit[0] == 0.0)
+                        and (balance[1] >= cap[1] or credit[1] == 0.0)
+                        and (balance[2] >= cap[2] or credit[2] == 0.0)
+                    ):
+                        active.discard(sid)
 
         # Pass 2: spare resource for still-backlogged queues.
         if self.config.spare_policy != SPARE_NONE:
@@ -146,11 +256,17 @@ class RequestScheduler:
 
         return decisions
 
-    def _drain_reserved(self, queue: RequestQueue) -> List[ScheduleDecision]:
+    def _drain_reserved(
+        self,
+        queue: RequestQueue,
+        account: SubscriberAccount,
+        estimator: UsageEstimator,
+    ) -> List[ScheduleDecision]:
         decisions: List[ScheduleDecision] = []
         name = queue.subscriber.name
-        account = self.accounting.account(name)
-        estimator = self.estimator(name)
+        allowed = (
+            None if self.placement is None else self.placement.allowed_nodes(name)
+        )
         neg = -ResourceVector.EPSILON
         while queue.backlogged:
             predicted = estimator.predict()
@@ -163,7 +279,9 @@ class RequestScheduler:
                 or balance[2] - predicted[2] < neg
             ):
                 break
-            rpn_id = self.node_scheduler.pick(predicted, request=queue.peek())
+            rpn_id = self.node_scheduler.pick(
+                predicted, request=queue.peek(), allowed=allowed
+            )
             if rpn_id is None:
                 break  # cluster saturated; leave the request queued
             request = queue.take()
@@ -175,7 +293,7 @@ class RequestScheduler:
             decisions.append(ScheduleDecision(name, rpn_id, predicted, spare=False))
         return decisions
 
-    def _note_balance(self, name: str) -> None:
+    def _note_balance(self, name: str, account: SubscriberAccount) -> None:
         """Export one subscriber's post-cycle credit balance, in GRPS."""
         gauge = self._balance_gauges.get(name)
         if gauge is None:
@@ -183,15 +301,18 @@ class RequestScheduler:
                 "repro.core.credit_balance_grps", subscriber=name
             )
             self._balance_gauges[name] = gauge
-        balance = self.accounting.account(name).balance
-        gauge.set(balance.in_generic_requests(self.config.generic_request))
+        gauge.set(account.balance.in_generic_requests(self.config.generic_request))
 
     # -- spare resource allocation ---------------------------------------------
 
     def _spare_pool(self) -> ResourceVector:
-        """Capacity this cycle beyond the sum of all reservations."""
-        return self.ledger.spare_pool(
-            self.node_scheduler.total_capacity_per_s(), self.queues.subscribers()
+        """Capacity this cycle beyond the sum of all reservations.
+
+        O(1): the ledger's reservation sum is maintained incrementally
+        through the queue-registration hooks.
+        """
+        return self.ledger.spare_pool_tracked(
+            self.node_scheduler.total_capacity_per_s()
         )
 
     #: Bound on spare-pass redistribution rounds per cycle (the loop
@@ -222,7 +343,7 @@ class RequestScheduler:
             for queue in backlogged:
                 name = queue.subscriber.name
                 share = pool.scaled(weights.get(name, 0.0))
-                estimator = self.estimator(name)
+                estimator = self._estimator(name)
                 if _round == 0:
                     # Roll in the unused share from previous cycles
                     # (deficit round-robin): without it each queue
@@ -233,6 +354,11 @@ class RequestScheduler:
                     share = self.ledger.roll_in_deficit(
                         name, share, estimator.predict()
                     )
+                allowed = (
+                    None
+                    if self.placement is None
+                    else self.placement.allowed_nodes(name)
+                )
                 neg = -ResourceVector.EPSILON
                 while queue.backlogged:
                     predicted = estimator.predict()
@@ -243,9 +369,14 @@ class RequestScheduler:
                     ):
                         break
                     rpn_id = self.node_scheduler.pick(
-                        predicted, request=queue.peek()
+                        predicted, request=queue.peek(), allowed=allowed
                     )
                     if rpn_id is None:
+                        if allowed is not None:
+                            # Only this subscriber's allowed nodes are
+                            # saturated (or it is unplaced); others may
+                            # still have headroom.
+                            break
                         return decisions  # cluster saturated for everyone
                     request = queue.take()
                     share = share - predicted
@@ -282,8 +413,13 @@ class RequestScheduler:
         """Apply an accounting message: balances, estimators, node loads."""
         generic = self.config.generic_request
         for name, report in message.per_subscriber.items():
-            if name in self.queues:
-                estimator = self.estimator(name)
+            queue = self.queues.get(name)
+            if queue is not None:
+                if self._lazy:
+                    # Feedback mutates the estimator (refill cap) and the
+                    # balance: wake the subscriber for the next cycle.
+                    self._active.add(queue.sid)
+                estimator = self._estimator(name)
                 if report.completed > 0:
                     # Prediction error: how far the dispatch-time estimate
                     # was from the measured per-request usage this cycle.

@@ -153,6 +153,22 @@ class GlobalAllocator:
         self._carry: Dict[str, ResourceVector] = {}
         self.rebalances = 0
 
+    # -- subscriber churn ----------------------------------------------------
+
+    def set_reservation(self, name: str, reservation_grps: float) -> None:
+        """Admit (or update) one subscriber's spare-share weight."""
+        self.reservations[name] = reservation_grps
+
+    def remove_reservation(self, name: str) -> None:
+        """Drop a departed subscriber from the spare-share weighting.
+
+        Any carry still held for the name keeps riding the next
+        rebalance — that credit was reclaimed from a live balance and is
+        never destroyed; it lands via pass-1 if the name is ever
+        backlogged again, or dissolves into spare otherwise.
+        """
+        self.reservations.pop(name, None)
+
     # -- dead-shard path ----------------------------------------------------
 
     def reclaim(self, balances: Mapping[str, ResourceVector]) -> None:
@@ -288,8 +304,11 @@ class SchedulerShard:
         self.shard_id = shard_id
         self.config = config
         names = [subscriber.name for subscriber in subscribers]
+        # One SubscriberTable per shard spans its queues and accounting,
+        # so both resolve a name to the same dense interned id (and the
+        # scheduler runs its lazy O(active) walk).
         self.queues = SubscriberQueues(partition=names)
-        self.accounting = RDNAccounting(partition=names)
+        self.accounting = RDNAccounting(partition=names, table=self.queues.table)
         self.node_scheduler = node_scheduler
         self.ledger = CreditLedger(config)
         self.scheduler = RequestScheduler(
@@ -304,6 +323,30 @@ class SchedulerShard:
         for subscriber in subscribers:
             self.queues.register(subscriber)
             self.accounting.register(subscriber)
+
+    # -- subscriber churn ----------------------------------------------------
+
+    def add_subscriber(self, subscriber: Subscriber) -> None:
+        """Admit one subscriber into this shard mid-run (churn)."""
+        self.queues.extend_partition(subscriber.name)
+        self.accounting.extend_partition(subscriber.name)
+        # The scheduler's registration hook extends its own partition.
+        self.queues.register(subscriber)
+        self.accounting.register(subscriber)
+
+    def remove_subscriber(self, name: str) -> bool:
+        """Remove one subscriber from this shard mid-run (churn).
+
+        Pending requests are dropped; outstanding predictions fold into
+        the accounting's ``total_forgotten`` so the conservation
+        invariant (Σ charged == Σ backed out + refunded + forgotten +
+        pending) survives the departure.
+        """
+        if name not in self.queues:
+            return False
+        self.accounting.unregister(name)
+        self.queues.unregister(name)
+        return True
 
     def offer(self, name: str, request: object) -> bool:
         """Enqueue one classified request (False = dropped/unknown)."""
@@ -408,6 +451,24 @@ class ShardedScheduler:
     def shard_for(self, name: str) -> SchedulerShard:
         """The shard that owns one subscriber."""
         return self.shards[self.shard_map.shard_of(name)]
+
+    # -- subscriber churn ----------------------------------------------------
+
+    def add_subscriber(self, subscriber: Subscriber) -> SchedulerShard:
+        """Admit one subscriber mid-run; returns its home shard."""
+        shard = self.shard_for(subscriber.name)
+        shard.add_subscriber(subscriber)
+        self.allocator.set_reservation(
+            subscriber.name, subscriber.reservation_grps
+        )
+        return shard
+
+    def remove_subscriber(self, name: str) -> bool:
+        """Remove one subscriber mid-run (requests dropped, id reused)."""
+        removed = self.shard_for(name).remove_subscriber(name)
+        if removed:
+            self.allocator.remove_reservation(name)
+        return removed
 
     def offer(self, name: str, request: object) -> bool:
         """Route one request to its home shard's queue."""

@@ -597,6 +597,44 @@ class GageCluster:
         accepted = self.rdn.submit_request(record.host, request)
         self.arrivals.append((self.env.now, record.host, accepted))
 
+    # -- subscriber churn ----------------------------------------------------------
+
+    def add_subscriber(
+        self,
+        subscriber: Subscriber,
+        files: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Join a subscriber mid-run, end to end.
+
+        Hosts the site (document tree + worker processes) on every RPN
+        *before* registering with the RDN, so the first dispatched
+        request finds a servable site — registering alone would leave
+        requests answered as unattributable 404s whose dispatch-time
+        predictions are never backed out, slowly poisoning the node's
+        outstanding-load estimate.  With placement enabled the
+        registration runs admission control; a rejected subscriber stays
+        hosted but unscheduled until capacity appears.
+        """
+        if any(s.name == subscriber.name for s in self.subscribers):
+            raise ValueError(
+                "subscriber {!r} already in the cluster".format(subscriber.name)
+            )
+        for server in self.webservers:
+            if subscriber.name not in server.sites:
+                server.host_site(subscriber.name, files=dict(files or {}))
+        self.subscribers.append(subscriber)
+        self.rdn.register_subscriber(subscriber)
+
+    def remove_subscriber(self, name: str) -> None:
+        """Leave mid-run: deregister from the control plane.
+
+        The site stays hosted on the RPNs so in-flight requests complete
+        and their usage is still attributed; the control plane stops
+        classifying, queueing, and scheduling the name immediately.
+        """
+        self.rdn.deregister_subscriber(name)
+        self.subscribers = [s for s in self.subscribers if s.name != name]
+
     def prewarm_caches(self) -> None:
         """Load every site file into every RPN's buffer cache.
 

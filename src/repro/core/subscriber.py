@@ -1,10 +1,18 @@
-"""Service subscribers and their QoS reservations."""
+"""Service subscribers, their QoS reservations, and the identity table.
+
+Beyond the :class:`Subscriber` value object this module holds the
+:class:`SubscriberTable` — the control plane's name-interning layer.  At
+production scale (10⁵–10⁶ subscribers) every per-request string hash and
+per-subscriber dict is a tax paid on the hot path; the table interns each
+name to a dense integer id at registration time so queues, ledgers, and
+accounts can live in flat arrays indexed by id.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.grps import GENERIC_REQUEST, ResourceVector
 
@@ -64,3 +72,98 @@ class Subscriber:
     ) -> ResourceVector:
         """Per-second resource entitlement of this reservation."""
         return generic.scaled(self.reservation_grps)
+
+
+class SubscriberTable:
+    """Interns subscriber names to dense integer ids.
+
+    Ids are allocated in registration order and reused (LIFO) after a
+    release, so the id space stays dense under churn — the property that
+    lets every component keep per-subscriber state in a flat list
+    indexed by id instead of a name-keyed dict.  One table instance is
+    shared by the queues, the accounting, and the classifier of one
+    control-plane stack, so a name maps to the *same* id everywhere.
+
+    Without churn, id order equals registration order — which is what
+    keeps the array-backed visit order byte-identical to the historical
+    dict-insertion order (the golden digest pins this).  After a release
+    the freed id may be handed to a later registration, so id order and
+    registration order can diverge; no fixed-seed behavior is pinned
+    under churn.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        #: id → name; ``None`` marks a released (reusable) slot.
+        self._names: List[Optional[str]] = []
+        self._free: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __repr__(self) -> str:
+        return "<SubscriberTable {} interned, {} slots>".format(
+            len(self._ids), len(self._names)
+        )
+
+    def intern(self, name: str) -> int:
+        """The id for ``name``, allocating one on first sight."""
+        sid = self._ids.get(name)
+        if sid is not None:
+            return sid
+        if self._free:
+            sid = self._free.pop()
+            self._names[sid] = name
+        else:
+            sid = len(self._names)
+            self._names.append(name)
+        self._ids[name] = sid
+        return sid
+
+    def id_of(self, name: str) -> int:
+        """The id for an interned name (KeyError if unknown)."""
+        return self._ids[name]
+
+    def get_id(self, name: str) -> Optional[int]:
+        """The id for ``name``, or None if it was never interned."""
+        return self._ids.get(name)
+
+    def name_of(self, sid: int) -> str:
+        """The name behind an id (KeyError if released or never allocated)."""
+        if 0 <= sid < len(self._names):
+            name = self._names[sid]
+            if name is not None:
+                return name
+        raise KeyError(sid)
+
+    def release(self, name: str) -> Optional[int]:
+        """Free a name's id for reuse; returns the freed id (None if unknown).
+
+        Idempotent so shared-table teardown paths need no coordination:
+        the first release wins, later ones are no-ops.
+        """
+        sid = self._ids.pop(name, None)
+        if sid is None:
+            return None
+        self._names[sid] = None
+        self._free.append(sid)
+        return sid
+
+    def capacity(self) -> int:
+        """Number of id slots ever allocated (dense array length)."""
+        return len(self._names)
+
+    def ids(self) -> Iterator[int]:
+        """All live ids, in ascending id order."""
+        for sid, name in enumerate(self._names):
+            if name is not None:
+                yield sid
+
+    def names(self) -> Iterator[str]:
+        """All interned names, in ascending id order."""
+        for name in self._names:
+            if name is not None:
+                yield name

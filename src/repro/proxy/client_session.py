@@ -61,7 +61,8 @@ class ClientSessionMixin:
 
     Relies on attributes the concrete proxy constructs: ``stats``,
     ``classifier``, ``queues``, ``node_scheduler``, ``failures``,
-    ``config``, ``_tasks``, ``_tm_shed``, and ``_now()``.
+    ``config``, ``_tasks``, ``_tm_shed``, ``_tm_accepts``, and
+    ``_now()``.
     """
 
     # -- client admission ---------------------------------------------------
@@ -70,6 +71,7 @@ class ClientSessionMixin:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats.accepted += 1
+        self._tm_accepts.inc()
         tune_transport(writer.transport)
         try:
             head = await read_request_head(reader)

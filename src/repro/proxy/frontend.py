@@ -112,11 +112,16 @@ class GageProxy(ClientSessionMixin):
         config: Optional[GageConfig] = None,
         host: str = "127.0.0.1",
         backend_capacity: ResourceVector = DEFAULT_BACKEND_CAPACITY,
+        worker_id: int = 0,
     ) -> None:
         if not backends:
             raise ValueError("need at least one backend")
         self.config = config or GageConfig()
         self.host = host
+        #: Which SO_REUSEPORT worker this proxy instance is (0 for a
+        #: standalone single-process proxy); labels the accept counter
+        #: so the supervisor can measure kernel accept balance.
+        self.worker_id = worker_id
         self.port: Optional[int] = None
         self.backends = dict(backends)
         self.stats = ProxyStats()
@@ -185,6 +190,11 @@ class GageProxy(ClientSessionMixin):
             "repro.proxy.retry_budget_exhausted"
         )
         self._tm_deadline_expired = registry.counter("repro.proxy.deadline_expired")
+        #: Connections this worker's listener accepted — the per-worker
+        #: series behind the SO_REUSEPORT accept-balance measurement.
+        self._tm_accepts = registry.counter(
+            "repro.proxy.worker.accepts", worker=str(worker_id)
+        )
 
     # -- lifecycle ---------------------------------------------------------
 

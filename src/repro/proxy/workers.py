@@ -175,6 +175,7 @@ async def _worker_async(spec: WorkerSpec) -> None:
         config=spec.config,
         host=spec.host,
         backend_capacity=spec.backend_capacity,
+        worker_id=spec.worker_id,
     )
     sock = _reuseport_socket(spec.host, spec.port, listen=True)
     await proxy.start(sock=sock)
@@ -588,3 +589,26 @@ class WorkerSupervisor:
             if state.last_metrics is not None:
                 snapshots.append(state.last_metrics)
         return merge_snapshots(snapshots, name="proxy-workers")
+
+    def accept_counts(self) -> Dict[int, int]:
+        """Connections accepted per worker, from each last report.
+
+        The ``repro.proxy.worker.accepts`` counter each worker labels
+        with its id — the measurement behind the ``SO_REUSEPORT``
+        accept-balance figure: the kernel's listener choice is only
+        balanced in aggregate, and a starved worker shows up here as a
+        near-zero count.
+        """
+        prefix = "repro.proxy.worker.accepts{"
+        counts: Dict[int, int] = {}
+        for state in self._states.values():
+            total = 0
+            snapshot = state.last_metrics
+            metrics = snapshot.get("metrics") if isinstance(snapshot, dict) else None
+            if isinstance(metrics, dict):
+                for full_name, entry in metrics.items():
+                    if full_name.startswith(prefix) and isinstance(entry, dict):
+                        value = entry.get("value", 0)
+                        total += int(value if isinstance(value, (int, float)) else 0)
+            counts[state.worker_id] = total
+        return counts

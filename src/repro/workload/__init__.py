@@ -1,6 +1,7 @@
 """Workload generation: request models, synthetic and SPECWeb99-shaped
 trace generators, trace file I/O, and open-loop simulated clients."""
 
+from repro.workload.churn import ChurnEvent, ChurnWorkload
 from repro.workload.client import ClientFleet, ClientStats
 from repro.workload.flashcrowd import LoadProfile, ProfiledWorkload
 from repro.workload.request import CostModel, RequestRecord, WebRequest, WebResponse
@@ -9,6 +10,8 @@ from repro.workload.synthetic import SyntheticWorkload
 from repro.workload.trace import load_trace, save_trace
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnWorkload",
     "ClientFleet",
     "ClientStats",
     "CostModel",

@@ -1,0 +1,80 @@
+"""Tests for the interned subscriber-id table."""
+
+import pytest
+
+from repro.core.subscriber import SubscriberTable
+
+
+def test_intern_assigns_dense_sequential_ids():
+    table = SubscriberTable()
+    assert [table.intern("a"), table.intern("b"), table.intern("c")] == [0, 1, 2]
+    assert len(table) == 3
+    assert table.capacity() == 3
+
+
+def test_intern_is_idempotent_per_name():
+    table = SubscriberTable()
+    first = table.intern("a")
+    assert table.intern("a") == first
+    assert len(table) == 1
+
+
+def test_id_and_name_round_trip():
+    table = SubscriberTable()
+    sid = table.intern("site-42")
+    assert table.id_of("site-42") == sid
+    assert table.get_id("site-42") == sid
+    assert table.name_of(sid) == "site-42"
+    assert "site-42" in table
+
+
+def test_unknown_lookups():
+    table = SubscriberTable()
+    table.intern("a")
+    assert table.get_id("nope") is None
+    with pytest.raises(KeyError):
+        table.id_of("nope")
+    with pytest.raises(KeyError):
+        table.name_of(99)
+
+
+def test_release_frees_slot_for_reuse():
+    table = SubscriberTable()
+    table.intern("a")
+    sid_b = table.intern("b")
+    table.intern("c")
+    assert table.release("b") == sid_b
+    assert "b" not in table
+    assert table.get_id("b") is None
+    with pytest.raises(KeyError):
+        table.name_of(sid_b)
+    # LIFO reuse: the freed slot goes to the next registration, so the
+    # id space stays dense under churn instead of growing unboundedly.
+    assert table.intern("d") == sid_b
+    assert table.capacity() == 3
+
+
+def test_release_is_idempotent():
+    table = SubscriberTable()
+    table.intern("a")
+    assert table.release("a") == 0
+    assert table.release("a") is None
+    assert table.release("never-registered") is None
+
+
+def test_ids_and_names_iterate_live_entries_only():
+    table = SubscriberTable()
+    table.intern("a")
+    table.intern("b")
+    table.intern("c")
+    table.release("b")
+    assert sorted(table.names()) == ["a", "c"]
+    assert sorted(table.ids()) == [0, 2]
+
+
+def test_scale_many_names():
+    table = SubscriberTable()
+    names = ["sub{:05d}".format(i) for i in range(10_000)]
+    ids = [table.intern(name) for name in names]
+    assert ids == list(range(10_000))
+    assert table.name_of(9_999) == "sub09999"

@@ -1,0 +1,62 @@
+"""SO_REUSEPORT accept balance across worker processes.
+
+The kernel hashes each new connection to one of the listening sockets;
+with a closed-loop client pool cycling many short connections, every
+worker must take a share of the accepts — a worker stuck at zero means
+its socket never joined the reuseport group (or its loop wedged), which
+silently halves the deployment's capacity.
+"""
+
+import asyncio
+
+from repro.harness.loadgen import ProxyRig, closed_loop
+
+
+async def _wait_until(predicate, timeout_s, interval_s=0.1):
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval_s)
+    return predicate()
+
+
+def test_no_worker_starves_under_closed_loop():
+    async def main():
+        rig = ProxyRig(workers=2, num_backends=2, time_scale=0.0)
+        port = await rig.start()
+        supervisor = rig.supervisor
+        try:
+            ok = await _wait_until(
+                lambda: sum(s.reports for s in supervisor._states.values()) >= 2,
+                timeout_s=15.0,
+            )
+            assert ok, "workers never reported on the control channel"
+            result = await closed_loop(
+                "127.0.0.1",
+                port,
+                site=rig.site,
+                concurrency=16,
+                total_requests=400,
+                keep_alive=False,
+            )
+            # One more report round so the final accept counters land.
+            counted = await _wait_until(
+                lambda: sum(supervisor.accept_counts().values()) >= 400,
+                timeout_s=10.0,
+            )
+            return result, counted, supervisor.accept_counts()
+        finally:
+            await rig.stop()
+
+    result, counted, accepts = asyncio.run(main())
+    assert result.completed == 400
+    assert counted, "accept counters never reached the supervisor"
+    assert set(accepts) == {0, 1}
+    # 400 fresh connections through the kernel's reuseport hash: both
+    # workers must have accepted a non-trivial share.
+    assert all(count > 0 for count in accepts.values()), accepts
+    total = sum(accepts.values())
+    assert total >= 400
+    assert min(accepts.values()) / total > 0.05, accepts

@@ -1,0 +1,101 @@
+"""Tests for the join/leave churn workload generator."""
+
+import pytest
+
+from repro.workload import ChurnEvent, ChurnWorkload
+from repro.workload.churn import JOIN, LEAVE
+
+
+def workload(**overrides):
+    params = dict(
+        initial=10, joins_per_s=5.0, leaves_per_s=3.0, duration_s=20.0, seed=42
+    )
+    params.update(overrides)
+    return ChurnWorkload(**params)
+
+
+def test_initial_population_is_deterministic():
+    subs = workload().initial_subscribers()
+    assert len(subs) == 10
+    assert subs[0].name == "sub000000"
+    assert subs[9].name == "sub000009"
+    assert all(s.reservation_grps == 1.0 for s in subs)
+
+
+def test_generate_is_seed_deterministic():
+    first = workload(seed=7).generate()
+    second = workload(seed=7).generate()
+    assert first == second
+    assert first != workload(seed=8).generate()
+
+
+def test_events_sorted_and_within_duration():
+    events = workload().generate()
+    assert events
+    times = [e.at_s for e in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 20.0 for t in times)
+
+
+def test_replay_in_order_is_always_applicable():
+    """Every leave names a subscriber that is live at that moment."""
+    events = workload().generate()
+    live = {s.name for s in workload().initial_subscribers()}
+    for event in events:
+        if event.kind == JOIN:
+            assert event.name not in live
+            assert event.subscriber is not None
+            assert event.subscriber.name == event.name
+            live.add(event.name)
+        else:
+            assert event.kind == LEAVE
+            assert event.subscriber is None
+            assert event.name in live
+            live.remove(event.name)
+
+
+def test_protect_initial_pins_time_zero_population():
+    initial = {s.name for s in workload().initial_subscribers()}
+    leaves = {e.name for e in workload().generate() if e.kind == LEAVE}
+    assert not leaves & initial
+
+
+def test_unprotected_initial_population_can_leave():
+    wl = workload(
+        protect_initial=False, joins_per_s=0.0, leaves_per_s=5.0, seed=3
+    )
+    leaves = {e.name for e in wl.generate() if e.kind == LEAVE}
+    initial = {s.name for s in wl.initial_subscribers()}
+    assert leaves and leaves <= initial
+
+
+def test_leaves_without_churnable_targets_are_dropped():
+    wl = workload(joins_per_s=0.0, leaves_per_s=10.0)  # protect_initial=True
+    assert wl.generate() == []
+
+
+def test_join_names_never_collide_with_initial():
+    events = workload().generate()
+    joined = {e.name for e in events if e.kind == JOIN}
+    initial = {s.name for s in workload().initial_subscribers()}
+    assert not joined & initial
+    assert len(joined) == len([e for e in events if e.kind == JOIN])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        workload(initial=-1)
+    with pytest.raises(ValueError):
+        workload(joins_per_s=-0.1)
+    with pytest.raises(ValueError):
+        workload(duration_s=0.0)
+    with pytest.raises(ValueError):
+        workload(reservation_grps=-1.0)
+
+
+def test_rates_shape_the_stream():
+    busy = workload(joins_per_s=50.0, duration_s=10.0)
+    quiet = workload(joins_per_s=1.0, duration_s=10.0)
+    busy_joins = sum(1 for e in busy.generate() if e.kind == JOIN)
+    quiet_joins = sum(1 for e in quiet.generate() if e.kind == JOIN)
+    assert busy_joins > 5 * quiet_joins
