@@ -1,0 +1,181 @@
+"""The committed tuned configs beat the defaults, and the warm pool
+earns its keep.
+
+``configs/tuned_{fig3,proxy}.json`` are produced by ``scripts/tune.py``
+(trajectories archived next to them as ``trajectory_*.jsonl``).  These
+benchmarks re-evaluate each committed winner against the default
+configuration at the exact seed and duration it was tuned with — the
+evaluation is deterministic, so the improvement is a reproducible fact,
+not a recording — and pin the ISSUE's acceptance criteria:
+
+- fig3: composite objective (deviation + p95 + underutilization)
+  improves by ≥ 10%;
+- proxy: p95 improves while guarantee deviation gets no worse;
+- warm-pool ``ParallelSweep`` delivers ≥ 1.5× sweep throughput vs a
+  fresh pool per sweep on a 100-point grid of short simulations.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.harness.parallel import ParallelSweep, WarmPool
+from repro.harness.search import Evaluator
+
+from .conftest import print_banner
+
+BENCHSTORE_SUITE = "tuned"
+
+CONFIG_DIR = Path(__file__).resolve().parents[1] / "configs"
+
+
+def load_tuned(name):
+    with open(CONFIG_DIR / name) as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == "repro.tuned/1"
+    return payload
+
+
+def reevaluate(tuned):
+    """(default metrics, tuned metrics) at the tuning seed/duration."""
+    evaluator = Evaluator(
+        tuned["suite"], tuned["duration_s"], base_seed=tuned["seed"], processes=0
+    )
+    return evaluator.evaluate([{}, tuned["params"]])
+
+
+def composite(weights, metrics):
+    w_dev, w_p95, w_under = weights
+    return (
+        w_dev * metrics["deviation_pct"]
+        + w_p95 * metrics["p95_ms"]
+        + w_under * metrics["underutil_pct"]
+    )
+
+
+def print_comparison(title, default, tuned_metrics):
+    print_banner(title)
+    print("  {:<18} {:>12} {:>12}".format("metric", "default", "tuned"))
+    for key in ("deviation_pct", "p95_ms", "underutil_pct"):
+        print(
+            "  {:<18} {:>12.3f} {:>12.3f}".format(key, default[key], tuned_metrics[key])
+        )
+
+
+def test_fig3_tuned_beats_defaults(benchmark):
+    tuned = load_tuned("tuned_fig3.json")
+    default_metrics, tuned_metrics = benchmark.pedantic(
+        lambda: reevaluate(tuned), rounds=1, iterations=1
+    )
+    print_comparison("Tuned fig3 config vs defaults", default_metrics, tuned_metrics)
+    base = composite(tuned["weights"], default_metrics)
+    best = composite(tuned["weights"], tuned_metrics)
+    improvement = 100.0 * (1.0 - best / base)
+    print(
+        "  composite objective: {:.3f} -> {:.3f} ({:+.1f}%)".format(
+            base, best, -improvement
+        )
+    )
+    for name, value in sorted(tuned["params"].items()):
+        print("    {} = {!r}".format(name, value))
+
+    # The evaluation is deterministic: re-running reproduces what the
+    # search recorded (the committed file is a checkable claim).
+    assert best == composite(tuned["weights"], tuned["metrics"])
+    # ISSUE acceptance: >= 10% composite improvement on the fig3 suite.
+    assert improvement >= 10.0, (
+        "tuned fig3 config improves the composite by only {:.1f}%".format(improvement)
+    )
+    benchmark.extra_info["objective_default"] = round(base, 3)
+    benchmark.extra_info["objective_tuned"] = round(best, 3)
+    benchmark.extra_info["improvement_pct"] = round(improvement, 1)
+
+
+def test_proxy_tuned_tail(benchmark):
+    tuned = load_tuned("tuned_proxy.json")
+    default_metrics, tuned_metrics = benchmark.pedantic(
+        lambda: reevaluate(tuned), rounds=1, iterations=1
+    )
+    print_comparison(
+        "Tuned proxy config vs defaults (degraded-node chaos)",
+        default_metrics,
+        tuned_metrics,
+    )
+    for name, value in sorted(tuned["params"].items()):
+        print("    {} = {!r}".format(name, value))
+
+    assert composite(tuned["weights"], tuned_metrics) == composite(
+        tuned["weights"], tuned["metrics"]
+    )
+    # ISSUE acceptance: p95 improves, guarantee deviation no worse.
+    assert tuned_metrics["p95_ms"] < default_metrics["p95_ms"]
+    assert tuned_metrics["deviation_pct"] <= default_metrics["deviation_pct"]
+    benchmark.extra_info["p95_default_ms"] = round(default_metrics["p95_ms"], 2)
+    benchmark.extra_info["p95_tuned_ms"] = round(tuned_metrics["p95_ms"], 2)
+    benchmark.extra_info["dev_default_pct"] = round(
+        default_metrics["deviation_pct"], 3
+    )
+    benchmark.extra_info["dev_tuned_pct"] = round(tuned_metrics["deviation_pct"], 3)
+
+
+# -- warm pool vs fork-per-sweep -------------------------------------------
+
+
+def short_sim(rate, seed):
+    """A few milliseconds of real event-loop work (pool-picklable)."""
+    from repro.sim import Environment
+
+    env = Environment()
+    rng = random.Random(seed)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 2000:
+            env.call_later(rng.expovariate(rate), tick)
+
+    env.call_later(0.0, tick)
+    env.run(until=1e9)
+    return count[0]
+
+
+SWEEPS = 25
+RATES = [10.0, 20.0, 40.0, 80.0]  # 4 points x 25 sweeps = a 100-point grid
+
+
+def run_fresh():
+    for index in range(SWEEPS):
+        ParallelSweep(short_sim, processes=1, base_seed=index, rate=RATES).run()
+
+
+def run_warm(pool):
+    for index in range(SWEEPS):
+        ParallelSweep(short_sim, pool=pool, base_seed=index, rate=RATES).run()
+
+
+def test_warm_pool_sweep_throughput(benchmark):
+    # Fresh pool per sweep: fork + teardown 25 times.
+    start = time.perf_counter()
+    run_fresh()
+    fresh_s = time.perf_counter() - start
+
+    # Warm pool: fork once, reuse across all 25 sweeps.  The first run
+    # inside the benchmark pays the single fork, as a real caller would.
+    with WarmPool(processes=1) as pool:
+        start = time.perf_counter()
+        benchmark.pedantic(lambda: run_warm(pool), rounds=1, iterations=1)
+        warm_s = time.perf_counter() - start
+
+    speedup = fresh_s / warm_s
+    print_banner("Warm-pool ParallelSweep vs fork-per-sweep")
+    print(
+        "  {} sweeps x {} points: fresh {:.3f}s, warm {:.3f}s -> {:.2f}x".format(
+            SWEEPS, len(RATES), fresh_s, warm_s, speedup
+        )
+    )
+    # ISSUE acceptance: >= 1.5x sweep throughput on the 100-point grid.
+    assert speedup >= 1.5, "warm pool only {:.2f}x faster".format(speedup)
+    benchmark.extra_info["perf_fresh_s"] = round(fresh_s, 3)
+    benchmark.extra_info["perf_warm_s"] = round(warm_s, 3)
+    benchmark.extra_info["perf_warm_speedup"] = round(speedup, 2)

@@ -19,7 +19,10 @@ event-loop stress (no cluster) isolating the simulator core, and
 localhost deployment (the data-plane hot path), and ``proxy-sharded``
 drives the same workload through the multi-worker ``SO_REUSEPORT``
 deployment (note: worker processes profile their own time — this
-profiles the supervisor + load-generator side).
+profiles the supervisor + load-generator side).  ``tune-smoke`` runs a
+small config search twice — fork-per-sweep, then warm-pool — so the
+search harness's own overhead (pool churn vs reuse, memo bookkeeping)
+is profileable like the other hot paths.
 """
 
 from __future__ import annotations
@@ -140,6 +143,24 @@ def scenario_proxy_sharded():
     asyncio.run(run())
 
 
+def scenario_tune_smoke():
+    from repro.harness.parallel import WarmPool
+    from repro.harness.search import run_search
+
+    # Same tiny search twice; the profile shows what pool reuse saves
+    # (fork/teardown under the first run, none under the second).
+    kwargs = dict(algo="random", budget=8, seed=0, duration_s=3.0, batch_size=4)
+    run_search("fig3", processes=1, **kwargs)
+    with WarmPool(processes=1) as pool:
+        result = run_search("fig3", pool=pool, **kwargs)
+    print(
+        "tune-smoke scenario: {} evaluations, best objective {:.3f} "
+        "({:.1f}% better than defaults)".format(
+            len(result.records), result.best().objective, result.improvement_pct()
+        )
+    )
+
+
 SCENARIOS = {
     "fig3-synthetic": scenario_fig3_synthetic,
     "fig3-specweb": scenario_fig3_specweb,
@@ -147,6 +168,7 @@ SCENARIOS = {
     "engine": scenario_engine,
     "proxy": scenario_proxy,
     "proxy-sharded": scenario_proxy_sharded,
+    "tune-smoke": scenario_tune_smoke,
 }
 
 

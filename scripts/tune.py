@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Tune Gage's knobs: a budgeted, resumable, deterministic search.
+
+Usage::
+
+    python scripts/tune.py SUITE [--algo random|es] [--budget N]
+                           [--seed S] [--duration SECONDS]
+                           [--processes P] [--weights DEV,P95,UNDER]
+                           [--checkpoint PATH] [--resume]
+                           [--best-out PATH] [--trajectory-out PATH]
+                           [--batch N] [--mu N] [--lam N]
+                           [--mutation-scale F]
+
+``SUITE`` is ``fig3`` (guarantee deviation + sustainable-load latency)
+or ``proxy`` (post-fault tail latency + guarantee fidelity).  The run
+is a pure function of ``--seed``: re-running reproduces the identical
+trajectory, and ``--resume`` continues an interrupted checkpoint to an
+exactly identical result (see docs §Self-tuning).  Evaluations fan out
+over a persistent warm worker pool; ``--processes 0`` runs serial
+(bit-identical, useful under debuggers).
+
+``--best-out`` writes the winning configuration as JSON next to the
+default config's metrics — the format committed under ``configs/`` and
+re-checked by ``benchmarks/test_tuned_config.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# The script must run from a checkout without installation.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+#: Schema of the --best-out export.
+TUNED_SCHEMA = "repro.tuned/1"
+
+
+def tuned_export(result) -> dict:
+    """The --best-out payload: winner + baseline, self-describing."""
+    best = result.best()
+    default = result.default()
+    return {
+        "schema": TUNED_SCHEMA,
+        "suite": result.suite,
+        "algo": result.algo,
+        "seed": result.seed,
+        "budget": result.budget,
+        "duration_s": result.duration_s,
+        "weights": list(result.objective.weights()),
+        "params": best.params,
+        "metrics": best.metrics,
+        "objective": best.objective,
+        "default_metrics": default.metrics,
+        "default_objective": default.objective,
+        "improvement_pct": result.improvement_pct(),
+    }
+
+
+def main(argv=None) -> int:
+    from repro.harness.parallel import WarmPool
+    from repro.harness.search import (
+        Objective,
+        SPACES,
+        run_search,
+        trajectory_chart,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("suite", choices=sorted(SPACES))
+    parser.add_argument("--algo", choices=("random", "es"), default="es")
+    parser.add_argument("--budget", type=int, default=50, help="total evaluations")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="simulated seconds per leg"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker pool size (default: CPU count; 0 = serial)",
+    )
+    parser.add_argument(
+        "--weights",
+        default="1,1,1",
+        help="objective weights DEVIATION,P95,UNDERUTIL (default 1,1,1)",
+    )
+    parser.add_argument("--checkpoint", help="JSONL trajectory checkpoint path")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint's completed evaluations",
+    )
+    parser.add_argument("--best-out", help="write the winning config as JSON here")
+    parser.add_argument("--trajectory-out", help="write the trajectory chart here")
+    parser.add_argument("--batch", type=int, default=8, help="random-search batch size")
+    parser.add_argument("--mu", type=int, default=4, help="ES parents kept")
+    parser.add_argument("--lam", type=int, default=8, help="ES offspring per generation")
+    parser.add_argument("--mutation-scale", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    try:
+        weights = tuple(float(part) for part in args.weights.split(","))
+        if len(weights) != 3:
+            raise ValueError
+    except ValueError:
+        parser.error("--weights must be three comma-separated numbers")
+    objective = Objective(*weights)
+
+    def report(record):
+        print(
+            "  eval {:>4}  objective {:>10.3f}  (dev {:.2f}%  p95 {:.1f} ms  "
+            "under {:.2f}%)".format(
+                record.index,
+                record.objective,
+                record.metrics["deviation_pct"],
+                record.metrics["p95_ms"],
+                record.metrics["underutil_pct"],
+            )
+        )
+
+    print(
+        "tuning {} with {} (budget {}, seed {}, {}s legs)".format(
+            args.suite, args.algo, args.budget, args.seed, args.duration
+        )
+    )
+    if args.processes == 0:
+        pool = None
+    else:
+        pool = WarmPool(processes=args.processes)
+    try:
+        result = run_search(
+            args.suite,
+            algo=args.algo,
+            budget=args.budget,
+            seed=args.seed,
+            duration_s=args.duration,
+            objective=objective,
+            processes=0 if pool is None else None,
+            pool=pool,
+            batch_size=args.batch,
+            mu=args.mu,
+            lam=args.lam,
+            mutation_scale=args.mutation_scale,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            on_record=report,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+
+    chart = trajectory_chart(result)
+    print()
+    print(chart)
+    best = result.best()
+    print("best (evaluation {}):".format(best.index))
+    for name, value in sorted(best.params.items()):
+        print("  {} = {!r}".format(name, value))
+    if not best.params:
+        print("  (the default configuration)")
+    print(
+        "objective {:.3f} vs default {:.3f} — {:.1f}% better".format(
+            best.objective, result.default().objective, result.improvement_pct()
+        )
+    )
+
+    if args.trajectory_out:
+        with open(args.trajectory_out, "w") as handle:
+            handle.write(chart + "\n")
+        print("trajectory chart written to {}".format(args.trajectory_out))
+    if args.best_out:
+        with open(args.best_out, "w") as handle:
+            json.dump(tuned_export(result), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("best config written to {}".format(args.best_out))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

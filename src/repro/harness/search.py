@@ -1,0 +1,690 @@
+"""Seeded black-box search over Gage's tunable registry (ROADMAP item 5).
+
+Two optimizers — pure random search and a (µ+λ) evolutionary strategy —
+propose candidate configurations from a :class:`SearchSpace` (a subset
+of :mod:`repro.core.tunables`), evaluate them through a
+:class:`~repro.harness.parallel.ParallelSweep` running one of two
+simulation suites, and minimize a composite :class:`Objective`:
+
+    score = w_dev · deviation_pct + w_p95 · p95_ms + w_under · underutil_pct
+
+- ``deviation_pct`` — worst-case guarantee deviation on the Figure 3
+  scenario (fidelity to the paper's reservations);
+- ``p95_ms`` — client-observed p95 latency at sustainable load
+  (responsiveness);
+- ``underutil_pct`` — percent of admitted work left unserved
+  (efficiency).
+
+Determinism contract (tested in ``tests/harness/test_search.py``): all
+randomness flows from one ``random.Random(seed)``, each evaluation's
+simulation seed derives from the candidate's parameter hash
+(:func:`~repro.harness.parallel.derive_seed`), and evaluations are
+memoized on that same hash — so the same seed + budget reproduces the
+identical trajectory, and resuming from a JSONL checkpoint (which
+preloads the memo and replays the loop through instant cache hits)
+matches an uninterrupted run exactly.  Candidate generation always
+draws the whole batch/generation from the RNG before truncating to the
+remaining budget, so the candidate sequence is budget-independent and a
+resume may even *extend* the budget.
+
+Suite evaluators are module-level (the worker pool pickles them) and
+return plain-float metric dicts, which JSON round-trips exactly — the
+property checkpoint fidelity rests on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core import tunables
+from repro.core.metrics import deviation_from_reservation_vectors
+from repro.core.tunables import TunableValue
+from repro.harness.charts import line_chart
+from repro.harness.parallel import EvalMemo, ParallelSweep, WarmPool
+
+#: One candidate configuration: registry names → values.
+Params = Dict[str, TunableValue]
+
+#: One evaluation's output: metric name → plain float.
+Metrics = Dict[str, float]
+
+#: A candidate in canonical (hashable, sweep-axis) form.
+Point = Tuple[Tuple[str, TunableValue], ...]
+
+#: Checkpoint schema identifier.
+CHECKPOINT_SCHEMA = "repro.tune/1"
+
+#: The fig3 deviation leg's averaging interval (s) — the paper's 4 s
+#: column, short enough to be meaningful at tuning durations.
+DEVIATION_INTERVAL_S = 4.0
+
+#: Warmup excluded from every measurement window (s).
+WARMUP_S = 2.0
+
+
+def canonical_point(params: Mapping[str, TunableValue]) -> Point:
+    """``params`` as a sorted, hashable tuple — the sweep-axis value."""
+    return tuple(sorted(params.items()))
+
+
+# ---------------------------------------------------------------------------
+# Suite evaluators (module-level: the pool pickles them)
+# ---------------------------------------------------------------------------
+
+
+def _fig3_cluster(
+    config_params: Params,
+    duration_s: float,
+    seed: int,
+    rate_factor: float,
+    spare_policy: Optional[str] = None,
+) -> Tuple[Any, Any]:
+    """A Figure-3-shaped cluster run: (cluster, config).
+
+    Four subscribers reserving 150 GRPS each on eight RPNs, constant
+    6 KB accesses at ``rate_factor`` × the sustainable request rate
+    (one 6 KB page ≈ 3.07 generics).  ``spare_policy`` overrides the
+    candidate's own (the deviation leg pins ``"none"`` so delivered
+    usage should ideally equal the reservation exactly).
+    """
+    from repro.core import GageCluster, Subscriber
+    from repro.sim import Environment
+    from repro.workload import SyntheticWorkload
+
+    merged: Params = dict(config_params)
+    if spare_policy is not None:
+        merged["spare_policy"] = spare_policy
+    config = tunables.config_from_params(merged)
+
+    reservation = 150.0
+    names = ["site{}".format(i + 1) for i in range(4)]
+    env = Environment()
+    subscribers = [Subscriber(name, reservation, queue_capacity=2048) for name in names]
+    workload = SyntheticWorkload(
+        rates={name: reservation / 3.07 * rate_factor for name in names},
+        duration_s=duration_s,
+        file_bytes=6 * 1024,
+        seed=seed,
+    )
+    cluster = GageCluster(
+        env,
+        subscribers,
+        {name: workload.site_files(name) for name in names},
+        num_rpns=8,
+        config=config,
+        fidelity="flow",
+        rpn_cache_bytes=64 * 1024 * 1024,
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(duration_s)
+    return cluster, config
+
+
+def _deviation_pct(cluster: Any, config: Any, duration_s: float) -> float:
+    """Guarantee deviation (%) from the RDN's observed usage log."""
+    reservation = 150.0
+    names = ["site{}".format(i + 1) for i in range(4)]
+    events: Dict[str, List[Tuple[float, Any]]] = {name: [] for name in names}
+    for at, name, usage in cluster.rdn.accounting.usage_log:
+        events[name].append((at, usage))
+    return float(
+        deviation_from_reservation_vectors(
+            events,
+            {name: reservation for name in names},
+            WARMUP_S,
+            duration_s,
+            DEVIATION_INTERVAL_S,
+            generic=config.generic_request,
+        )
+    )
+
+
+def _tail_metrics(cluster: Any, start_s: float, duration_s: float) -> Tuple[float, float]:
+    """(p95 latency in ms, percent of admitted requests unserved)."""
+    from repro.harness.benchstore import percentile
+
+    window = [
+        latency for at, _host, latency in cluster.latencies if start_s <= at < duration_s
+    ]
+    p95_ms = percentile(window, 0.95) * 1000.0 if window else float(duration_s) * 1000.0
+    admitted = sum(1 for at, _host, ok in cluster.arrivals if ok and at < duration_s)
+    served = len(cluster.completions)
+    unserved = 100.0 * (1.0 - served / admitted) if admitted else 0.0
+    return float(p95_ms), float(max(0.0, unserved))
+
+
+def evaluate_fig3(point: Point, duration_s: float, seed: int) -> Metrics:
+    """The fig3 suite: guarantee fidelity plus sustainable-load latency.
+
+    Two legs on the Figure 3 cluster shape: an *overdriven* leg (1.5×
+    sustainable, spare allocation pinned off) measuring deviation from
+    reservation — the paper's Figure 3 quantity — and an *offered-load*
+    leg (0.85× sustainable, the candidate's own spare policy) measuring
+    p95 latency and unserved work.
+    """
+    params = dict(point)
+    overdriven, config = _fig3_cluster(
+        params, duration_s, seed, rate_factor=1.5, spare_policy="none"
+    )
+    deviation = _deviation_pct(overdriven, config, duration_s)
+    offered, _ = _fig3_cluster(params, duration_s, seed + 1, rate_factor=0.85)
+    p95_ms, underutil = _tail_metrics(offered, WARMUP_S, duration_s)
+    return {"deviation_pct": deviation, "p95_ms": p95_ms, "underutil_pct": underutil}
+
+
+def evaluate_tail(point: Point, duration_s: float, seed: int) -> Metrics:
+    """The proxy suite: post-fault tail latency plus guarantee fidelity.
+
+    The hedging chaos scenario (one of four RPNs drops to 5% speed
+    mid-run) measures the p95 the candidate's hedging and estimator
+    settings deliver *after* the fault, plus unserved work; a second,
+    overdriven fig3-style leg checks the same settings do not erode the
+    guarantee (hedge clones spend real credits).
+    """
+    from repro.core import GageCluster, Subscriber
+    from repro.faults import SLOW, FaultAction, FaultSchedule
+    from repro.sim import Environment
+    from repro.workload import SyntheticWorkload
+
+    params = dict(point)
+    config = tunables.config_from_params(params)
+    slow_at_s = 1.0
+
+    env = Environment()
+    subscribers = [Subscriber("a", 120.0, queue_capacity=4096)]
+    workload = SyntheticWorkload(
+        rates={"a": 80.0}, duration_s=duration_s, file_bytes=2048, seed=seed
+    )
+    cluster = GageCluster(
+        env,
+        subscribers,
+        {"a": workload.site_files("a")},
+        num_rpns=4,
+        config=config,
+    )
+    cluster.prewarm_caches()
+    cluster.install_faults(
+        FaultSchedule(
+            [FaultAction(at_s=slow_at_s, kind=SLOW, target="rpn0", factor=0.05)]
+        )
+    )
+    cluster.load_trace(workload.generate())
+    cluster.run(duration_s)
+    p95_ms, underutil = _tail_metrics(cluster, slow_at_s, duration_s)
+
+    overdriven, over_config = _fig3_cluster(
+        params, duration_s, seed + 1, rate_factor=1.5, spare_policy="none"
+    )
+    deviation = _deviation_pct(overdriven, over_config, duration_s)
+    return {"deviation_pct": deviation, "p95_ms": p95_ms, "underutil_pct": underutil}
+
+
+#: Suite name → evaluator.
+SUITES: Dict[str, Callable[..., Metrics]] = {
+    "fig3": evaluate_fig3,
+    "proxy": evaluate_tail,
+}
+
+
+# ---------------------------------------------------------------------------
+# Objective and search space
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Objective:
+    """The composite score (lower is better); weights are the CLI's."""
+
+    w_deviation: float = 1.0
+    w_p95: float = 1.0
+    w_underutil: float = 1.0
+
+    def score(self, metrics: Mapping[str, float]) -> float:
+        return (
+            self.w_deviation * metrics["deviation_pct"]
+            + self.w_p95 * metrics["p95_ms"]
+            + self.w_underutil * metrics["underutil_pct"]
+        )
+
+    def weights(self) -> Tuple[float, float, float]:
+        return (self.w_deviation, self.w_p95, self.w_underutil)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The registry knobs one suite's search may move."""
+
+    knobs: Tuple[tunables.Tunable, ...]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.knobs)
+
+    def sample(self, rng: random.Random) -> Params:
+        """A fresh candidate: every knob drawn from its declaration."""
+        return {t.name: t.sample(rng) for t in self.knobs}
+
+    def mutate(self, params: Params, rng: random.Random, scale: float = 0.25) -> Params:
+        """A local neighbour: each knob perturbed with probability ½.
+
+        Missing knobs (the default candidate is ``{}``) mutate from
+        their declared default.  The RNG is always drawn exactly twice
+        per knob at most, so the draw sequence is a pure function of
+        the space — never of which knobs a parent happened to set.
+        """
+        child: Params = {}
+        for tunable in self.knobs:
+            value = params.get(tunable.name, tunable.default)
+            if rng.random() < 0.5:
+                child[tunable.name] = tunable.mutate(value, rng, scale)
+            else:
+                child[tunable.name] = value
+        return child
+
+
+def _narrowed(name: str, choices: Tuple[str, ...], default: str) -> tunables.Tunable:
+    """A registry declaration restricted to a subset of its choices."""
+    return dataclasses.replace(tunables.get(name), choices=choices, default=default)
+
+
+#: The fig3 suite's space: the QoS control loop's constants.
+FIG3_SPACE = SearchSpace(
+    knobs=(
+        tunables.get("accounting_cycle_s"),
+        tunables.get("scheduling_cycle_s"),
+        tunables.get("credit_cap_cycles"),
+        tunables.get("estimator_alpha"),
+        tunables.get("dispatch_window_s"),
+        tunables.get("estimator_policy"),
+    )
+)
+
+#: The proxy suite's space: tail-latency knobs (hedging restricted to
+#: the active policies — "off" is the baseline the tuned config must
+#: beat, not a state worth searching).
+PROXY_SPACE = SearchSpace(
+    knobs=(
+        _narrowed("hedge_policy", ("fixed", "p95"), "fixed"),
+        tunables.get("hedge_delay_s"),
+        tunables.get("hedge_max_clones"),
+        tunables.get("estimator_alpha"),
+        tunables.get("credit_cap_cycles"),
+        tunables.get("accounting_cycle_s"),
+    )
+)
+
+#: Suite name → search space.
+SPACES: Dict[str, SearchSpace] = {"fig3": FIG3_SPACE, "proxy": PROXY_SPACE}
+
+
+# ---------------------------------------------------------------------------
+# Evaluation through ParallelSweep
+# ---------------------------------------------------------------------------
+
+
+class Evaluator:
+    """Batch evaluation of candidates via a warm-pool ParallelSweep.
+
+    Every batch becomes one sweep (axis ``point`` = the candidates, in
+    batch order) sharing this evaluator's :class:`WarmPool` and
+    :class:`EvalMemo`, so re-proposed candidates cost nothing and the
+    whole search reuses one set of workers.  Each point's simulation
+    seed derives from ``(base_seed, point, duration_s)`` — a pure
+    function of candidate identity.
+    """
+
+    def __init__(
+        self,
+        suite: str,
+        duration_s: float,
+        base_seed: int,
+        processes: Optional[int] = None,
+        pool: Optional[WarmPool] = None,
+        memo: Optional[EvalMemo] = None,
+    ) -> None:
+        if suite not in SUITES:
+            raise ValueError(
+                "unknown suite {!r}; known: {}".format(suite, ", ".join(sorted(SUITES)))
+            )
+        self.suite = suite
+        self.runner = SUITES[suite]
+        self.duration_s = duration_s
+        self.base_seed = base_seed
+        self.processes = processes
+        self.pool = pool
+        self.memo = memo if memo is not None else EvalMemo()
+
+    def _sweep(self, points: Sequence[Point]) -> ParallelSweep:
+        return ParallelSweep(
+            self.runner,
+            processes=self.processes if self.pool is None else None,
+            pool=self.pool,
+            base_seed=self.base_seed,
+            memo=self.memo,
+            point=list(points),
+            duration_s=[self.duration_s],
+        )
+
+    def evaluate(self, batch: Sequence[Params]) -> List[Metrics]:
+        """Metrics for each candidate, in batch order."""
+        if not batch:
+            return []
+        sweep = self._sweep([canonical_point(params) for params in batch]).run()
+        return [point.result for point in sweep.points]
+
+    def preload(self, params: Params, metrics: Metrics) -> None:
+        """Seed the memo with a known (candidate, metrics) outcome.
+
+        Reconstructs the exact memo key ``run()`` would compute — the
+        mechanism ``--resume`` uses to replay a checkpoint's completed
+        evaluations without re-simulating.
+        """
+        sweep = self._sweep([canonical_point(params)])
+        grid_params = sweep.grid()[0]
+        key = EvalMemo.key_for(self.runner, grid_params, False)
+        self.memo.put(key, ("ok", metrics, None))
+
+
+# ---------------------------------------------------------------------------
+# Search results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One completed evaluation in the search trajectory."""
+
+    index: int
+    params: Params
+    metrics: Metrics
+    objective: float
+
+
+@dataclass
+class SearchResult:
+    """A finished (or checkpointed) search run."""
+
+    suite: str
+    algo: str
+    seed: int
+    budget: int
+    duration_s: float
+    objective: Objective
+    records: List[EvalRecord]
+
+    def best(self) -> EvalRecord:
+        """The lowest-objective record (earliest index breaks ties)."""
+        if not self.records:
+            raise ValueError("no evaluations recorded")
+        return min(self.records, key=lambda r: (r.objective, r.index))
+
+    def default(self) -> EvalRecord:
+        """Record 0 — always the default configuration."""
+        return self.records[0]
+
+    def trajectory(self) -> List[Tuple[float, float]]:
+        """(evaluation index, best objective so far) pairs."""
+        out: List[Tuple[float, float]] = []
+        best = float("inf")
+        for record in self.records:
+            best = min(best, record.objective)
+            out.append((float(record.index), best))
+        return out
+
+    def improvement_pct(self) -> float:
+        """How much the best beats the default composite, percent."""
+        base = self.default().objective
+        if base <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.best().objective / base)
+
+
+def trajectory_chart(result: SearchResult, width: int = 72, height: int = 14) -> str:
+    """The best-so-far curve as an ASCII chart."""
+    return line_chart(
+        {"best objective": result.trajectory()},
+        width=width,
+        height=height,
+        title="{} / {} search (seed {})".format(result.suite, result.algo, result.seed),
+        y_label="composite objective",
+        x_label="evaluations",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints (JSONL: one header line, one line per evaluation)
+# ---------------------------------------------------------------------------
+
+
+def _header(result: SearchResult, space: SearchSpace) -> Dict[str, Any]:
+    return {
+        "kind": "tune-header",
+        "schema": CHECKPOINT_SCHEMA,
+        "suite": result.suite,
+        "algo": result.algo,
+        "seed": result.seed,
+        "duration_s": result.duration_s,
+        "weights": list(result.objective.weights()),
+        "space": list(space.names()),
+    }
+
+
+def read_checkpoint(path: str) -> Tuple[Dict[str, Any], List[EvalRecord]]:
+    """(header, records) from a checkpoint file; validates the schema."""
+    with open(path) as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError("{}: empty checkpoint".format(path))
+    header = json.loads(lines[0])
+    if header.get("kind") != "tune-header" or header.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError("{}: not a {} checkpoint".format(path, CHECKPOINT_SCHEMA))
+    records = []
+    for offset, line in enumerate(lines[1:]):
+        payload = json.loads(line)
+        if payload.get("kind") != "eval":
+            raise ValueError("{}: unexpected line kind {!r}".format(path, payload.get("kind")))
+        if payload["index"] != offset:
+            raise ValueError(
+                "{}: record {} out of order (expected {})".format(
+                    path, payload["index"], offset
+                )
+            )
+        records.append(
+            EvalRecord(
+                index=payload["index"],
+                params=payload["params"],
+                metrics=payload["metrics"],
+                objective=payload["objective"],
+            )
+        )
+    return header, records
+
+
+class _CheckpointWriter:
+    """Appends eval records to a JSONL checkpoint as they complete."""
+
+    def __init__(self, path: Optional[str], skip: int) -> None:
+        self.path = path
+        self.skip = skip  # records already on disk (resume)
+        self._handle: Optional[IO[str]] = None
+
+    def open(self, result: SearchResult, space: SearchSpace, fresh: bool) -> None:
+        if self.path is None:
+            return
+        self._handle = open(self.path, "w" if fresh else "a")
+        if fresh:
+            self._handle.write(json.dumps(_header(result, space)) + "\n")
+            self._handle.flush()
+
+    def record(self, record: EvalRecord) -> None:
+        if self._handle is None or record.index < self.skip:
+            return
+        payload = {
+            "kind": "eval",
+            "index": record.index,
+            "params": record.params,
+            "metrics": record.metrics,
+            "objective": record.objective,
+        }
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The search loop
+# ---------------------------------------------------------------------------
+
+
+def _propose(
+    algo: str,
+    space: SearchSpace,
+    rng: random.Random,
+    records: List[EvalRecord],
+    batch_size: int,
+    mu: int,
+    lam: int,
+    mutation_scale: float,
+) -> List[Params]:
+    """The next batch of candidates — a pure function of the RNG state
+    and the completed records (never of the remaining budget; callers
+    truncate after the draw, keeping the sequence budget-independent).
+    """
+    if not records:
+        # Candidate 0 is always the default config, so every run knows
+        # the baseline it must beat; the rest of the first batch (or
+        # first ES generation) is random exploration.
+        first = mu if algo == "es" else batch_size
+        return [{}] + [space.sample(rng) for _ in range(first - 1)]
+    if algo == "random":
+        return [space.sample(rng) for _ in range(batch_size)]
+    # (µ+λ): parents are the best µ completed records; each offspring
+    # mutates a uniformly drawn parent.
+    parents = sorted(records, key=lambda r: (r.objective, r.index))[:mu]
+    return [
+        space.mutate(parents[rng.randrange(len(parents))].params, rng, mutation_scale)
+        for _ in range(lam)
+    ]
+
+
+def run_search(
+    suite: str,
+    algo: str = "random",
+    budget: int = 50,
+    seed: int = 0,
+    duration_s: float = 10.0,
+    objective: Optional[Objective] = None,
+    processes: Optional[int] = None,
+    pool: Optional[WarmPool] = None,
+    memo: Optional[EvalMemo] = None,
+    batch_size: int = 8,
+    mu: int = 4,
+    lam: int = 8,
+    mutation_scale: float = 0.25,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    on_record: Optional[Callable[[EvalRecord], None]] = None,
+) -> SearchResult:
+    """Run one budgeted search; deterministic given ``seed``.
+
+    With ``resume=True`` the checkpoint's completed evaluations preload
+    the evaluator's memo and the loop replays them as instant cache
+    hits before continuing live — the result is exactly what an
+    uninterrupted run of the same seed and budget produces.  ``budget``
+    may exceed the checkpoint's original budget (candidate proposal is
+    budget-independent); it counts *evaluations*, including record 0
+    (the default config baseline).
+    """
+    if algo not in ("random", "es"):
+        raise ValueError("unknown algo {!r} (random or es)".format(algo))
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    objective = objective if objective is not None else Objective()
+    space = SPACES[suite]
+    evaluator = Evaluator(
+        suite, duration_s, base_seed=seed, processes=processes, pool=pool, memo=memo
+    )
+
+    prior: List[EvalRecord] = []
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("--resume needs a checkpoint path")
+        header, prior = read_checkpoint(checkpoint_path)
+        expectation = {
+            "suite": suite,
+            "algo": algo,
+            "seed": seed,
+            "duration_s": duration_s,
+            "weights": list(objective.weights()),
+            "space": list(space.names()),
+        }
+        for field_name, expected in expectation.items():
+            if header.get(field_name) != expected:
+                raise ValueError(
+                    "checkpoint {} mismatch: {!r} != {!r}".format(
+                        field_name, header.get(field_name), expected
+                    )
+                )
+        for record in prior:
+            evaluator.preload(record.params, record.metrics)
+
+    result = SearchResult(
+        suite=suite,
+        algo=algo,
+        seed=seed,
+        budget=budget,
+        duration_s=duration_s,
+        objective=objective,
+        records=[],
+    )
+    writer = _CheckpointWriter(checkpoint_path, skip=len(prior))
+    writer.open(result, space, fresh=not prior)
+    rng = random.Random(seed)
+    try:
+        while len(result.records) < budget:
+            batch = _propose(
+                algo, space, rng, result.records, batch_size, mu, lam, mutation_scale
+            )
+            batch = batch[: budget - len(result.records)]
+            for params, metrics in zip(batch, evaluator.evaluate(batch)):
+                record = EvalRecord(
+                    index=len(result.records),
+                    params=dict(params),
+                    metrics=metrics,
+                    objective=objective.score(metrics),
+                )
+                if record.index < len(prior):
+                    # Replayed from the checkpoint: must match exactly,
+                    # or the checkpoint came from a different run.
+                    stored = prior[record.index]
+                    if stored.params != record.params or stored.metrics != record.metrics:
+                        raise ValueError(
+                            "resume diverged at evaluation {}: checkpoint {!r} "
+                            "vs recomputed {!r}".format(
+                                record.index, stored.params, record.params
+                            )
+                        )
+                result.records.append(record)
+                writer.record(record)
+                if on_record is not None:
+                    on_record(record)
+    finally:
+        writer.close()
+    return result

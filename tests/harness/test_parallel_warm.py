@@ -1,0 +1,180 @@
+"""Warm-pool ParallelSweep: warm == fresh == serial exactly, memo hits
+byte-identical, and per-completion progress reporting."""
+
+import pickle
+
+import pytest
+
+from repro.harness.parallel import EvalMemo, ParallelSweep, SweepPointError, WarmPool
+from tests.harness.test_parallel_sweep import boom, mini_simulation, seeded_sum
+
+
+# -- warm == fresh == serial ------------------------------------------------
+
+
+def test_warm_pool_equals_fresh_pool_equals_serial_exactly():
+    kwargs = dict(base_seed=11, rate=[10.0, 50.0], size=[1, 2, 3])
+    serial = ParallelSweep(seeded_sum, processes=0, **kwargs).run()
+    fresh = ParallelSweep(seeded_sum, processes=2, **kwargs).run()
+    with WarmPool(processes=2) as pool:
+        warm = ParallelSweep(seeded_sum, pool=pool, **kwargs).run()
+    for other in (fresh, warm):
+        assert [p.params for p in serial.points] == [p.params for p in other.points]
+        assert [p.result for p in serial.points] == [p.result for p in other.points]
+
+
+def test_warm_pool_equals_serial_for_real_engine_runs():
+    kwargs = dict(base_seed=5, rate=[40.0, 80.0])
+    serial = ParallelSweep(mini_simulation, processes=0, **kwargs).run()
+    with WarmPool(processes=1) as pool:
+        warm = ParallelSweep(mini_simulation, pool=pool, **kwargs).run()
+    assert [p.result for p in serial.points] == [p.result for p in warm.points]
+
+
+def test_one_warm_pool_serves_many_sweeps():
+    with WarmPool(processes=2) as pool:
+        results = []
+        for base_seed in (1, 2, 3):
+            sweep = ParallelSweep(
+                seeded_sum, pool=pool, base_seed=base_seed, rate=[1.0, 2.0], size=[4]
+            ).run()
+            results.append([p.result for p in sweep.points])
+    fresh = [
+        [
+            p.result
+            for p in ParallelSweep(
+                seeded_sum, processes=2, base_seed=s, rate=[1.0, 2.0], size=[4]
+            )
+            .run()
+            .points
+        ]
+        for s in (1, 2, 3)
+    ]
+    assert results == fresh
+
+
+def test_warm_pool_rejects_zero_processes_and_pool_plus_processes():
+    with pytest.raises(ValueError):
+        WarmPool(processes=0)
+    with WarmPool(processes=1) as pool:
+        with pytest.raises(ValueError):
+            ParallelSweep(seeded_sum, processes=1, pool=pool, base_seed=1, rate=[1])
+
+
+def test_warm_pool_close_is_idempotent():
+    pool = WarmPool(processes=1)
+    ParallelSweep(seeded_sum, pool=pool, base_seed=1, rate=[1.0], size=[1]).run()
+    pool.close()
+    pool.close()
+
+
+def test_warm_pool_surfaces_worker_failures():
+    with WarmPool(processes=2) as pool:
+        sweep = ParallelSweep(boom, pool=pool, base_seed=1, rate=[12, 13, 14])
+        with pytest.raises(SweepPointError) as excinfo:
+            sweep.run()
+        assert excinfo.value.params["rate"] == 13
+        # The completed prefix is merged before the failure surfaces.
+        assert [p.params["rate"] for p in sweep.points] == [12]
+        # The pool survives a failed sweep and can run the next one.
+        ok = ParallelSweep(boom, pool=pool, base_seed=1, rate=[12, 14]).run()
+        assert [p.result for p in ok.points] == [12, 14]
+
+
+# -- evaluation memo --------------------------------------------------------
+
+
+def test_memo_hit_returns_the_cached_result_object_unchanged():
+    memo = EvalMemo()
+    kwargs = dict(base_seed=7, memo=memo, rate=[1.0, 2.0], size=[3])
+    first = ParallelSweep(seeded_sum, processes=0, **kwargs).run()
+    assert (memo.hits, memo.misses) == (0, 2)
+    blob = pickle.dumps([p.result for p in first.points])
+
+    second = ParallelSweep(seeded_sum, processes=0, **kwargs).run()
+    assert (memo.hits, memo.misses) == (2, 2)
+    # Same object identity — the outcome never re-ran or round-tripped.
+    for a, b in zip(first.points, second.points):
+        assert b.result is a.result
+    assert pickle.dumps([p.result for p in second.points]) == blob
+
+
+def test_memo_is_shared_across_pool_modes():
+    memo = EvalMemo()
+    kwargs = dict(base_seed=3, memo=memo, rate=[5.0], size=[1, 2])
+    serial = ParallelSweep(seeded_sum, processes=0, **kwargs).run()
+    with WarmPool(processes=2) as pool:
+        warm = ParallelSweep(seeded_sum, pool=pool, **kwargs).run()
+    assert memo.hits == 2  # the warm run never touched a worker
+    for a, b in zip(serial.points, warm.points):
+        assert b.result is a.result
+
+
+def test_memo_key_distinguishes_runner_params_and_telemetry():
+    params = {"rate": 1.0, "seed": 9}
+    base = EvalMemo.key_for(seeded_sum, params, False)
+    assert EvalMemo.key_for(seeded_sum, dict(reversed(params.items())), False) == base
+    assert EvalMemo.key_for(seeded_sum, params, True) != base
+    assert EvalMemo.key_for(mini_simulation, params, False) != base
+    assert EvalMemo.key_for(seeded_sum, {"rate": 2.0, "seed": 9}, False) != base
+
+
+def test_memo_does_not_cache_failures():
+    memo = EvalMemo()
+    sweep = ParallelSweep(boom, processes=0, base_seed=1, memo=memo, rate=[13])
+    with pytest.raises(SweepPointError):
+        sweep.run()
+    assert len(memo) == 0
+
+
+def test_partial_memo_mixes_cached_and_fresh_in_grid_order():
+    memo = EvalMemo()
+    ParallelSweep(seeded_sum, processes=0, base_seed=2, memo=memo, rate=[1.0], size=[5]).run()
+    sweep = ParallelSweep(
+        seeded_sum, processes=0, base_seed=2, memo=memo, rate=[1.0, 2.0], size=[5]
+    ).run()
+    assert memo.hits == 1 and memo.misses == 2
+    plain = ParallelSweep(
+        seeded_sum, processes=0, base_seed=2, rate=[1.0, 2.0], size=[5]
+    ).run()
+    assert [p.result for p in sweep.points] == [p.result for p in plain.points]
+
+
+# -- per-completion progress ------------------------------------------------
+
+
+def test_progress_fires_after_each_completion_not_up_front():
+    seen = []
+
+    def observe(params):
+        # By the time the callback fires, the point's result is merged:
+        # the old implementation fired all callbacks before any
+        # evaluation, so points would still be empty here.
+        assert sweep.points[-1].params == params
+        seen.append((params["rate"], params["size"], len(sweep.points)))
+
+    sweep = ParallelSweep(seeded_sum, processes=2, base_seed=4, rate=[1.0, 2.0], size=[3])
+    sweep.run(progress=observe)
+    assert seen == [(1.0, 3, 1), (2.0, 3, 2)]
+
+
+def test_progress_fires_in_grid_order_inline_and_warm():
+    for mode in ("inline", "warm"):
+        order = []
+        if mode == "inline":
+            sweep = ParallelSweep(seeded_sum, processes=0, base_seed=6, rate=[1, 2, 3], size=[1])
+            sweep.run(progress=lambda p: order.append(p["rate"]))
+        else:
+            with WarmPool(processes=2) as pool:
+                sweep = ParallelSweep(seeded_sum, pool=pool, base_seed=6, rate=[1, 2, 3], size=[1])
+                sweep.run(progress=lambda p: order.append(p["rate"]))
+        assert order == [1, 2, 3]
+
+
+def test_progress_fires_for_memo_hits_too():
+    memo = EvalMemo()
+    kwargs = dict(processes=0, base_seed=8, memo=memo, rate=[1.0, 2.0], size=[1])
+    ParallelSweep(seeded_sum, **kwargs).run()
+    order = []
+    ParallelSweep(seeded_sum, **kwargs).run(progress=lambda p: order.append(p["rate"]))
+    assert order == [1.0, 2.0]

@@ -1,0 +1,251 @@
+"""Search-harness determinism: same seed reproduces the trajectory,
+resume matches an uninterrupted run exactly, memo hits are unchanged
+objects, and both optimizers actually optimize."""
+
+import json
+import random
+
+import pytest
+
+from repro.harness.parallel import EvalMemo, WarmPool
+from repro.harness.search import (
+    FIG3_SPACE,
+    PROXY_SPACE,
+    SPACES,
+    SUITES,
+    Evaluator,
+    Objective,
+    canonical_point,
+    read_checkpoint,
+    run_search,
+    trajectory_chart,
+)
+
+#: Tiny but real simulations: long enough for one deviation interval
+#: past warmup, short enough to keep this file fast.
+DURATION_S = 3.0
+
+
+def quick(**overrides):
+    defaults = dict(
+        suite="fig3",
+        algo="random",
+        budget=4,
+        seed=11,
+        duration_s=DURATION_S,
+        processes=0,
+        batch_size=2,
+        mu=2,
+        lam=3,
+    )
+    defaults.update(overrides)
+    return run_search(**defaults)
+
+
+def snapshot(result):
+    return [(r.index, r.params, r.metrics, r.objective) for r in result.records]
+
+
+# -- objective and spaces ---------------------------------------------------
+
+
+def test_objective_is_the_documented_weighted_sum():
+    metrics = {"deviation_pct": 2.0, "p95_ms": 30.0, "underutil_pct": 1.0}
+    assert Objective().score(metrics) == 33.0
+    assert Objective(2.0, 0.5, 10.0).score(metrics) == 4.0 + 15.0 + 10.0
+
+
+def test_spaces_draw_only_registered_legal_values():
+    rng = random.Random(1)
+    for space in (FIG3_SPACE, PROXY_SPACE):
+        for _ in range(20):
+            params = space.sample(rng)
+            assert set(params) == set(space.names())
+            child = space.mutate(params, rng)
+            assert set(child) == set(space.names())
+
+
+def test_proxy_space_narrows_hedging_to_active_policies():
+    rng = random.Random(2)
+    drawn = {PROXY_SPACE.sample(rng)["hedge_policy"] for _ in range(30)}
+    assert drawn <= {"fixed", "p95"}
+    assert "off" not in drawn
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_same_seed_and_budget_reproduce_the_identical_run():
+    first = quick()
+    second = quick()
+    assert snapshot(first) == snapshot(second)
+    assert first.best().params == second.best().params
+    assert first.trajectory() == second.trajectory()
+
+
+def test_different_seeds_diverge():
+    assert snapshot(quick(seed=11)) != snapshot(quick(seed=12))
+
+
+def test_record_zero_is_always_the_default_config():
+    result = quick()
+    assert result.records[0].params == {}
+    assert result.default() is result.records[0]
+
+
+def test_trajectory_is_monotone_best_so_far():
+    trajectory = quick(budget=6).trajectory()
+    values = [value for _, value in trajectory]
+    assert values == sorted(values, reverse=True) or all(
+        b <= a for a, b in zip(values, values[1:])
+    )
+    assert trajectory_chart(quick(budget=3))  # renders without raising
+
+
+def test_es_is_deterministic_too():
+    first = quick(algo="es", budget=7)
+    second = quick(algo="es", budget=7)
+    assert snapshot(first) == snapshot(second)
+
+
+# -- checkpoint + resume ----------------------------------------------------
+
+
+def test_resume_from_mid_run_checkpoint_matches_uninterrupted(tmp_path):
+    full_path = tmp_path / "full.jsonl"
+    full = quick(budget=6, checkpoint_path=str(full_path))
+
+    cut_path = tmp_path / "cut.jsonl"
+    lines = full_path.read_text().splitlines(keepends=True)
+    cut_path.write_text("".join(lines[:4]))  # header + 3 of 6 records
+
+    resumed = quick(budget=6, checkpoint_path=str(cut_path), resume=True)
+    assert snapshot(resumed) == snapshot(full)
+    # The resumed checkpoint file is byte-identical to the full one.
+    assert cut_path.read_text() == full_path.read_text()
+
+
+def test_resume_replays_without_re_simulating(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    quick(budget=4, checkpoint_path=str(path))
+    memo = EvalMemo()
+    quick(budget=4, checkpoint_path=str(path), resume=True, memo=memo)
+    # Every prior evaluation was served from the preloaded memo.
+    assert memo.hits >= 4
+
+
+def test_resume_may_extend_the_budget(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    quick(budget=3, checkpoint_path=str(path))
+    extended = quick(budget=5, checkpoint_path=str(path), resume=True)
+    assert len(extended.records) == 5
+    assert snapshot(extended)[:3] == snapshot(quick(budget=3))
+
+
+def test_resume_rejects_mismatched_settings(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    quick(budget=3, checkpoint_path=str(path))
+    with pytest.raises(ValueError, match="seed mismatch"):
+        quick(budget=3, seed=99, checkpoint_path=str(path), resume=True)
+    with pytest.raises(ValueError, match="weights mismatch"):
+        quick(
+            budget=3,
+            objective=Objective(2.0, 1.0, 1.0),
+            checkpoint_path=str(path),
+            resume=True,
+        )
+    with pytest.raises(ValueError):
+        run_search("fig3", resume=True, processes=0)  # no checkpoint path
+
+
+def test_checkpoint_round_trips_exactly(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    result = quick(budget=4, checkpoint_path=str(path))
+    header, records = read_checkpoint(str(path))
+    assert header["suite"] == "fig3" and header["seed"] == 11
+    assert [(r.index, r.params, r.metrics, r.objective) for r in records] == snapshot(
+        result
+    )
+    # JSON round-trip is exact for the plain-float metrics.
+    for line in path.read_text().splitlines()[1:]:
+        payload = json.loads(line)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+def test_read_checkpoint_rejects_garbage(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError):
+        read_checkpoint(str(empty))
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"kind": "something-else"}\n')
+    with pytest.raises(ValueError):
+        read_checkpoint(str(bad))
+
+
+# -- memoized evaluation ----------------------------------------------------
+
+
+def test_memoized_re_evaluation_returns_the_cached_object_unchanged():
+    memo = EvalMemo()
+    evaluator = Evaluator("fig3", DURATION_S, base_seed=5, processes=0, memo=memo)
+    params = {"accounting_cycle_s": 0.5}
+    first = evaluator.evaluate([params])[0]
+    second = evaluator.evaluate([params])[0]
+    assert second is first  # the exact cached object, not a copy
+    assert memo.hits == 1
+
+
+def test_preload_reconstructs_the_exact_memo_key():
+    memo = EvalMemo()
+    evaluator = Evaluator("fig3", DURATION_S, base_seed=5, processes=0, memo=memo)
+    params = {"accounting_cycle_s": 0.5}
+    sentinel = {"deviation_pct": 1.0, "p95_ms": 2.0, "underutil_pct": 3.0}
+    evaluator.preload(params, sentinel)
+    assert evaluator.evaluate([params])[0] is sentinel
+
+
+def test_memoized_search_shares_across_runs():
+    memo = EvalMemo()
+    first = quick(memo=memo)
+    hits_before = memo.hits
+    second = quick(memo=memo)
+    assert snapshot(first) == snapshot(second)
+    assert memo.hits == hits_before + len(second.records)
+
+
+# -- optimization sanity ----------------------------------------------------
+
+
+def test_search_actually_improves_on_the_default():
+    result = quick(budget=6, seed=3)
+    assert result.best().objective <= result.default().objective
+    assert result.improvement_pct() >= 0.0
+
+
+def test_unknown_suite_and_algo_rejected():
+    with pytest.raises(ValueError):
+        Evaluator("nope", 1.0, base_seed=0)
+    with pytest.raises(ValueError):
+        run_search("fig3", algo="annealing", processes=0)
+    with pytest.raises(ValueError):
+        run_search("fig3", budget=0, processes=0)
+
+
+def test_warm_pool_search_equals_serial_search():
+    serial = quick(budget=3)
+    with WarmPool(processes=2) as pool:
+        warm = run_search(
+            "fig3",
+            algo="random",
+            budget=3,
+            seed=11,
+            duration_s=DURATION_S,
+            pool=pool,
+            batch_size=2,
+        )
+    assert snapshot(serial) == snapshot(warm)
+
+
+def test_suites_and_spaces_stay_in_sync():
+    assert set(SUITES) == set(SPACES) == {"fig3", "proxy"}
