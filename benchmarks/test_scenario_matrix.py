@@ -1,0 +1,106 @@
+"""Scenario matrix — isolation holds on heterogeneous clusters.
+
+The paper measures Figure 3 on a uniform cluster.  This suite stresses
+the same bound where it is hardest to keep: a two-tier mixed-capacity
+cluster (3 fast nodes behind the root switch, 5 slow nodes behind a
+leaf) with one subscriber deliberately offering 4x its reservation.
+The claim under test is the paper's isolation guarantee: the
+misbehaver cannot push any *conforming* subscriber's deviation from
+reservation past the Figure-3 bound (8% at averaging intervals >= 4s).
+
+A second benchmark pins the seeded topology generator: the same seed
+must reproduce the serialized topology byte for byte, and the drawn
+cluster's shape (node mix, capacity) is a fixed-seed figure gated by
+the bench comparison.
+"""
+
+from repro.harness.scenarios import (
+    FIG3_BOUND_PCT,
+    generated_topology,
+    mixed_2tier_topology,
+    run_scenario,
+)
+
+from .conftest import print_banner
+
+SEED = 0
+DURATION_S = 20.0
+
+
+def test_misbehaver_on_mixed_2tier(benchmark):
+    def run_cells():
+        return {
+            fault: run_scenario(
+                topology="mixed_2tier",
+                workload="misbehave",
+                fault=fault,
+                seed=SEED,
+                duration_s=DURATION_S,
+            )
+            for fault in ("none", "crash")
+        }
+
+    cells = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    print_banner("Scenario matrix: misbehaver on the 2-tier mixed cluster")
+    for fault, result in cells.items():
+        print(
+            "  fault={:<6} max conforming deviation {:5.2f}%  (bound {:.0f}%)".format(
+                fault, result["max_conforming_deviation_pct"], result["bound_pct"]
+            )
+        )
+        for host, deviation in sorted(result["deviation_pct_by_host"].items()):
+            print("    {:<8} {:5.2f}%".format(host, deviation))
+
+    for fault, result in cells.items():
+        # The enforced claim: conforming subscribers stay inside the
+        # Figure-3 bound no matter what the misbehaver (or a node crash
+        # on top of it) does.
+        assert result["within_bound"], fault
+        assert result["max_conforming_deviation_pct"] < FIG3_BOUND_PCT, fault
+        # The misbehaver is excluded from the conforming set.
+        assert result["misbehavers"]
+        for host in result["misbehavers"]:
+            assert host not in result["deviation_pct_by_host"]
+
+    calm = cells["none"]
+    assert calm["num_rpns"] == 8
+    assert calm["total_capacity_grps"] == 600.0
+    benchmark.extra_info["dev_misbehave_pct"] = round(
+        calm["max_conforming_deviation_pct"], 2
+    )
+    benchmark.extra_info["dev_misbehave_crash_pct"] = round(
+        cells["crash"]["max_conforming_deviation_pct"], 2
+    )
+    benchmark.extra_info["mixed_capacity_grps"] = calm["total_capacity_grps"]
+
+
+def test_generated_topology_is_seed_stable(benchmark, tmp_path):
+    def draw_twice():
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        topo_a = generated_topology()
+        topo_a.save(first)
+        topo_b = generated_topology()
+        topo_b.save(second)
+        return first.read_bytes(), second.read_bytes(), topo_a
+
+    bytes_a, bytes_b, topo = benchmark.pedantic(draw_twice, rounds=1, iterations=1)
+    assert bytes_a == bytes_b, "seeded generation is not byte-for-byte stable"
+
+    kinds = {}
+    for node in topo.nodes:
+        kinds[node.kind] = kinds.get(node.kind, 0) + 1
+    print_banner("Scenario matrix: seeded generator draw (seed 7)")
+    print("  nodes={} mix={} capacity={:.1f} GRPS".format(
+        topo.num_rpns, sorted(kinds.items()), topo.total_capacity_grps()
+    ))
+    benchmark.extra_info["gen_num_rpns"] = topo.num_rpns
+    benchmark.extra_info["gen_capacity_grps"] = round(topo.total_capacity_grps(), 2)
+    benchmark.extra_info["gen_fast_nodes"] = kinds.get("fast", 0)
+
+
+def test_mixed_topology_round_trips(benchmark):
+    topo = benchmark.pedantic(mixed_2tier_topology, rounds=1, iterations=1)
+    clone = type(topo).from_json(topo.to_json())
+    assert clone == topo
+    assert clone.to_json() == topo.to_json()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Run the scenario matrix: topology × workload × faults in one command.
+
+Examples:
+
+    # The full matrix, 4 worker processes:
+    PYTHONPATH=src python scripts/scenario_matrix.py --processes 4
+
+    # One topology against two workloads, inline (no pool):
+    PYTHONPATH=src python scripts/scenario_matrix.py \
+        --topologies mixed_2tier --workloads steady,misbehave --faults none
+
+Each scenario reports the conforming subscribers' guarantee deviation
+(the Figure 3 metric) and whether it stays within the paper's 8% bound;
+--json dumps the raw per-scenario dicts for downstream tooling.  The
+exit status is non-zero when any scenario violates the bound, so the CI
+smoke leg doubles as an assertion.
+"""
+
+import argparse
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.harness.scenarios import (  # noqa: E402
+    FAULTS,
+    TOPOLOGIES,
+    WORKLOADS,
+    format_report,
+    run_matrix,
+)
+
+
+def _csv(values: str) -> list:
+    return [item for item in values.split(",") if item]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--topologies",
+        type=_csv,
+        default=sorted(TOPOLOGIES),
+        help="comma-separated topology names (default: all: %(default)s)",
+    )
+    parser.add_argument(
+        "--workloads",
+        type=_csv,
+        default=list(WORKLOADS),
+        help="comma-separated workload scenarios (default: all: %(default)s)",
+    )
+    parser.add_argument(
+        "--faults",
+        type=_csv,
+        default=list(FAULTS),
+        help="comma-separated fault modes (default: all: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--duration", type=float, default=20.0, help="seconds simulated per scenario"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="worker processes (0 = inline in this process)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="also dump raw per-scenario dicts to FILE"
+    )
+    args = parser.parse_args(argv)
+
+    total = len(args.topologies) * len(args.workloads) * len(args.faults)
+    print(
+        "running {} scenarios ({} topologies x {} workloads x {} faults)".format(
+            total, len(args.topologies), len(args.workloads), len(args.faults)
+        )
+    )
+
+    def progress(result):
+        print(
+            "  done: {topology} / {workload} / {fault} -> {dev:.2f}%".format(
+                dev=result["max_conforming_deviation_pct"], **{
+                    k: result[k] for k in ("topology", "workload", "fault")
+                }
+            )
+        )
+
+    results = run_matrix(
+        topologies=args.topologies,
+        workloads=args.workloads,
+        faults=args.faults,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        processes=args.processes,
+        progress=progress,
+    )
+    print()
+    print(format_report(results))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+        print("\nraw results written to {}".format(args.json))
+    violations = [r for r in results if not r["within_bound"]]
+    if violations:
+        print(
+            "\n{} scenario(s) violated the {}% bound".format(
+                len(violations), results[0]["bound_pct"]
+            )
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,8 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 from repro.core.config import (
     PLACEMENT_OFF,
     PLACEMENT_PROFIT,
+    PLACEMENT_PROMOTE_FIRST,
+    PLACEMENT_PROMOTE_LEAST_LOADED,
     PLACEMENT_UTILIZATION,
 )
 from repro.core.grps import GENERIC_REQUEST, ResourceVector
@@ -48,6 +50,8 @@ __all__ = [
     "PLACEMENT_OFF",
     "PLACEMENT_UTILIZATION",
     "PLACEMENT_PROFIT",
+    "PLACEMENT_PROMOTE_FIRST",
+    "PLACEMENT_PROMOTE_LEAST_LOADED",
     "PlacementEngine",
     "PlacementStats",
     "NodeView",
@@ -237,11 +241,20 @@ class PlacementEngine:
         objective: str = PLACEMENT_UTILIZATION,
         generic: ResourceVector = GENERIC_REQUEST,
         custom_objective: Optional[Objective] = None,
+        promote_policy: str = PLACEMENT_PROMOTE_LEAST_LOADED,
     ) -> None:
         if k_backup < 0:
             raise ValueError("k_backup must be non-negative")
         if custom_objective is None and objective not in _OBJECTIVES:
             raise ValueError("unknown placement objective: {!r}".format(objective))
+        if promote_policy not in (
+            PLACEMENT_PROMOTE_LEAST_LOADED,
+            PLACEMENT_PROMOTE_FIRST,
+        ):
+            raise ValueError(
+                "unknown promote policy: {!r}".format(promote_policy)
+            )
+        self.promote_policy = promote_policy
         self.k_backup = k_backup
         self.objective_name = objective if custom_objective is None else "custom"
         self._objective: Objective = (
@@ -437,14 +450,7 @@ class PlacementEngine:
 
     def _promote(self, embedding: Embedding, report: DeathReport) -> None:
         dead = embedding.primary
-        new_primary: Optional[str] = None
-        while embedding.backups:
-            candidate = embedding.backups.pop(0)
-            candidate_node = self._nodes.get(candidate)
-            self._drop_backup(candidate, dead, embedding.demand)
-            if candidate_node is not None and candidate_node.up:
-                new_primary = candidate
-                break
+        new_primary = self._pick_promotion(embedding, dead)
         if new_primary is None:
             # No live backup: the guarantee is broken until re-admission.
             self.stats.violations += 1
@@ -461,6 +467,59 @@ class PlacementEngine:
         self._tm_promoted.inc()
         report.promoted.append(embedding.name)
         self._replenish_backups(embedding, report)
+
+    def _pick_promotion(self, embedding: Embedding, dead: str) -> Optional[str]:
+        """Choose (and claim) the backup to promote; ``None`` = violation.
+
+        The chosen backup's reservation (keyed by the dead primary) is
+        dropped — its capacity converts into primary use in ``_promote``
+        — as are the reservations of any dead backups encountered, whose
+        reserved capacity protects nobody.
+
+        ``least_loaded`` scans every live backup and promotes the one
+        with the lowest committed utilization (ties keep backup-list
+        order), so repeated deaths re-balance instead of piling onto
+        whichever backup was reserved first; ``first`` reproduces the
+        historic first-live-backup scan exactly.
+        """
+        if self.promote_policy == PLACEMENT_PROMOTE_FIRST:
+            while embedding.backups:
+                candidate = embedding.backups.pop(0)
+                candidate_node = self._nodes.get(candidate)
+                self._drop_backup(candidate, dead, embedding.demand)
+                if candidate_node is not None and candidate_node.up:
+                    return candidate
+            return None
+        best: Optional[str] = None
+        best_utilization = 0.0
+        for candidate in embedding.backups:
+            node = self._nodes.get(candidate)
+            if node is None or not node.up:
+                continue
+            utilization = node.view().utilization()
+            if best is None or utilization < best_utilization:
+                best = candidate
+                best_utilization = utilization
+        if best is None:
+            # No live backup: every reservation in the list is moot.
+            for candidate in embedding.backups:
+                self._drop_backup(candidate, dead, embedding.demand)
+            embedding.backups.clear()
+            return None
+        embedding.backups.remove(best)
+        self._drop_backup(best, dead, embedding.demand)
+        for candidate in list(embedding.backups):
+            node = self._nodes.get(candidate)
+            if node is None or not node.up:
+                embedding.backups.remove(candidate)
+                self._drop_backup(candidate, dead, embedding.demand)
+                continue
+            # Re-key the surviving reservation under the incoming
+            # primary, so a future death of *that* primary finds and
+            # releases it (the totals are unchanged).
+            node.drop_backup(dead, embedding.demand)
+            node.add_backup(best, embedding.demand)
+        return best
 
     def _replenish_backups(self, embedding: Embedding, report: DeathReport) -> None:
         """Re-reserve replacement backups up to ``k``, best-effort."""

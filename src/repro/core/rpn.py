@@ -209,11 +209,22 @@ class RPNAccountingAgent:
         cycle_s: float,
         send_fn: FeedbackSender,
         phase_offset_s: float = 0.0,
+        capacity_per_s: Optional[ResourceVector] = None,
     ) -> None:
         if cycle_s <= 0:
             raise ValueError("accounting cycle must be positive")
         if phase_offset_s < 0:
             raise ValueError("negative phase offset")
+        if capacity_per_s is not None:
+            # Publish the node's declared capacity so heterogeneous
+            # clusters are legible in telemetry snapshots.  Recording
+            # only: no events, no RNG — digest-safe.
+            from repro.core.topology import grps_capacity
+            from repro.telemetry.registry import get_registry
+
+            get_registry().gauge(
+                "repro.cluster.node.capacity", node=rpn_id
+            ).set(grps_capacity(capacity_per_s))
         self.env = env
         self.rpn_id = rpn_id
         self.webserver = webserver

@@ -132,6 +132,10 @@ class RequestScheduler:
         )
         self._spare_counter = registry.counter("repro.core.dispatches", credit="spare")
         self._spare_round_counter = registry.counter("repro.core.spare_rounds")
+        #: Per-node spare GRPS absorbed, lazily created per rpn_id —
+        #: makes heterogeneous spare distribution (fast nodes absorb
+        #: proportionally more) observable in snapshots.
+        self._spare_share_counters: Dict[str, object] = {}
         self._prediction_error = registry.histogram(
             "repro.core.prediction_error_pct", bounds=PREDICTION_ERROR_BUCKETS_PCT
         )
@@ -391,6 +395,15 @@ class RequestScheduler:
                     self.dispatch_fn(request, rpn_id, name, predicted)
                     self.spare_dispatches += 1
                     self._spare_counter.inc()
+                    share_counter = self._spare_share_counters.get(rpn_id)
+                    if share_counter is None:
+                        share_counter = get_registry().counter(
+                            "repro.scheduler.spare_share", node=rpn_id
+                        )
+                        self._spare_share_counters[rpn_id] = share_counter
+                    share_counter.inc(
+                        predicted.in_generic_requests(self.config.generic_request)
+                    )
                     decisions.append(
                         ScheduleDecision(name, rpn_id, predicted, spare=True)
                     )

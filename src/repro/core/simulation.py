@@ -31,6 +31,7 @@ from repro.core.rdn import PrimaryRDN
 from repro.core.rpn import LocalServiceManager, RPNAccountingAgent
 from repro.core.secondary import SecondaryRDN
 from repro.core.subscriber import Subscriber
+from repro.core.topology import ClusterTopology
 from repro.net.addresses import IPAddress, MACAddress
 from repro.net.switch import Switch
 from repro.net.tcp import HostStack
@@ -70,11 +71,24 @@ class GageCluster:
         rpn_overhead_cpu_s: float = 56.7e-6,
         stagger_accounting: bool = False,
         dynamic_arp: bool = False,
+        topology: Optional[ClusterTopology] = None,
     ) -> None:
         if fidelity not in ("flow", "packet"):
             raise ValueError("fidelity must be 'flow' or 'packet'")
         if num_rpns < 1:
             raise ValueError("need at least one RPN")
+        if topology is None:
+            # The scalar knobs describe the paper's homogeneous cluster;
+            # map them onto the equivalent degenerate topology so both
+            # construction paths are one code path.
+            topology = ClusterTopology.homogeneous(
+                num_rpns, cpu_speed=rpn_cpu_speed, cache_bytes=rpn_cache_bytes
+            )
+        #: The cluster layout.  When an explicit topology is given it is
+        #: authoritative: ``num_rpns``/``rpn_cpu_speed``/``rpn_cache_bytes``
+        #: are ignored in favour of the per-node specs.
+        self.topology = topology
+        num_rpns = topology.num_rpns
         self.env = env
         self.fidelity = fidelity
         self.config = config or GageConfig()
@@ -133,31 +147,22 @@ class GageCluster:
         self._secondary_macs: Dict[str, MACAddress] = {}
         #: Per-target network interface (packet mode only).
         self._iface_by_target: Dict[str, object] = {}
-        self._base_cpu_speed = rpn_cpu_speed
+        #: Nominal CPU speed per node, the baseline `slow()` scales from.
+        self._base_cpu_speeds: Dict[str, float] = {}
+        #: Fabric switches in spec order (packet mode; index 0 is the root).
+        self.switches: List[Switch] = []
 
-        capacity = default_rpn_capacity(rpn_cpu_speed)
         if fidelity == "packet":
             self._build_packet_mode(
-                num_rpns,
                 num_clients,
                 num_secondaries,
                 site_files,
                 workers_per_site,
-                rpn_cpu_speed,
-                rpn_cache_bytes,
-                capacity,
             )
         else:
             if num_secondaries:
                 raise ValueError("secondary RDNs only exist in packet mode")
-            self._build_flow_mode(
-                num_rpns,
-                site_files,
-                workers_per_site,
-                rpn_cpu_speed,
-                rpn_cache_bytes,
-                capacity,
-            )
+            self._build_flow_mode(site_files, workers_per_site)
 
     # -- construction -----------------------------------------------------------
 
@@ -166,16 +171,23 @@ class GageCluster:
         index: int,
         site_files: Dict[str, Dict[str, int]],
         workers_per_site: int,
-        rpn_cpu_speed: float,
-        rpn_cache_bytes: int,
     ) -> WebServer:
+        spec = self.topology.nodes[index]
         machine = Machine(
             self.env,
             "rpn{}".format(index),
-            cpu_speed=rpn_cpu_speed,
-            cache_bytes=rpn_cache_bytes,
-            disk_seek_s=self.cost_model.seek_s,
-            disk_transfer_bps=self.cost_model.transfer_bps,
+            cpu_speed=spec.cpu_speed,
+            cache_bytes=spec.cache_bytes,
+            disk_seek_s=(
+                self.cost_model.seek_s
+                if spec.disk_seek_s is None
+                else spec.disk_seek_s
+            ),
+            disk_transfer_bps=(
+                self.cost_model.transfer_bps
+                if spec.disk_transfer_bps is None
+                else spec.disk_transfer_bps
+            ),
         )
         server = WebServer(
             machine,
@@ -194,6 +206,7 @@ class GageCluster:
             )
         )
         self._servers[rpn_id] = server
+        self._base_cpu_speeds[rpn_id] = spec.cpu_speed
         self.machines.append(machine)
         self.webservers.append(server)
         return server
@@ -231,20 +244,16 @@ class GageCluster:
 
     def _build_flow_mode(
         self,
-        num_rpns: int,
         site_files: Dict[str, Dict[str, int]],
         workers_per_site: int,
-        rpn_cpu_speed: float,
-        rpn_cache_bytes: int,
-        capacity: ResourceVector,
     ) -> None:
+        num_rpns = self.topology.num_rpns
         servers: Dict[str, WebServer] = {}
-        for index in range(num_rpns):
-            server = self._make_webserver(
-                index, site_files, workers_per_site, rpn_cpu_speed, rpn_cache_bytes
-            )
+        for index, spec in enumerate(self.topology.nodes):
+            server = self._make_webserver(index, site_files, workers_per_site)
             rpn_id = "rpn{}".format(index)
             servers[rpn_id] = server
+            capacity = spec.capacity_per_s()
             self.rdn.add_rpn(rpn_id, capacity)
             agent = RPNAccountingAgent(
                 self.env,
@@ -257,6 +266,7 @@ class GageCluster:
                     if self.stagger_accounting
                     else 0.0
                 ),
+                capacity_per_s=capacity,
             )
             self.agents.append(agent)
             self._agent_by_id[rpn_id] = agent
@@ -311,19 +321,63 @@ class GageCluster:
             self._flow_feedback_latency_s, self.rdn.on_feedback, message
         )
 
+    def _build_fabric(self, num_clients: int, num_secondaries: int) -> None:
+        """Instantiate the switch fabric the topology describes.
+
+        A star: switch 0 is the root (RDN, secondaries, and clients
+        attach there, plus one trunk per leaf switch); every other
+        switch carries only its nodes and its uplink.  An unspecified
+        port count sizes the switch from the topology — never below the
+        paper's 16-port box, preserving the historic default — while an
+        explicit count that cannot seat the topology raises instead of
+        being silently clamped.
+        """
+        topo = self.topology
+        num_switches = len(topo.switches)
+        for index, spec in enumerate(topo.switches):
+            required = len(topo.nodes_on_switch(index))
+            if index == 0:
+                required += 1 + num_clients + num_secondaries + (num_switches - 1)
+            else:
+                required += 1  # the uplink to the root
+            if spec.ports is None:
+                ports = max(16, required)
+            elif spec.ports < required:
+                raise ValueError(
+                    "switch {} has {} ports but the topology needs {}".format(
+                        index, spec.ports, required
+                    )
+                )
+            else:
+                ports = spec.ports
+            self.switches.append(
+                Switch(
+                    self.env,
+                    ports=ports,
+                    name="switch" if index == 0 else "switch{}".format(index),
+                    bandwidth_bps=spec.port_bandwidth_bps,
+                    latency_s=spec.latency_s,
+                )
+            )
+        self.switch = self.switches[0]
+        for index in range(1, num_switches):
+            uplink = topo.switches[index].uplink_or_default()
+            self.switch.interconnect(
+                self.switches[index],
+                bandwidth_bps=uplink.bandwidth_bps,
+                latency_s=uplink.latency_s,
+            )
+
     def _build_packet_mode(
         self,
-        num_rpns: int,
         num_clients: int,
         num_secondaries: int,
         site_files: Dict[str, Dict[str, int]],
         workers_per_site: int,
-        rpn_cpu_speed: float,
-        rpn_cache_bytes: int,
-        capacity: ResourceVector,
     ) -> None:
-        ports = num_rpns + num_clients + num_secondaries + 1
-        self.switch = Switch(self.env, ports=max(16, ports))
+        num_rpns = self.topology.num_rpns
+        self._build_fabric(num_clients, num_secondaries)
+        assert self.switch is not None
         rdn_mac = MACAddress("02:00:00:00:00:64")
 
         # Primary RDN: a bare NIC, no TCP stack of its own.
@@ -333,17 +387,23 @@ class GageCluster:
         self.switch.attach(rdn_nic.iface)
         self.rdn.attach_nic(rdn_nic)
 
-        # Back-end RPNs.
-        for index in range(num_rpns):
-            server = self._make_webserver(
-                index, site_files, workers_per_site, rpn_cpu_speed, rpn_cache_bytes
-            )
+        # Back-end RPNs, each on its own access link off its fabric switch.
+        for index, spec in enumerate(self.topology.nodes):
+            server = self._make_webserver(index, site_files, workers_per_site)
             machine = server.machine
             rpn_id = "rpn{}".format(index)
             rpn_ip = IPAddress("10.0.1.{}".format(index + 1))
             rpn_mac = MACAddress("02:00:00:00:01:{:02x}".format(index + 1))
-            nic = machine.add_nic(rpn_mac)
-            self.switch.attach(nic.iface)
+            nic = machine.add_nic(
+                rpn_mac,
+                bandwidth_bps=spec.link.bandwidth_bps,
+                latency_s=spec.link.latency_s,
+            )
+            # The port's egress toward the node serializes at the access
+            # link's rate; forwarding latency stays the switch's own.
+            self.switches[spec.switch].attach(
+                nic.iface, bandwidth_bps=spec.link.bandwidth_bps
+            )
             stack = HostStack(self.env, rpn_ip, nic)
             stack.default_mac = rdn_mac
             lsm = LocalServiceManager(
@@ -356,6 +416,7 @@ class GageCluster:
             )
             stack.listen(80, server.acceptor)
             self.lsms.append(lsm)
+            capacity = spec.capacity_per_s()
             self.rdn.add_rpn(rpn_id, capacity, mac=rpn_mac, ip=rpn_ip)
             self._iface_by_target[rpn_id] = nic.iface
             agent = RPNAccountingAgent(
@@ -369,6 +430,7 @@ class GageCluster:
                     if self.stagger_accounting
                     else 0.0
                 ),
+                capacity_per_s=capacity,
             )
             self.agents.append(agent)
             self._agent_by_id[rpn_id] = agent
@@ -546,7 +608,7 @@ class GageCluster:
         server = self._servers.get(target)
         if server is None:
             raise ValueError("unknown RPN target: {!r}".format(target))
-        server.machine.cpu.speed = self._base_cpu_speed * factor
+        server.machine.cpu.speed = self._base_cpu_speeds[target] * factor
         self._log_fault("slow", target)
 
     def partition(self, target: str) -> None:

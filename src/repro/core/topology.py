@@ -1,0 +1,349 @@
+"""First-class cluster topology: heterogeneous nodes, links, and fabrics.
+
+The paper evaluates Gage on one homogeneous cluster behind a single
+switch whose contention "is negligible" (§5).  This module turns that
+implicit assumption into an explicit, validated specification so the
+same machinery can also drive mixed-capacity clusters with tiered links
+and multi-switch fabrics:
+
+- :class:`NodeSpec` — one back-end node: CPU speed, buffer cache, disk
+  timing, its access link, which fabric switch it hangs off, and
+  (optionally) an explicit per-node GRPS capacity override;
+- :class:`LinkSpec` — one access/uplink tier (bandwidth + latency);
+- :class:`SwitchSpec` — one fabric switch: port count (``None`` sizes
+  it from the topology), per-port defaults, and the uplink tier that
+  connects a leaf switch to the root;
+- :class:`ClusterTopology` — the validated container with a stable JSON
+  round-trip (the seeded generator in :mod:`repro.workload.topology`
+  reproduces a topology file byte-for-byte from its seed).
+
+The homogeneous default maps onto :meth:`ClusterTopology.homogeneous`,
+whose degenerate spec reproduces the historic scalar-knob construction
+exactly — same :class:`~repro.cluster.machine.Machine` arguments, same
+``default_rpn_capacity`` vector, same switch sizing — so existing
+callers and the golden digest are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.grps import GENERIC_REQUEST, ResourceVector, grps
+
+__all__ = [
+    "LinkSpec",
+    "NodeSpec",
+    "SwitchSpec",
+    "ClusterTopology",
+    "grps_capacity",
+    "DEFAULT_LINK_BANDWIDTH_BPS",
+    "DEFAULT_LINK_LATENCY_S",
+    "DEFAULT_SWITCH_PORT_BANDWIDTH_BPS",
+    "DEFAULT_SWITCH_LATENCY_S",
+    "DEFAULT_UPLINK_BANDWIDTH_BPS",
+    "DEFAULT_UPLINK_LATENCY_S",
+    "DEFAULT_CACHE_BYTES",
+]
+
+#: Fast Ethernet access links, as in the paper's testbed.
+DEFAULT_LINK_BANDWIDTH_BPS = 100e6
+#: Host-side propagation/driver latency of one access link.
+DEFAULT_LINK_LATENCY_S = 20e-6
+#: Per-port egress rate of a fabric switch.
+DEFAULT_SWITCH_PORT_BANDWIDTH_BPS = 100e6
+#: One switch hop of forwarding latency.
+DEFAULT_SWITCH_LATENCY_S = 5e-6
+#: Inter-switch uplinks default to a faster tier (GigE trunk).
+DEFAULT_UPLINK_BANDWIDTH_BPS = 1e9
+DEFAULT_UPLINK_LATENCY_S = 5e-6
+#: The paper's back-end boxes: 64 MB RAM, half of it buffer cache.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Version stamp of the JSON document format.
+TOPOLOGY_FORMAT = 1
+
+
+def grps_capacity(
+    capacity: ResourceVector, generic: ResourceVector = GENERIC_REQUEST
+) -> float:
+    """A capacity vector expressed as sustainable generic requests/sec.
+
+    The bottleneck (minimum) over the resource dimensions — the dual of
+    ``in_generic_requests``, whose max-norm measures *usage*, not what a
+    node can sustain.
+    """
+    fractions = [
+        component / unit
+        for component, unit in zip(capacity, generic)
+        if unit > 0.0
+    ]
+    return min(fractions) if fractions else 0.0
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link tier: serialization bandwidth and propagation latency."""
+
+    bandwidth_bps: float = DEFAULT_LINK_BANDWIDTH_BPS
+    latency_s: float = DEFAULT_LINK_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+
+    def bytes_per_s(self) -> float:
+        """The link's capacity in the GRPS network dimension."""
+        return self.bandwidth_bps / 8.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"bandwidth_bps": self.bandwidth_bps, "latency_s": self.latency_s}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkSpec":
+        return cls(
+            bandwidth_bps=float(data["bandwidth_bps"]),
+            latency_s=float(data["latency_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One back-end node of the cluster.
+
+    ``disk_seek_s``/``disk_transfer_bps`` default to ``None`` — "use the
+    deployment's cost model", which is what the scalar-knob construction
+    always did.  ``capacity_grps`` overrides the *declared* scheduling
+    capacity (spare pool, dispatch headroom) with an explicit GRPS
+    figure; when ``None`` the capacity derives from the node's CPU speed
+    and access link, reproducing ``default_rpn_capacity`` exactly for
+    the default spec.
+    """
+
+    kind: str = "standard"
+    cpu_speed: float = 1.0
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    disk_seek_s: Optional[float] = None
+    disk_transfer_bps: Optional[float] = None
+    link: LinkSpec = field(default_factory=LinkSpec)
+    #: Index into :attr:`ClusterTopology.switches` of the fabric switch
+    #: this node's access link terminates on.
+    switch: int = 0
+    capacity_grps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("node kind must be non-empty")
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu speed must be positive")
+        if self.cache_bytes < 0:
+            raise ValueError("cache size must be non-negative")
+        if self.disk_seek_s is not None and self.disk_seek_s < 0:
+            raise ValueError("disk seek time must be non-negative")
+        if self.disk_transfer_bps is not None and self.disk_transfer_bps <= 0:
+            raise ValueError("disk transfer rate must be positive")
+        if self.switch < 0:
+            raise ValueError("switch index must be non-negative")
+        if self.capacity_grps is not None and self.capacity_grps <= 0:
+            raise ValueError("capacity override must be positive")
+
+    def capacity_per_s(self) -> ResourceVector:
+        """The node's declared per-second scheduling capacity.
+
+        Derived form: one CPU at ``cpu_speed``, one disk channel, and
+        the access link's byte rate — identical to the historic
+        ``default_rpn_capacity(cpu_speed)`` for the default link.
+        """
+        if self.capacity_grps is not None:
+            return grps(self.capacity_grps)
+        return ResourceVector(
+            cpu_s=self.cpu_speed, disk_s=1.0, net_bytes=self.link.bytes_per_s()
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "cpu_speed": self.cpu_speed,
+            "cache_bytes": self.cache_bytes,
+            "disk_seek_s": self.disk_seek_s,
+            "disk_transfer_bps": self.disk_transfer_bps,
+            "link": self.link.to_dict(),
+            "switch": self.switch,
+            "capacity_grps": self.capacity_grps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeSpec":
+        seek = data.get("disk_seek_s")
+        transfer = data.get("disk_transfer_bps")
+        override = data.get("capacity_grps")
+        return cls(
+            kind=str(data.get("kind", "standard")),
+            cpu_speed=float(data["cpu_speed"]),
+            cache_bytes=int(data["cache_bytes"]),
+            disk_seek_s=None if seek is None else float(seek),
+            disk_transfer_bps=None if transfer is None else float(transfer),
+            link=LinkSpec.from_dict(data["link"]),
+            switch=int(data.get("switch", 0)),
+            capacity_grps=None if override is None else float(override),
+        )
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One fabric switch.
+
+    ``ports=None`` sizes the switch from the topology (attached nodes
+    plus front-end hosts plus uplinks, never below the paper's 16-port
+    box); an explicit port count that cannot seat the topology is a
+    configuration error and raises at cluster build time.  ``uplink``
+    is the tier connecting a leaf switch to the root switch (index 0);
+    the root itself has no uplink.
+    """
+
+    ports: Optional[int] = None
+    port_bandwidth_bps: float = DEFAULT_SWITCH_PORT_BANDWIDTH_BPS
+    latency_s: float = DEFAULT_SWITCH_LATENCY_S
+    uplink: Optional[LinkSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.ports is not None and self.ports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        if self.port_bandwidth_bps <= 0:
+            raise ValueError("port bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("switch latency must be non-negative")
+
+    def uplink_or_default(self) -> LinkSpec:
+        """The uplink tier, defaulting to the GigE trunk."""
+        if self.uplink is not None:
+            return self.uplink
+        return LinkSpec(
+            bandwidth_bps=DEFAULT_UPLINK_BANDWIDTH_BPS,
+            latency_s=DEFAULT_UPLINK_LATENCY_S,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ports": self.ports,
+            "port_bandwidth_bps": self.port_bandwidth_bps,
+            "latency_s": self.latency_s,
+            "uplink": None if self.uplink is None else self.uplink.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SwitchSpec":
+        ports = data.get("ports")
+        uplink = data.get("uplink")
+        return cls(
+            ports=None if ports is None else int(ports),
+            port_bandwidth_bps=float(data["port_bandwidth_bps"]),
+            latency_s=float(data["latency_s"]),
+            uplink=None if uplink is None else LinkSpec.from_dict(uplink),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A validated cluster layout: back-end nodes over a switch fabric.
+
+    Switch 0 is the root: the RDN, secondaries, and (packet mode)
+    clients attach there, and every leaf switch trunks to it over its
+    ``uplink`` tier — a star fabric, loop-free by construction.
+    """
+
+    nodes: Tuple[NodeSpec, ...]
+    switches: Tuple[SwitchSpec, ...] = (SwitchSpec(),)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a topology needs at least one node")
+        if not self.switches:
+            raise ValueError("a topology needs at least one switch")
+        for index, node in enumerate(self.nodes):
+            if node.switch >= len(self.switches):
+                raise ValueError(
+                    "node {} references switch {} but the fabric has {}".format(
+                        index, node.switch, len(self.switches)
+                    )
+                )
+
+    # -- derived shape -------------------------------------------------------
+
+    @property
+    def num_rpns(self) -> int:
+        return len(self.nodes)
+
+    def nodes_on_switch(self, switch: int) -> List[int]:
+        """Indices of the nodes attached to one fabric switch."""
+        return [i for i, node in enumerate(self.nodes) if node.switch == switch]
+
+    def capacities(self) -> List[ResourceVector]:
+        """Per-node declared capacity vectors, in node order."""
+        return [node.capacity_per_s() for node in self.nodes]
+
+    def total_capacity_grps(self) -> float:
+        """Summed bottleneck GRPS capacity over all nodes."""
+        return sum(grps_capacity(c) for c in self.capacities())
+
+    def is_homogeneous(self) -> bool:
+        """True when every node is identical and the fabric is one switch."""
+        return len(self.switches) == 1 and all(
+            node == self.nodes[0] for node in self.nodes
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_rpns: int,
+        cpu_speed: float = 1.0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> "ClusterTopology":
+        """The degenerate topology the scalar knobs always described."""
+        if num_rpns < 1:
+            raise ValueError("need at least one RPN")
+        node = NodeSpec(cpu_speed=cpu_speed, cache_bytes=cache_bytes)
+        return cls(nodes=(node,) * num_rpns)
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TOPOLOGY_FORMAT,
+            "nodes": [node.to_dict() for node in self.nodes],
+            "switches": [switch.to_dict() for switch in self.switches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterTopology":
+        version = int(data.get("format", TOPOLOGY_FORMAT))
+        if version != TOPOLOGY_FORMAT:
+            raise ValueError("unsupported topology format: {}".format(version))
+        return cls(
+            nodes=tuple(NodeSpec.from_dict(n) for n in data["nodes"]),
+            switches=tuple(SwitchSpec.from_dict(s) for s in data["switches"]),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, stable float repr, trailing LF.
+
+        Byte-for-byte deterministic for a given topology — the seeded
+        generator's reproducibility contract rides on this.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterTopology":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterTopology":
+        with open(path) as handle:
+            return cls.from_json(handle.read())

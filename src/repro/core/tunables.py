@@ -342,11 +342,82 @@ def _registry() -> Tuple[Tunable, ...]:
             "Backup RPNs reserved per placed subscriber.",
             lo=0, hi=3,
         ),
+        Tunable(
+            "placement_promote_policy", CHOICE, "least_loaded",
+            "Backup chosen when a primary dies (`first` is the legacy "
+            "first-live-backup scan).",
+            choices=("least_loaded", "first"),
+        ),
     )
 
 
 #: The registry, in GageConfig field order: name → declaration.
 REGISTRY: Dict[str, Tunable] = {tunable.name: tunable for tunable in _registry()}
+
+
+def _topology_registry() -> Tuple[Tunable, ...]:
+    """Knobs of :class:`repro.workload.topology.TopologyGenerator`.
+
+    These are cluster-shape parameters, not :class:`GageConfig` fields,
+    so they live in their own registry (and their own generated table)
+    rather than in :data:`REGISTRY` — the coverage test pins the main
+    registry to GageConfig exactly.  Defaults mirror the generator's
+    builder defaults and are pinned by ``tests/workload``.
+    """
+    return (
+        Tunable(
+            "num_rpns", INT, 8,
+            "Nodes in the generated cluster.",
+            lo=1, hi=1024,
+        ),
+        Tunable(
+            "avg_bandwidth_bps", FLOAT, 100e6,
+            "Mean per-node access-link bandwidth.",
+            lo=1e6, hi=10e9, log=True,
+        ),
+        Tunable(
+            "var_bandwidth_bps", FLOAT, 0.0,
+            "Gaussian spread of per-node link bandwidth (0 disables).",
+            lo=0.0, hi=1e9,
+        ),
+        Tunable(
+            "avg_latency_s", FLOAT, 20e-6,
+            "Mean per-node access-link latency.",
+            lo=0.0, hi=0.01,
+        ),
+        Tunable(
+            "var_latency_s", FLOAT, 0.0,
+            "Gaussian spread of per-node link latency (0 disables).",
+            lo=0.0, hi=0.01,
+        ),
+        Tunable(
+            "slow_link_fraction", FLOAT, 0.0,
+            "Fraction of nodes placed on a degraded access link.",
+            lo=0.0, hi=1.0,
+        ),
+        Tunable(
+            "slow_link_bandwidth_bps", FLOAT, 10e6,
+            "Bandwidth of the degraded links.",
+            lo=1e6, hi=1e9, log=True,
+        ),
+        Tunable(
+            "slow_link_latency_s", FLOAT, 100e-6,
+            "Latency of the degraded links.",
+            lo=0.0, hi=0.01,
+        ),
+        Tunable(
+            "num_switches", INT, 1,
+            "Switches in the fabric; nodes are striped round-robin and "
+            "leaves uplink to the root.",
+            lo=1, hi=64,
+        ),
+    )
+
+
+#: Generator-knob registry: name → declaration (see ``_topology_registry``).
+TOPOLOGY_REGISTRY: Dict[str, Tunable] = {
+    tunable.name: tunable for tunable in _topology_registry()
+}
 
 
 def registry() -> Mapping[str, Tunable]:
@@ -396,18 +467,24 @@ def config_field_names() -> Tuple[str, ...]:
 
 # -- the generated knob-reference table --------------------------------------
 
-#: Markers bounding the generated region inside docs/architecture.md.
+#: Markers bounding the generated regions inside docs/architecture.md.
 TABLE_BEGIN = "<!-- BEGIN GENERATED KNOB TABLE (python -m repro.core.tunables) -->"
 TABLE_END = "<!-- END GENERATED KNOB TABLE -->"
+TOPOLOGY_TABLE_BEGIN = (
+    "<!-- BEGIN GENERATED TOPOLOGY KNOB TABLE (python -m repro.core.tunables) -->"
+)
+TOPOLOGY_TABLE_END = "<!-- END GENERATED TOPOLOGY KNOB TABLE -->"
 
 
-def markdown_table() -> str:
+def markdown_table(registry_map: Optional[Mapping[str, Tunable]] = None) -> str:
     """The knob-reference table, one row per registered tunable."""
+    if registry_map is None:
+        registry_map = REGISTRY
     lines = [
         "| Knob | Kind | Default | Legal values | What it does |",
         "|---|---|---|---|---|",
     ]
-    for tunable in REGISTRY.values():
+    for tunable in registry_map.values():
         default = "`None`" if tunable.default is None else "`{!r}`".format(
             tunable.default
         )
@@ -423,21 +500,38 @@ def markdown_table() -> str:
     return "\n".join(lines)
 
 
-def render_into(document: str) -> str:
-    """``document`` with the marked region replaced by the current table."""
-    begin = document.find(TABLE_BEGIN)
-    end = document.find(TABLE_END)
+def _replace_region(document: str, begin_marker: str, end_marker: str, table: str) -> str:
+    begin = document.find(begin_marker)
+    end = document.find(end_marker)
     if begin < 0 or end < 0 or end < begin:
         raise ValueError(
-            "document lacks the {} / {} markers".format(TABLE_BEGIN, TABLE_END)
+            "document lacks the {} / {} markers".format(begin_marker, end_marker)
         )
     return (
-        document[: begin + len(TABLE_BEGIN)]
+        document[: begin + len(begin_marker)]
         + "\n"
-        + markdown_table()
+        + table
         + "\n"
         + document[end:]
     )
+
+
+def render_into(document: str) -> str:
+    """``document`` with the marked region(s) replaced by the current tables.
+
+    The GageConfig knob table is mandatory; the topology-generator table
+    is rendered only where its markers are present, so standalone docs
+    with just the main markers keep working.
+    """
+    updated = _replace_region(document, TABLE_BEGIN, TABLE_END, markdown_table())
+    if TOPOLOGY_TABLE_BEGIN in updated:
+        updated = _replace_region(
+            updated,
+            TOPOLOGY_TABLE_BEGIN,
+            TOPOLOGY_TABLE_END,
+            markdown_table(TOPOLOGY_REGISTRY),
+        )
+    return updated
 
 
 def main(argv: Optional[Tuple[str, ...]] = None) -> int:

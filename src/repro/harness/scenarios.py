@@ -1,0 +1,293 @@
+"""The scenario matrix: topology × workload × faults in one sweep.
+
+Each scenario drives one :class:`~repro.core.simulation.GageCluster`
+(flow fidelity) with an adversarial workload from
+:mod:`repro.workload.adversarial` on a named topology, optionally
+injects a fault mid-run, and reports the conforming subscribers'
+guarantee deviation — the Figure 3 metric — plus service counts.
+
+``run_matrix`` fans the full cross product out over
+:class:`~repro.harness.parallel.ParallelSweep` with deterministic
+per-point seeds; ``scripts/scenario_matrix.py`` is the CLI.
+
+The module-level ``run_scenario`` is the sweep runner (it must be
+picklable for the worker pool).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GageConfig
+from repro.core.metrics import deviation_from_reservation_vectors
+from repro.core.simulation import GageCluster
+from repro.core.subscriber import Subscriber
+from repro.core.topology import (
+    ClusterTopology,
+    LinkSpec,
+    NodeSpec,
+    SwitchSpec,
+    grps_capacity,
+)
+from repro.harness.parallel import ParallelSweep
+from repro.sim.engine import Environment
+from repro.workload.adversarial import SCENARIOS, build_trace, site_files_for
+from repro.workload.topology import NodeClass, TopologyGenerator
+
+__all__ = [
+    "FIG3_BOUND_PCT",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "FAULTS",
+    "mixed_2tier_topology",
+    "generated_topology",
+    "run_scenario",
+    "run_matrix",
+    "format_report",
+]
+
+#: Figure 3's guarantee bound: < 8% deviation at intervals >= 4 s.
+FIG3_BOUND_PCT = 8.0
+
+#: One 6 KB page in generic requests (network-dominated; §4.1).
+GRPS_PER_PAGE = 3.07
+
+_MiB = 1024 * 1024
+
+
+def mixed_2tier_topology() -> ClusterTopology:
+    """The bench topology: 2 switch tiers, 2 speed classes, 2 link tiers.
+
+    Three fast nodes (2× CPU, fast links) on the root switch, five slow
+    nodes (0.6× CPU, 25 Mbps links) on a leaf switch behind a GigE
+    uplink.  Caches are sized so steady-state runs stay warm and the
+    deviation metric measures scheduling, not disk faulting.
+    """
+    fast = NodeSpec(
+        kind="fast",
+        cpu_speed=2.0,
+        cache_bytes=128 * _MiB,
+        link=LinkSpec(bandwidth_bps=100e6, latency_s=20e-6),
+        switch=0,
+    )
+    slow = NodeSpec(
+        kind="slow",
+        cpu_speed=0.6,
+        cache_bytes=64 * _MiB,
+        link=LinkSpec(bandwidth_bps=25e6, latency_s=100e-6),
+        switch=1,
+    )
+    return ClusterTopology(
+        nodes=(fast,) * 3 + (slow,) * 5,
+        switches=(
+            SwitchSpec(),
+            SwitchSpec(uplink=LinkSpec(bandwidth_bps=1e9, latency_s=5e-6)),
+        ),
+    )
+
+
+def generated_topology() -> ClusterTopology:
+    """A seeded :class:`TopologyGenerator` cluster (fixed seed 7)."""
+    generator = TopologyGenerator()
+    generator.set_node_statistics(
+        8,
+        {"fast": 25.0, "standard": 50.0, "slow": 25.0},
+        classes={
+            "fast": NodeClass("fast", cpu_speed=2.0, cache_bytes=128 * _MiB),
+            "standard": NodeClass("standard", cpu_speed=1.0, cache_bytes=64 * _MiB),
+            "slow": NodeClass("slow", cpu_speed=0.6, cache_bytes=64 * _MiB),
+        },
+    )
+    generator.set_link_statistics(
+        100e6,
+        var_bandwidth_bps=10e6,
+        slow_link_fraction=0.25,
+        slow_link_bandwidth_bps=25e6,
+    )
+    generator.set_fabric(2)
+    return generator.generate(seed=7)
+
+
+TOPOLOGIES: Dict[str, Callable[[], ClusterTopology]] = {
+    "homogeneous": lambda: ClusterTopology.homogeneous(8, cache_bytes=64 * _MiB),
+    "mixed_2tier": mixed_2tier_topology,
+    "generated": generated_topology,
+}
+
+WORKLOADS: Tuple[str, ...] = SCENARIOS
+
+FAULTS: Tuple[str, ...] = ("none", "crash", "slow")
+
+
+def _arm_fault(cluster: GageCluster, fault: str, duration_s: float) -> None:
+    """Schedule the fault axis against a built cluster.
+
+    ``crash`` kills the lowest-capacity node at 40% of the run (its
+    reservations must redistribute onto the survivors); ``slow``
+    degrades the highest-capacity node to half speed — the gray-failure
+    counterpart.
+    """
+    if fault == "none":
+        return
+    capacities = cluster.topology.capacities()
+    by_grps = sorted(
+        range(len(capacities)), key=lambda index: grps_capacity(capacities[index])
+    )
+    if fault == "crash":
+        target = "rpn{}".format(by_grps[0])
+        cluster.env.call_later(0.4 * duration_s, cluster.crash, target)
+    elif fault == "slow":
+        target = "rpn{}".format(by_grps[-1])
+        cluster.env.call_later(0.4 * duration_s, cluster.slow, target, 0.5)
+    else:
+        raise ValueError("unknown fault {!r}; pick one of {}".format(fault, FAULTS))
+
+
+def run_scenario(
+    topology: str = "mixed_2tier",
+    workload: str = "misbehave",
+    fault: str = "none",
+    seed: int = 0,
+    duration_s: float = 20.0,
+    warmup_s: float = 4.0,
+    interval_s: float = 4.0,
+    reservation_grps: float = 150.0,
+    num_subscribers: int = 4,
+    overdrive: float = 4.0,
+) -> Dict[str, object]:
+    """One cell of the matrix; returns a plain, picklable report dict.
+
+    Subscribers offer 1.5× their reservation-sustainable rate (fig-3
+    style: backlogged, spare allocation off, so delivered usage should
+    pin at the reservation) and the workload scenario perturbs that —
+    in ``misbehave`` the last subscriber offers ``overdrive``× instead.
+    Deviation is measured over the *conforming* subscribers only.
+    """
+    if topology not in TOPOLOGIES:
+        raise ValueError(
+            "unknown topology {!r}; pick one of {}".format(
+                topology, sorted(TOPOLOGIES)
+            )
+        )
+    # Short smoke runs: give the measurement at least one complete
+    # interval window even if that means trimming the warmup.
+    warmup_s = min(warmup_s, max(0.0, duration_s - interval_s))
+    topo = TOPOLOGIES[topology]()
+    names = ["site{}".format(index + 1) for index in range(num_subscribers)]
+    subscribers = [
+        Subscriber(name, reservation_grps, queue_capacity=2048) for name in names
+    ]
+    config = GageConfig(spare_policy="none")
+    rates = {name: reservation_grps / GRPS_PER_PAGE * 1.5 for name in names}
+    records, misbehavers = build_trace(
+        workload,
+        rates,
+        duration_s,
+        seed=seed,
+        file_bytes=6 * 1024,
+        misbehave_overdrive=overdrive,
+    )
+    env = Environment()
+    cluster = GageCluster(
+        env,
+        subscribers,
+        site_files_for(names, file_bytes=6 * 1024),
+        config=config,
+        fidelity="flow",
+        topology=topo,
+    )
+    _arm_fault(cluster, fault, duration_s)
+    cluster.load_trace(records)
+    cluster.run(duration_s)
+
+    events: Dict[str, List[Tuple[float, object]]] = {name: [] for name in names}
+    for at, name, usage in cluster.rdn.accounting.usage_log:
+        events[name].append((at, usage))
+    conforming = [name for name in names if name not in misbehavers]
+    reservations = {name: reservation_grps for name in conforming}
+    per_host: Dict[str, float] = {
+        name: deviation_from_reservation_vectors(
+            {name: events[name]},  # type: ignore[dict-item]
+            reservations,
+            warmup_s,
+            duration_s,
+            interval_s,
+            generic=config.generic_request,
+        )
+        for name in conforming
+    }
+    served = {
+        name: sum(1 for _at, host in cluster.completions if host == name)
+        for name in names
+    }
+    arrived = {
+        name: sum(1 for _at, host, _ok in cluster.arrivals if host == name)
+        for name in names
+    }
+    max_deviation = max(per_host.values()) if per_host else 0.0
+    return {
+        "topology": topology,
+        "workload": workload,
+        "fault": fault,
+        "seed": seed,
+        "num_rpns": topo.num_rpns,
+        "total_capacity_grps": topo.total_capacity_grps(),
+        "misbehavers": list(misbehavers),
+        "deviation_pct_by_host": per_host,
+        "max_conforming_deviation_pct": max_deviation,
+        "bound_pct": FIG3_BOUND_PCT,
+        "within_bound": max_deviation <= FIG3_BOUND_PCT,
+        "served": served,
+        "arrived": arrived,
+    }
+
+
+def run_matrix(
+    topologies: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    duration_s: float = 20.0,
+    processes: int = 0,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> List[Dict[str, object]]:
+    """The full cross product, one report dict per scenario, grid order."""
+    sweep = ParallelSweep(
+        run_scenario,
+        processes=processes,
+        base_seed=base_seed,
+        topology=list(topologies or sorted(TOPOLOGIES)),
+        workload=list(workloads or WORKLOADS),
+        fault=list(faults or FAULTS),
+        duration_s=[duration_s],
+    )
+    callback = None
+    if progress is not None:
+
+        def callback(params: Dict[str, object]) -> None:
+            assert progress is not None
+            progress(sweep.points[-1].result)
+
+    sweep.run(progress=callback)
+    return [point.result for point in sweep.points]
+
+
+def format_report(results: Sequence[Dict[str, object]]) -> str:
+    """A fixed-width per-scenario table with the guarantee verdict."""
+    header = "{:<14} {:<18} {:<8} {:>10} {:>8}  {}".format(
+        "topology", "workload", "fault", "max dev %", "bound %", "verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        deviation = float(result["max_conforming_deviation_pct"])  # type: ignore[arg-type]
+        lines.append(
+            "{:<14} {:<18} {:<8} {:>10.2f} {:>8.1f}  {}".format(
+                str(result["topology"]),
+                str(result["workload"]),
+                str(result["fault"]),
+                deviation,
+                float(result["bound_pct"]),  # type: ignore[arg-type]
+                "ok" if result["within_bound"] else "VIOLATED",
+            )
+        )
+    return "\n".join(lines)

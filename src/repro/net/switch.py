@@ -63,11 +63,58 @@ class Switch:
                 return port
         raise RuntimeError("switch {} has no free ports".format(self.name))
 
-    def attach(self, iface: Interface) -> Interface:
-        """Connect a host interface to the next free port; returns the port."""
+    def attach(
+        self,
+        iface: Interface,
+        bandwidth_bps: Optional[float] = None,
+        latency_s: Optional[float] = None,
+    ) -> Interface:
+        """Connect a host interface to the next free port; returns the port.
+
+        ``bandwidth_bps``/``latency_s`` override the port's link
+        parameters before connecting, so a tiered topology can give each
+        access link its own rate (the egress queue toward a slow host
+        serializes at the slow link's speed, not the fabric default).
+        """
         port = self.free_port()
+        if bandwidth_bps is not None:
+            if bandwidth_bps <= 0:
+                raise ValueError("port bandwidth must be positive")
+            port.bandwidth_bps = float(bandwidth_bps)
+        if latency_s is not None:
+            if latency_s < 0:
+                raise ValueError("port latency must be non-negative")
+            port.latency_s = float(latency_s)
         port.connect(iface)
         return port
+
+    def interconnect(
+        self,
+        other: "Switch",
+        bandwidth_bps: Optional[float] = None,
+        latency_s: Optional[float] = None,
+    ) -> Tuple[Interface, Interface]:
+        """Trunk this switch to ``other`` over one port pair (an uplink).
+
+        Both ends take the uplink tier's parameters.  Learning and
+        flooding compose across the trunk: frames for hosts behind the
+        far switch are forwarded (or flooded) out the uplink port and
+        re-switched there.  Keep the fabric a tree — the learning switch
+        has no spanning-tree protocol, so a loop floods forever.
+        """
+        local = self.free_port()
+        remote = other.free_port()
+        for port in (local, remote):
+            if bandwidth_bps is not None:
+                if bandwidth_bps <= 0:
+                    raise ValueError("uplink bandwidth must be positive")
+                port.bandwidth_bps = float(bandwidth_bps)
+            if latency_s is not None:
+                if latency_s < 0:
+                    raise ValueError("uplink latency must be non-negative")
+                port.latency_s = float(latency_s)
+        local.connect(remote)
+        return local, remote
 
     def lookup(self, mac: MACAddress) -> Optional[Interface]:
         """The learned (unexpired) egress port for ``mac``, if any."""

@@ -1,0 +1,272 @@
+"""Adversarial traffic: the scenarios a guarantee system must survive.
+
+The paper evaluates Gage under constant offered loads; production
+traffic misbehaves.  This module composes the :mod:`flashcrowd`
+primitives into a named suite of hostile workloads:
+
+- **diurnal** — day/night waves, optionally phase-staggered per
+  subscriber so the hot spot migrates;
+- **flash_crowd** — one subscriber's load explodes mid-run on top of
+  everyone's steady state;
+- **popularity_shift** — heavy-tailed (Zipf) file popularity whose hot
+  set is permuted mid-run, defeating warmed caches;
+- **misbehave** — reservation-exceeding subscribers that offer a
+  multiple of what they paid for, the isolation property's direct
+  adversary.
+
+Every builder is seed-deterministic; the scenario matrix derives
+per-point seeds via ``ParallelSweep`` and trusts reproducibility here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.workload.flashcrowd import LoadProfile, ProfiledWorkload
+from repro.workload.request import RequestRecord
+
+__all__ = [
+    "SCENARIOS",
+    "diurnal_profiles",
+    "flash_crowd_profiles",
+    "misbehaving_profiles",
+    "PopularityShiftWorkload",
+    "site_files_for",
+    "build_trace",
+]
+
+#: The named adversarial scenarios ``build_trace`` understands.
+SCENARIOS: Tuple[str, ...] = (
+    "steady",
+    "diurnal",
+    "flash_crowd",
+    "popularity_shift",
+    "misbehave",
+)
+
+
+def diurnal_profiles(
+    rates: Mapping[str, float],
+    amplitude_fraction: float = 0.25,
+    period_s: float = 20.0,
+    phase_step_fraction: float = 0.0,
+) -> Dict[str, LoadProfile]:
+    """Day/night waves around each host's mean rate.
+
+    ``phase_step_fraction`` staggers successive hosts by that fraction
+    of the period (0 keeps everyone in phase — the worst case, since
+    all peaks land together).
+    """
+    if not 0.0 <= amplitude_fraction <= 1.0:
+        raise ValueError("amplitude fraction must be in [0, 1]")
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    profiles: Dict[str, LoadProfile] = {}
+    for index, (host, mean) in enumerate(rates.items()):
+        amplitude = mean * amplitude_fraction
+        phase = 2 * math.pi * phase_step_fraction * index
+
+        def rate(
+            at: float, _mean: float = mean, _amp: float = amplitude, _ph: float = phase
+        ) -> float:
+            return _mean + _amp * math.sin(2 * math.pi * at / period_s + _ph)
+
+        profiles[host] = LoadProfile(rate_fn=rate, peak_rate=mean + amplitude)
+    return profiles
+
+
+def flash_crowd_profiles(
+    rates: Mapping[str, float],
+    crowd_host: str,
+    peak_multiplier: float = 6.0,
+    start_s: float = 5.0,
+    ramp_s: float = 2.0,
+    hold_s: float = 5.0,
+    decay_s: float = 3.0,
+) -> Dict[str, LoadProfile]:
+    """Steady state everywhere, except ``crowd_host`` explodes mid-run."""
+    if crowd_host not in rates:
+        raise ValueError("unknown crowd host: {!r}".format(crowd_host))
+    if peak_multiplier < 1.0:
+        raise ValueError("peak multiplier must be at least 1")
+    profiles: Dict[str, LoadProfile] = {}
+    for host, rate in rates.items():
+        if host == crowd_host:
+            profiles[host] = LoadProfile.flash_crowd(
+                base_rate=rate,
+                peak_rate=rate * peak_multiplier,
+                start_s=start_s,
+                ramp_s=ramp_s,
+                hold_s=hold_s,
+                decay_s=decay_s,
+            )
+        else:
+            profiles[host] = LoadProfile.constant(rate)
+    return profiles
+
+
+def misbehaving_profiles(
+    rates: Mapping[str, float],
+    misbehavers: Sequence[str],
+    overdrive: float = 4.0,
+) -> Dict[str, LoadProfile]:
+    """Constant loads, with ``misbehavers`` offering ``overdrive``× theirs."""
+    if overdrive < 1.0:
+        raise ValueError("overdrive must be at least 1")
+    for host in misbehavers:
+        if host not in rates:
+            raise ValueError("unknown misbehaver: {!r}".format(host))
+    hostile = set(misbehavers)
+    return {
+        host: LoadProfile.constant(rate * overdrive if host in hostile else rate)
+        for host, rate in rates.items()
+    }
+
+
+class PopularityShiftWorkload:
+    """Zipf-popular files whose hot set is permuted mid-run.
+
+    Requests pick files by a Zipf(``alpha``) law over popularity ranks;
+    at ``shift_at_s`` the rank→file assignment rotates by half the
+    document tree, so the warmed cache's hot set turns cold at once —
+    the cache-adversarial counterpart of a flash crowd.
+    """
+
+    def __init__(
+        self,
+        rates: Mapping[str, float],
+        duration_s: float,
+        file_bytes: int = 2000,
+        files_per_site: int = 64,
+        alpha: float = 1.1,
+        shift_at_s: float = -1.0,
+        seed: int = 0,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if files_per_site < 1:
+            raise ValueError("need at least one file per site")
+        if alpha <= 0:
+            raise ValueError("zipf alpha must be positive")
+        self.rates = dict(rates)
+        self.duration_s = duration_s
+        self.file_bytes = file_bytes
+        self.files_per_site = files_per_site
+        self.shift_at_s = duration_s / 2.0 if shift_at_s < 0 else shift_at_s
+        self._rng = random.Random(seed)
+        # Cumulative Zipf weights over popularity ranks 1..N.
+        weights = [1.0 / (rank**alpha) for rank in range(1, files_per_site + 1)]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total_weight = total
+
+    def site_files(self, host: str) -> Dict[str, int]:
+        """The document tree to install for ``host``."""
+        return {
+            "page{:04d}.html".format(i): self.file_bytes
+            for i in range(self.files_per_site)
+        }
+
+    def _pick_file(self, at_s: float) -> int:
+        draw = self._rng.random() * self._total_weight
+        rank = bisect.bisect_left(self._cumulative, draw)
+        if at_s >= self.shift_at_s:
+            # Permute rank->file: the pre-shift tail becomes the new head.
+            rank = (rank + self.files_per_site // 2) % self.files_per_site
+        return rank
+
+    def generate(self) -> List[RequestRecord]:
+        """The merged, time-sorted trace across all hosts."""
+        records: List[RequestRecord] = []
+        for host, rate in self.rates.items():
+            if rate <= 0:
+                continue
+            at = 0.0
+            while True:
+                at += self._rng.expovariate(rate)
+                if at >= self.duration_s:
+                    break
+                records.append(
+                    RequestRecord(
+                        at_s=at,
+                        host=host,
+                        path="/page{:04d}.html".format(self._pick_file(at)),
+                        size_bytes=self.file_bytes,
+                    )
+                )
+        records.sort(key=lambda record: record.at_s)
+        return records
+
+
+def site_files_for(
+    hosts: Sequence[str], files_per_site: int = 64, file_bytes: int = 2000
+) -> Dict[str, Dict[str, int]]:
+    """Identical document trees for every host (the suite's default)."""
+    tree = {
+        "page{:04d}.html".format(i): file_bytes for i in range(files_per_site)
+    }
+    return {host: dict(tree) for host in hosts}
+
+
+def build_trace(
+    scenario: str,
+    rates: Mapping[str, float],
+    duration_s: float,
+    seed: int = 0,
+    file_bytes: int = 2000,
+    files_per_site: int = 64,
+    misbehave_overdrive: float = 4.0,
+    diurnal_period_s: float = 20.0,
+    flash_peak_multiplier: float = 6.0,
+) -> Tuple[List[RequestRecord], Tuple[str, ...]]:
+    """One named scenario as a concrete trace.
+
+    ``rates`` are each host's *conforming* offered rates; the scenario
+    perturbs them.  Returns the trace plus the misbehaving hosts (empty
+    for every scenario but ``misbehave``) so callers can exclude the
+    offenders when judging conforming-subscriber guarantees.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            "unknown scenario {!r}; pick one of {}".format(scenario, SCENARIOS)
+        )
+    hosts = list(rates.keys())
+    misbehavers: Tuple[str, ...] = ()
+    if scenario == "popularity_shift":
+        shift = PopularityShiftWorkload(
+            rates,
+            duration_s,
+            file_bytes=file_bytes,
+            files_per_site=files_per_site,
+            seed=seed,
+        )
+        return shift.generate(), misbehavers
+    if scenario == "steady":
+        profiles = {
+            host: LoadProfile.constant(rate) for host, rate in rates.items()
+        }
+    elif scenario == "diurnal":
+        profiles = diurnal_profiles(rates, period_s=diurnal_period_s)
+    elif scenario == "flash_crowd":
+        profiles = flash_crowd_profiles(
+            rates, crowd_host=hosts[-1], peak_multiplier=flash_peak_multiplier
+        )
+    else:  # misbehave
+        misbehavers = (hosts[-1],)
+        profiles = misbehaving_profiles(
+            rates, misbehavers, overdrive=misbehave_overdrive
+        )
+    workload = ProfiledWorkload(
+        profiles,
+        duration_s,
+        file_bytes=file_bytes,
+        files_per_site=files_per_site,
+        seed=seed,
+    )
+    return workload.generate(), misbehavers

@@ -1,0 +1,247 @@
+"""Seeded cluster-topology generation.
+
+Modeled on Helix's ``FakeClusterGenerator`` (SNIPPETS.md snippets 1-2):
+declare node-*class* statistics (a hardware mix by percentage or count),
+per-link bandwidth/latency distributions with an optional slow-link
+tier, and a fabric shape — then generate concrete
+:class:`~repro.core.topology.ClusterTopology` instances from a seed.
+
+Determinism contract: ``generate(seed)`` is a pure function of the
+configured statistics and the seed, and the canonical JSON writer in
+:meth:`ClusterTopology.to_json` is byte-stable, so
+:meth:`TopologyGenerator.generate_to_file` reproduces a topology file
+byte-for-byte from its seed — the property the scenario matrix and CI
+lean on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.topology import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_LINK_BANDWIDTH_BPS,
+    DEFAULT_LINK_LATENCY_S,
+    ClusterTopology,
+    LinkSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+
+__all__ = ["NodeClass", "TopologyGenerator", "DEFAULT_NODE_CLASSES"]
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """One hardware class nodes are drawn from."""
+
+    kind: str
+    cpu_speed: float = 1.0
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    capacity_grps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("node class kind must be non-empty")
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu speed must be positive")
+        if self.cache_bytes < 0:
+            raise ValueError("cache size must be non-negative")
+        if self.capacity_grps is not None and self.capacity_grps <= 0:
+            raise ValueError("capacity override must be positive")
+
+
+#: A plausible refresh-cycle mix: the paper's box, a newer generation
+#: with twice the CPU and cache, and a legacy half-speed tier.
+DEFAULT_NODE_CLASSES: Tuple[NodeClass, ...] = (
+    NodeClass("standard", cpu_speed=1.0),
+    NodeClass("fast", cpu_speed=2.0, cache_bytes=2 * DEFAULT_CACHE_BYTES),
+    NodeClass("slow", cpu_speed=0.5, cache_bytes=DEFAULT_CACHE_BYTES // 2),
+)
+
+
+def _largest_remainder(weights: List[float], total: int) -> List[int]:
+    """Apportion ``total`` units proportionally to ``weights``.
+
+    Floors the exact quotas, then hands the leftover units to the
+    largest fractional remainders (ties broken by position) — so a
+    weight map that is already an exact count allocation reproduces it
+    verbatim, and percentages land as close as integers allow.
+    """
+    weight_sum = sum(weights)
+    quotas = [total * weight / weight_sum for weight in weights]
+    counts = [math.floor(quota) for quota in quotas]
+    leftover = total - sum(counts)
+    remainders = sorted(
+        range(len(weights)),
+        key=lambda index: (-(quotas[index] - counts[index]), index),
+    )
+    for index in remainders[:leftover]:
+        counts[index] += 1
+    return counts
+
+
+class TopologyGenerator:
+    """Builder-style seeded generator of cluster topologies."""
+
+    def __init__(self) -> None:
+        self._num_rpns = 8
+        self._classes: Dict[str, NodeClass] = {
+            cls.kind: cls for cls in DEFAULT_NODE_CLASSES
+        }
+        self._mix: Dict[str, float] = {"standard": 1.0}
+        self._avg_bandwidth_bps = DEFAULT_LINK_BANDWIDTH_BPS
+        self._var_bandwidth_bps = 0.0
+        self._avg_latency_s = DEFAULT_LINK_LATENCY_S
+        self._var_latency_s = 0.0
+        self._slow_link_fraction = 0.0
+        self._slow_link_bandwidth_bps = 10e6
+        self._slow_link_latency_s = 100e-6
+        self._num_switches = 1
+        self._uplink: Optional[LinkSpec] = None
+
+    # -- statistics ----------------------------------------------------------
+
+    def set_node_statistics(
+        self,
+        num_rpns: int,
+        node_type_percentage: Optional[Mapping[str, float]] = None,
+        classes: Optional[Mapping[str, NodeClass]] = None,
+    ) -> "TopologyGenerator":
+        """Declare the node count and the hardware mix.
+
+        ``node_type_percentage`` maps class kind to a weight —
+        percentages, fractions, or absolute counts all work, since only
+        proportions matter (largest-remainder apportionment).  Omitting
+        it keeps the all-``standard`` mix.
+        """
+        if num_rpns < 1:
+            raise ValueError("need at least one RPN")
+        if classes is not None:
+            self._classes = dict(classes)
+        mix = dict(node_type_percentage or {"standard": 1.0})
+        if not mix:
+            raise ValueError("node mix must name at least one class")
+        for kind, weight in mix.items():
+            if kind not in self._classes:
+                raise ValueError("unknown node class: {!r}".format(kind))
+            if weight <= 0:
+                raise ValueError("node mix weights must be positive")
+        self._num_rpns = num_rpns
+        self._mix = mix
+        return self
+
+    def set_link_statistics(
+        self,
+        avg_bandwidth_bps: float,
+        var_bandwidth_bps: float = 0.0,
+        avg_latency_s: float = DEFAULT_LINK_LATENCY_S,
+        var_latency_s: float = 0.0,
+        slow_link_fraction: float = 0.0,
+        slow_link_bandwidth_bps: float = 10e6,
+        slow_link_latency_s: float = 100e-6,
+    ) -> "TopologyGenerator":
+        """Declare per-link distributions and the slow-link tier.
+
+        Fast-tier links draw bandwidth/latency from normal
+        distributions (``var_*`` are standard deviations, 0 = exact);
+        ``slow_link_fraction`` of the nodes land on the fixed slow tier
+        instead.
+        """
+        if avg_bandwidth_bps <= 0 or slow_link_bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if var_bandwidth_bps < 0 or var_latency_s < 0:
+            raise ValueError("link variances must be non-negative")
+        if avg_latency_s < 0 or slow_link_latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+        if not 0.0 <= slow_link_fraction <= 1.0:
+            raise ValueError("slow-link fraction must be in [0, 1]")
+        self._avg_bandwidth_bps = avg_bandwidth_bps
+        self._var_bandwidth_bps = var_bandwidth_bps
+        self._avg_latency_s = avg_latency_s
+        self._var_latency_s = var_latency_s
+        self._slow_link_fraction = slow_link_fraction
+        self._slow_link_bandwidth_bps = slow_link_bandwidth_bps
+        self._slow_link_latency_s = slow_link_latency_s
+        return self
+
+    def set_fabric(
+        self, num_switches: int = 1, uplink: Optional[LinkSpec] = None
+    ) -> "TopologyGenerator":
+        """Declare the switch fabric: star of ``num_switches`` switches.
+
+        Nodes spread round-robin across the switches; leaf switches
+        trunk to the root over ``uplink`` (``None`` = the GigE default).
+        """
+        if num_switches < 1:
+            raise ValueError("need at least one switch")
+        self._num_switches = num_switches
+        self._uplink = uplink
+        return self
+
+    # -- generation ----------------------------------------------------------
+
+    def _node_kinds(self, rng: random.Random) -> List[str]:
+        kinds = list(self._mix.keys())
+        counts = _largest_remainder(
+            [self._mix[kind] for kind in kinds], self._num_rpns
+        )
+        drawn: List[str] = []
+        for kind, count in zip(kinds, counts):
+            drawn.extend([kind] * count)
+        rng.shuffle(drawn)
+        return drawn
+
+    def _draw_link(self, rng: random.Random, slow: bool) -> LinkSpec:
+        if slow:
+            return LinkSpec(
+                bandwidth_bps=self._slow_link_bandwidth_bps,
+                latency_s=self._slow_link_latency_s,
+            )
+        bandwidth = self._avg_bandwidth_bps
+        if self._var_bandwidth_bps > 0:
+            bandwidth = rng.gauss(bandwidth, self._var_bandwidth_bps)
+            # Clip, then quantize to whole bits/s: tidy files, stable bytes.
+            bandwidth = float(round(max(1e6, bandwidth)))
+        latency = self._avg_latency_s
+        if self._var_latency_s > 0:
+            latency = round(max(0.0, rng.gauss(latency, self._var_latency_s)), 9)
+        return LinkSpec(bandwidth_bps=bandwidth, latency_s=latency)
+
+    def generate(self, seed: int) -> ClusterTopology:
+        """One concrete topology, a pure function of statistics + seed."""
+        rng = random.Random(seed)
+        kinds = self._node_kinds(rng)
+        slow_count = round(self._slow_link_fraction * self._num_rpns)
+        slow_indices = set(rng.sample(range(self._num_rpns), slow_count))
+        nodes: List[NodeSpec] = []
+        for index, kind in enumerate(kinds):
+            cls = self._classes[kind]
+            nodes.append(
+                NodeSpec(
+                    kind=cls.kind,
+                    cpu_speed=cls.cpu_speed,
+                    cache_bytes=cls.cache_bytes,
+                    link=self._draw_link(rng, index in slow_indices),
+                    switch=index % self._num_switches,
+                    capacity_grps=cls.capacity_grps,
+                )
+            )
+        switches = tuple(
+            SwitchSpec() if index == 0 else SwitchSpec(uplink=self._uplink)
+            for index in range(self._num_switches)
+        )
+        return ClusterTopology(nodes=tuple(nodes), switches=switches)
+
+    def generate_to_file(self, path: str, seed: int) -> ClusterTopology:
+        """Generate and write the canonical JSON form to ``path``.
+
+        Re-running with the same statistics and seed rewrites the file
+        byte-for-byte.
+        """
+        topology = self.generate(seed)
+        topology.save(path)
+        return topology

@@ -1,0 +1,114 @@
+"""The declarative cluster topology: validation, capacity, round-trip."""
+
+import pytest
+
+from repro.core.grps import GENERIC_REQUEST, ResourceVector
+from repro.core.simulation import default_rpn_capacity
+from repro.core.topology import (
+    ClusterTopology,
+    LinkSpec,
+    NodeSpec,
+    SwitchSpec,
+    grps_capacity,
+)
+
+
+def test_grps_capacity_is_the_bottleneck():
+    # 1 CPU-second/s sustains 100 generic requests; a link worth only
+    # 50 generic requests of bytes is the bottleneck.
+    capacity = ResourceVector(cpu_s=1.0, disk_s=1.0, net_bytes=100_000.0)
+    assert grps_capacity(capacity) == pytest.approx(50.0)
+    assert grps_capacity(ResourceVector.ZERO) == 0.0
+    # The dual relationship: usage is the max-norm, capacity the min.
+    assert capacity.in_generic_requests(GENERIC_REQUEST) == pytest.approx(100.0)
+
+
+def test_default_node_capacity_matches_historic_default():
+    for speed in (0.5, 1.0, 2.0):
+        node = NodeSpec(cpu_speed=speed)
+        assert node.capacity_per_s() == default_rpn_capacity(speed)
+
+
+def test_capacity_override_wins():
+    node = NodeSpec(cpu_speed=2.0, capacity_grps=40.0)
+    assert grps_capacity(node.capacity_per_s()) == pytest.approx(40.0)
+
+
+def test_link_capacity_feeds_the_net_dimension():
+    node = NodeSpec(link=LinkSpec(bandwidth_bps=8e6))
+    assert node.capacity_per_s().net_bytes == pytest.approx(1e6)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth_bps=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(latency_s=-1.0)
+    with pytest.raises(ValueError):
+        NodeSpec(cpu_speed=0.0)
+    with pytest.raises(ValueError):
+        NodeSpec(kind="")
+    with pytest.raises(ValueError):
+        NodeSpec(capacity_grps=-1.0)
+    with pytest.raises(ValueError):
+        NodeSpec(switch=-1)
+    with pytest.raises(ValueError):
+        SwitchSpec(ports=0)
+    with pytest.raises(ValueError):
+        ClusterTopology(nodes=())
+    with pytest.raises(ValueError):
+        # Node references switch 1 but only one switch exists.
+        ClusterTopology(nodes=(NodeSpec(switch=1),))
+
+
+def test_homogeneous_factory_is_degenerate():
+    topo = ClusterTopology.homogeneous(4)
+    assert topo.num_rpns == 4
+    assert topo.is_homogeneous()
+    assert len(topo.switches) == 1
+    assert topo.nodes_on_switch(0) == [0, 1, 2, 3]
+    assert topo.total_capacity_grps() == pytest.approx(400.0)
+    for capacity in topo.capacities():
+        assert capacity == default_rpn_capacity(1.0)
+
+
+def test_mixed_topology_is_not_homogeneous():
+    topo = ClusterTopology(
+        nodes=(NodeSpec(cpu_speed=2.0), NodeSpec(cpu_speed=0.5))
+    )
+    assert not topo.is_homogeneous()
+
+
+def test_json_round_trip(tmp_path):
+    topo = ClusterTopology(
+        nodes=(
+            NodeSpec(kind="fast", cpu_speed=2.0, cache_bytes=1 << 26),
+            NodeSpec(
+                kind="slow",
+                cpu_speed=0.5,
+                disk_seek_s=0.02,
+                disk_transfer_bps=1e8,
+                link=LinkSpec(bandwidth_bps=10e6, latency_s=1e-4),
+                switch=1,
+                capacity_grps=25.0,
+            ),
+        ),
+        switches=(
+            SwitchSpec(ports=32),
+            SwitchSpec(uplink=LinkSpec(bandwidth_bps=1e9, latency_s=5e-6)),
+        ),
+    )
+    assert ClusterTopology.from_json(topo.to_json()) == topo
+    path = tmp_path / "topo.json"
+    topo.save(path)
+    assert ClusterTopology.load(path) == topo
+    # The canonical form is stable: serializing the loaded copy is
+    # byte-identical.
+    assert ClusterTopology.load(path).to_json() == topo.to_json()
+
+
+def test_from_json_rejects_unknown_format():
+    topo = ClusterTopology.homogeneous(1)
+    data = topo.to_json().replace('"format": 1', '"format": 99')
+    with pytest.raises(ValueError):
+        ClusterTopology.from_json(data)

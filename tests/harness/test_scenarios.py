@@ -1,0 +1,106 @@
+"""The scenario-matrix harness: single cells, the sweep, the report."""
+
+import pytest
+
+from repro.harness.scenarios import (
+    FAULTS,
+    FIG3_BOUND_PCT,
+    TOPOLOGIES,
+    WORKLOADS,
+    format_report,
+    generated_topology,
+    mixed_2tier_topology,
+    run_matrix,
+    run_scenario,
+)
+
+
+def test_builtin_topologies_are_valid():
+    assert set(TOPOLOGIES) == {"homogeneous", "mixed_2tier", "generated"}
+    for name, factory in TOPOLOGIES.items():
+        topo = factory()
+        assert topo.num_rpns >= 1, name
+    mixed = mixed_2tier_topology()
+    assert mixed.num_rpns == 8
+    assert len(mixed.switches) == 2
+    assert mixed.total_capacity_grps() == pytest.approx(600.0)
+    # The seeded draw is stable across calls.
+    assert generated_topology() == generated_topology()
+
+
+def test_run_scenario_reports_one_cell():
+    result = run_scenario(
+        topology="mixed_2tier", workload="misbehave", fault="none",
+        seed=0, duration_s=8.0,
+    )
+    assert result["topology"] == "mixed_2tier"
+    assert result["num_rpns"] == 8
+    assert result["misbehavers"] == ["site4"]
+    assert set(result["deviation_pct_by_host"]) == {"site1", "site2", "site3"}
+    assert result["bound_pct"] == FIG3_BOUND_PCT
+    assert result["within_bound"]
+    assert result["max_conforming_deviation_pct"] == pytest.approx(
+        max(result["deviation_pct_by_host"].values())
+    )
+    # Everyone got service, misbehaver included (isolated, not starved).
+    for host in ("site1", "site2", "site3", "site4"):
+        assert result["served"][host] > 0
+
+
+def test_run_scenario_rejects_unknown_inputs():
+    with pytest.raises(ValueError):
+        run_scenario(topology="torus")
+    with pytest.raises(ValueError):
+        run_scenario(workload="chaos", duration_s=5.0)
+
+
+def test_short_runs_trim_warmup_to_keep_a_window():
+    # duration 5 < warmup 4 + interval 4: the harness trims the warmup
+    # so at least one complete averaging window survives.
+    result = run_scenario(
+        topology="homogeneous", workload="steady", fault="none",
+        seed=0, duration_s=5.0,
+    )
+    assert result["max_conforming_deviation_pct"] > 0.0
+
+
+def test_run_matrix_inline_covers_the_grid():
+    seen = []
+    results = run_matrix(
+        topologies=["homogeneous"],
+        workloads=["steady", "misbehave"],
+        faults=["none"],
+        duration_s=8.0,
+        processes=0,
+        progress=seen.append,
+    )
+    assert len(results) == 2
+    assert len(seen) == 2
+    assert {r["workload"] for r in results} == {"steady", "misbehave"}
+    for result in results:
+        assert result["within_bound"]
+
+
+def test_fault_injection_runs():
+    assert FAULTS == ("none", "crash", "slow")
+    for fault in ("crash", "slow"):
+        result = run_scenario(
+            topology="mixed_2tier", workload="steady", fault=fault,
+            seed=0, duration_s=8.0,
+        )
+        assert result["within_bound"], fault
+
+
+def test_format_report_flags_violations():
+    ok = run_scenario(
+        topology="homogeneous", workload="steady", fault="none",
+        seed=0, duration_s=5.0,
+    )
+    bad = dict(ok, within_bound=False, max_conforming_deviation_pct=55.0)
+    text = format_report([ok, bad])
+    lines = text.splitlines()
+    assert "topology" in lines[0] and "verdict" in lines[0]
+    assert lines[2].rstrip().endswith("ok")
+    assert lines[3].rstrip().endswith("VIOLATED")
+    assert "55.00" in lines[3]
+    assert set(WORKLOADS) >= {"steady", "misbehave"}

@@ -1,0 +1,201 @@
+"""Heterogeneous clusters end to end: capacity accounting, isolation.
+
+Satellite coverage for the topology-first refactor: per-node capacities
+feed the spare pool and the credit scheduler, the homogeneous default
+is exactly the degenerate topology, undersized explicit switches are
+refused, and the per-node telemetry (capacity gauge, spare-share
+counter) reports the real shape of the cluster.
+"""
+
+import pytest
+
+from repro.core import GageCluster, GageConfig, Subscriber
+from repro.core.topology import (
+    ClusterTopology,
+    LinkSpec,
+    NodeSpec,
+    SwitchSpec,
+    grps_capacity,
+)
+from repro.sim import Environment
+from repro.telemetry.registry import get_registry
+from repro.workload import SyntheticWorkload
+
+
+def two_speed_topology(standard=2, slow=2):
+    """Standard nodes sustain 100 GRPS; slow (0.6x CPU) nodes 60."""
+    return ClusterTopology(
+        nodes=tuple(
+            [NodeSpec(kind="standard") for _ in range(standard)]
+            + [NodeSpec(kind="slow", cpu_speed=0.6) for _ in range(slow)]
+        )
+    )
+
+
+def build_cluster(env, subscribers, rates, topology, duration=8.0, config=None):
+    workload = SyntheticWorkload(rates=rates, duration_s=duration, file_bytes=2000)
+    site_files = {name: workload.site_files(name) for name in rates}
+    cluster = GageCluster(
+        env,
+        subscribers,
+        site_files,
+        config=config,
+        fidelity="flow",
+        topology=topology,
+    )
+    cluster.load_trace(workload.generate())
+    return cluster
+
+
+def test_default_equals_degenerate_topology():
+    """num_rpns=N and ClusterTopology.homogeneous(N) are the same cluster."""
+    logs = []
+    for topology in (None, ClusterTopology.homogeneous(4)):
+        env = Environment()
+        subs = [Subscriber("a", reservation_grps=100, queue_capacity=256)]
+        workload = SyntheticWorkload(
+            rates={"a": 150.0}, duration_s=5.0, file_bytes=2000
+        )
+        cluster = GageCluster(
+            env,
+            subs,
+            {"a": workload.site_files("a")},
+            num_rpns=4,
+            fidelity="flow",
+            topology=topology,
+        )
+        cluster.load_trace(workload.generate())
+        cluster.run(5.0)
+        logs.append(list(cluster.rdn.accounting.usage_log))
+    assert logs[0] == logs[1]
+
+
+def test_node_capacity_gauge_reports_per_node_grps():
+    env = Environment()
+    topo = two_speed_topology(standard=1, slow=1)
+    subs = [Subscriber("a", reservation_grps=50)]
+    build_cluster(env, subs, {"a": 10.0}, topo, duration=1.0)
+    registry = get_registry()
+    assert registry.gauge(
+        "repro.cluster.node.capacity", node="rpn0"
+    ).value == pytest.approx(100.0)
+    assert registry.gauge(
+        "repro.cluster.node.capacity", node="rpn1"
+    ).value == pytest.approx(60.0)
+    assert grps_capacity(topo.nodes[1].capacity_per_s()) == pytest.approx(60.0)
+
+
+def test_spare_pool_redistributes_by_node_capacity():
+    """A backlogged subscriber's spare lands mostly on the big nodes."""
+    env = Environment()
+    topo = two_speed_topology(standard=1, slow=1)  # 100 + 60 GRPS
+    subs = [Subscriber("a", reservation_grps=40, queue_capacity=512)]
+    cluster = build_cluster(env, subs, {"a": 250.0}, topo, duration=8.0)
+    cluster.run(8.0)
+    report = cluster.service_report("a", 2.0, 8.0)
+    assert report.spare_rate > 0
+    registry = get_registry()
+    fast_share = registry.counter("repro.scheduler.spare_share", node="rpn0").value
+    slow_share = registry.counter("repro.scheduler.spare_share", node="rpn1").value
+    # Both speed classes absorb spare, and the faster node absorbs more
+    # — the spare pool follows real per-node capacity, not a uniform
+    # cluster-wide constant.
+    assert fast_share > 0
+    assert slow_share > 0
+    assert fast_share > slow_share
+
+
+def test_isolation_holds_on_two_speed_cluster():
+    """Table 2 on a mixed cluster: spare still splits by reservation."""
+    env = Environment()
+    topo = two_speed_topology(standard=2, slow=2)  # 320 GRPS total
+    subs = [
+        Subscriber("hi", reservation_grps=120, queue_capacity=512),
+        Subscriber("lo", reservation_grps=80, queue_capacity=512),
+    ]
+    cluster = build_cluster(
+        env, subs, {"hi": 400.0, "lo": 300.0}, topo, duration=10.0
+    )
+    cluster.run(10.0)
+    hi = cluster.service_report("hi", 2.0, 10.0)
+    lo = cluster.service_report("lo", 2.0, 10.0)
+    # Reservations are honored on the mixed cluster...
+    assert hi.served_rate > 120.0
+    assert lo.served_rate > 80.0
+    # ...and the spare pool splits proportionally to reservations
+    # (Table 2's policy), slow nodes notwithstanding.
+    assert hi.spare_rate > 0
+    assert lo.spare_rate > 0
+    assert hi.spare_rate / lo.spare_rate == pytest.approx(120 / 80, rel=0.25)
+
+
+def test_misbehaver_cannot_hurt_conforming_on_mixed_cluster():
+    """Isolation is comparative: the misbehaver must change nothing.
+
+    On a mixed cluster a GRPS buys fewer completions when requests land
+    on slow metal (accounting charges wall CPU seconds), so the
+    conforming subscriber's absolute rate is topology-dependent — the
+    guarantee is that a neighbor offering 5x its reservation leaves
+    that rate untouched.
+    """
+    served = {}
+    for label, greedy_rate in (("conforming", 60.0), ("hostile", 500.0)):
+        env = Environment()
+        topo = two_speed_topology(standard=2, slow=2)
+        subs = [
+            Subscriber("good", reservation_grps=150, queue_capacity=512),
+            Subscriber("greedy", reservation_grps=100, queue_capacity=512),
+        ]
+        config = GageConfig(spare_policy="none")
+        cluster = build_cluster(
+            env, subs, {"good": 145.0, "greedy": greedy_rate}, topo,
+            duration=10.0, config=config,
+        )
+        cluster.run(10.0)
+        served[label] = cluster.service_report("good", 2.0, 10.0).served_rate
+        if label == "hostile":
+            assert cluster.service_report("greedy", 2.0, 10.0).dropped > 0
+    assert served["hostile"] == pytest.approx(served["conforming"], rel=0.03)
+
+
+def test_undersized_explicit_switch_raises():
+    env = Environment()
+    topo = ClusterTopology(
+        nodes=tuple(NodeSpec() for _ in range(6)),
+        switches=(SwitchSpec(ports=4),),
+    )
+    subs = [Subscriber("a", reservation_grps=10)]
+    with pytest.raises(ValueError, match="ports"):
+        GageCluster(
+            env, subs, {"a": {"index.html": 2000}},
+            fidelity="packet", topology=topo,
+        )
+
+
+def test_packet_mode_builds_tiered_fabric():
+    env = Environment()
+    topo = ClusterTopology(
+        nodes=(
+            NodeSpec(),
+            NodeSpec(switch=1, link=LinkSpec(bandwidth_bps=25e6, latency_s=1e-4)),
+        ),
+        switches=(
+            SwitchSpec(),
+            SwitchSpec(uplink=LinkSpec(bandwidth_bps=1e9, latency_s=5e-6)),
+        ),
+    )
+    subs = [Subscriber("a", reservation_grps=20, queue_capacity=256)]
+    workload = SyntheticWorkload(rates={"a": 30.0}, duration_s=3.0, file_bytes=2000)
+    cluster = GageCluster(
+        env,
+        subs,
+        {"a": workload.site_files("a")},
+        fidelity="packet",
+        topology=topo,
+    )
+    assert len(cluster.switches) == 2
+    assert cluster.switch is cluster.switches[0]
+    cluster.load_trace(workload.generate())
+    cluster.run(3.0)
+    report = cluster.service_report("a", 1.0, 3.0)
+    assert report.served_rate > 20.0

@@ -1,0 +1,132 @@
+"""The adversarial workload suite: shapes, determinism, misbehavers."""
+
+import pytest
+
+from repro.workload.adversarial import (
+    SCENARIOS,
+    PopularityShiftWorkload,
+    build_trace,
+    diurnal_profiles,
+    flash_crowd_profiles,
+    misbehaving_profiles,
+    site_files_for,
+)
+
+RATES = {"site1": 40.0, "site2": 40.0, "site3": 40.0}
+
+
+def rate_of(records, host, start, end):
+    count = sum(1 for r in records if r.host == host and start <= r.at_s < end)
+    return count / (end - start)
+
+
+def test_every_scenario_builds_a_sorted_trace():
+    for scenario in SCENARIOS:
+        records, misbehavers = build_trace(scenario, RATES, duration_s=4.0, seed=1)
+        assert records, scenario
+        assert all(
+            a.at_s <= b.at_s for a, b in zip(records, records[1:])
+        ), scenario
+        assert {r.host for r in records} <= set(RATES)
+        if scenario == "misbehave":
+            assert misbehavers == ("site3",)
+        else:
+            assert misbehavers == ()
+
+
+def test_build_trace_rejects_unknown_scenario():
+    with pytest.raises(ValueError):
+        build_trace("chaos", RATES, duration_s=1.0)
+
+
+def test_traces_are_seed_deterministic():
+    for scenario in SCENARIOS:
+        a, _ = build_trace(scenario, RATES, duration_s=5.0, seed=7)
+        b, _ = build_trace(scenario, RATES, duration_s=5.0, seed=7)
+        assert a == b, scenario
+        c, _ = build_trace(scenario, RATES, duration_s=5.0, seed=8)
+        assert a != c, scenario
+
+
+def test_misbehaver_offers_the_overdrive_multiple():
+    records, misbehavers = build_trace(
+        "misbehave", RATES, duration_s=30.0, seed=2, misbehave_overdrive=4.0
+    )
+    assert misbehavers == ("site3",)
+    conforming = rate_of(records, "site1", 0.0, 30.0)
+    hostile = rate_of(records, "site3", 0.0, 30.0)
+    assert hostile / conforming == pytest.approx(4.0, rel=0.2)
+
+
+def test_misbehaving_profiles_validate():
+    with pytest.raises(ValueError):
+        misbehaving_profiles(RATES, ["ghost"])
+    with pytest.raises(ValueError):
+        misbehaving_profiles(RATES, ["site1"], overdrive=0.5)
+
+
+def test_diurnal_wave_oscillates_around_the_mean():
+    profiles = diurnal_profiles(RATES, amplitude_fraction=0.5, period_s=20.0)
+    profile = profiles["site1"]
+    assert profile.rate_fn(5.0) == pytest.approx(60.0)  # peak of the sine
+    assert profile.rate_fn(15.0) == pytest.approx(20.0)  # trough
+    assert profile.peak_rate == pytest.approx(60.0)
+    with pytest.raises(ValueError):
+        diurnal_profiles(RATES, amplitude_fraction=2.0)
+
+
+def test_flash_crowd_spikes_only_the_crowd_host():
+    records, _ = build_trace(
+        "flash_crowd", RATES, duration_s=20.0, seed=3, flash_peak_multiplier=6.0
+    )
+    # The crowd host (last) spikes during the hold window [7, 12]; the
+    # others stay near their constant rate.
+    assert rate_of(records, "site3", 8.0, 12.0) > 3 * rate_of(
+        records, "site3", 0.0, 4.0
+    )
+    assert rate_of(records, "site1", 8.0, 12.0) == pytest.approx(40.0, rel=0.5)
+    with pytest.raises(ValueError):
+        flash_crowd_profiles(RATES, crowd_host="ghost")
+
+
+def test_popularity_shift_rotates_the_hot_set():
+    workload = PopularityShiftWorkload(
+        {"site1": 200.0}, duration_s=20.0, files_per_site=16, seed=4
+    )
+    records = workload.generate()
+    before = [r.path for r in records if r.at_s < 10.0]
+    after = [r.path for r in records if r.at_s >= 10.0]
+    # Zipf head: rank 0 dominates before the shift; afterwards the same
+    # draws map to the rotated file, so the old head goes cold.
+    hot_before = max(set(before), key=before.count)
+    assert hot_before == "/page0000.html"
+    hot_after = max(set(after), key=after.count)
+    assert hot_after == "/page0008.html"  # rotated by files//2
+    assert before.count(hot_before) / len(before) > 3 * after.count(
+        hot_before
+    ) / len(after)
+
+
+def test_popularity_shift_validation():
+    with pytest.raises(ValueError):
+        PopularityShiftWorkload(RATES, duration_s=0.0)
+    with pytest.raises(ValueError):
+        PopularityShiftWorkload(RATES, duration_s=1.0, files_per_site=0)
+    with pytest.raises(ValueError):
+        PopularityShiftWorkload(RATES, duration_s=1.0, alpha=0.0)
+
+
+def test_site_files_match_the_trace_paths():
+    trees = site_files_for(["site1"], files_per_site=4, file_bytes=1234)
+    assert trees["site1"] == {
+        "page0000.html": 1234,
+        "page0001.html": 1234,
+        "page0002.html": 1234,
+        "page0003.html": 1234,
+    }
+    workload = PopularityShiftWorkload(
+        {"site1": 50.0}, duration_s=2.0, files_per_site=4
+    )
+    files = workload.site_files("site1")
+    for record in workload.generate():
+        assert record.path.lstrip("/") in files

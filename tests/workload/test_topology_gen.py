@@ -1,0 +1,120 @@
+"""The seeded topology generator: mixes, determinism, reproduction."""
+
+import pytest
+
+from repro.core.topology import LinkSpec
+from repro.workload.topology import (
+    DEFAULT_NODE_CLASSES,
+    NodeClass,
+    TopologyGenerator,
+    _largest_remainder,
+)
+
+
+def test_largest_remainder_apportionment():
+    assert _largest_remainder([1.0], 5) == [5]
+    assert _largest_remainder([25.0, 50.0, 25.0], 8) == [2, 4, 2]
+    # 1/3 each of 10: quotas 3.33.. -> 3+3+3 with one remainder seat,
+    # ties broken by position.
+    assert _largest_remainder([1.0, 1.0, 1.0], 10) == [4, 3, 3]
+    assert sum(_largest_remainder([0.1, 0.7, 0.2], 7)) == 7
+
+
+def test_node_class_validation():
+    with pytest.raises(ValueError):
+        NodeClass("x", cpu_speed=0.0)
+    with pytest.raises(ValueError):
+        NodeClass("", cpu_speed=1.0)
+
+
+def test_default_generation_is_homogeneous():
+    topo = TopologyGenerator().generate(seed=1)
+    assert topo.num_rpns == 8
+    assert topo.is_homogeneous()
+    assert len(topo.switches) == 1
+    for node in topo.nodes:
+        assert node.kind == "standard"
+        assert node.link == LinkSpec()
+
+
+def test_mix_respects_percentages():
+    gen = TopologyGenerator()
+    gen.set_node_statistics(
+        num_rpns=8,
+        node_type_percentage={"fast": 25, "standard": 50, "slow": 25},
+        classes={cls.kind: cls for cls in DEFAULT_NODE_CLASSES},
+    )
+    topo = gen.generate(seed=3)
+    kinds = [node.kind for node in topo.nodes]
+    assert kinds.count("fast") == 2
+    assert kinds.count("standard") == 4
+    assert kinds.count("slow") == 2
+    for node in topo.nodes:
+        if node.kind == "fast":
+            assert node.cpu_speed == 2.0
+        elif node.kind == "slow":
+            assert node.cpu_speed == 0.5
+
+
+def test_unknown_mix_class_raises():
+    gen = TopologyGenerator()
+    with pytest.raises(ValueError):
+        gen.set_node_statistics(num_rpns=4, node_type_percentage={"warp": 100})
+
+
+def test_seed_determinism_and_divergence():
+    gen = TopologyGenerator()
+    gen.set_node_statistics(
+        num_rpns=16, node_type_percentage={"fast": 50, "slow": 50}
+    )
+    gen.set_link_statistics(
+        avg_bandwidth_bps=100e6, var_bandwidth_bps=20e6, slow_link_fraction=0.25
+    )
+    assert gen.generate(seed=11) == gen.generate(seed=11)
+    assert gen.generate(seed=11) != gen.generate(seed=12)
+
+
+def test_generate_to_file_is_byte_for_byte(tmp_path):
+    gen = TopologyGenerator()
+    gen.set_node_statistics(num_rpns=12, node_type_percentage={"fast": 1, "slow": 2})
+    gen.set_link_statistics(
+        avg_bandwidth_bps=100e6,
+        var_bandwidth_bps=25e6,
+        var_latency_s=5e-6,
+        slow_link_fraction=0.25,
+    )
+    gen.set_fabric(num_switches=3, uplink=LinkSpec(bandwidth_bps=1e9))
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    topo_a = gen.generate_to_file(first, seed=42)
+    topo_b = gen.generate_to_file(second, seed=42)
+    assert topo_a == topo_b
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_slow_links_and_fabric_striping():
+    gen = TopologyGenerator()
+    gen.set_node_statistics(num_rpns=8)
+    gen.set_link_statistics(
+        avg_bandwidth_bps=100e6,
+        slow_link_fraction=0.25,
+        slow_link_bandwidth_bps=10e6,
+        slow_link_latency_s=1e-4,
+    )
+    gen.set_fabric(num_switches=2, uplink=LinkSpec(bandwidth_bps=1e9))
+    topo = gen.generate(seed=5)
+    slow = [n for n in topo.nodes if n.link.bandwidth_bps == 10e6]
+    assert len(slow) == 2  # 25% of 8
+    assert len(topo.switches) == 2
+    assert topo.switches[1].uplink == LinkSpec(bandwidth_bps=1e9)
+    # Nodes are striped round-robin across the fabric.
+    assert [n.switch for n in topo.nodes] == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_generated_links_are_drawn_not_negative():
+    gen = TopologyGenerator()
+    gen.set_link_statistics(avg_bandwidth_bps=5e6, var_bandwidth_bps=50e6)
+    topo = gen.generate(seed=9)
+    for node in topo.nodes:
+        assert node.link.bandwidth_bps >= 1e6
+        assert node.link.latency_s >= 0.0
